@@ -1,0 +1,73 @@
+//! Benchmarks regenerating the paper's *figures*: Fig 1 (multiprocessing
+//! Gflops), Fig 2 (NetPIPE throughput), Fig 3 (heterogeneous
+//! configurations). Each benchmark runs the same code path as
+//! `repro fig*`, on a single representative parameter point so Criterion
+//! iterations stay short.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use etm_cluster::spec::paper_cluster;
+use etm_cluster::{CommLibProfile, Configuration, Placement};
+use etm_hpl::{simulate_hpl, HplParams};
+use etm_mpisim::netpipe::ping_pong;
+
+fn fig1_multiprocessing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_multiprocessing");
+    g.sample_size(10);
+    for (name, profile) in [
+        ("mpich121", CommLibProfile::mpich121()),
+        ("mpich122", CommLibProfile::mpich122()),
+    ] {
+        let spec = paper_cluster(profile);
+        for m in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{m}P_per_cpu")),
+                &m,
+                |b, &m| {
+                    let cfg = Configuration::p1m1_p2m2(1, m, 0, 0);
+                    let params = HplParams::order(2000);
+                    b.iter(|| black_box(simulate_hpl(&spec, &cfg, &params).gflops));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn fig2_netpipe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_netpipe");
+    for (name, profile) in [
+        ("mpich121", CommLibProfile::mpich121()),
+        ("mpich122", CommLibProfile::mpich122()),
+    ] {
+        let spec = paper_cluster(profile);
+        let placement =
+            Placement::new(&spec, &Configuration::p1m1_p2m2(1, 2, 0, 0)).expect("placement");
+        g.bench_function(BenchmarkId::new(name, "128KiB_pingpong"), |b| {
+            b.iter(|| black_box(ping_pong(&spec, &placement, 128.0 * 1024.0, 8).bits_per_sec));
+        });
+    }
+    g.finish();
+}
+
+fn fig3_heterogeneous(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_heterogeneous");
+    g.sample_size(10);
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    for (name, cfg) in [
+        ("athlon_x1", Configuration::p1m1_p2m2(1, 1, 0, 0)),
+        ("ath_plus_p2x4", Configuration::p1m1_p2m2(1, 1, 4, 1)),
+        ("p2_x5", Configuration::p1m1_p2m2(0, 0, 5, 1)),
+        ("ath4_plus_p2x4", Configuration::p1m1_p2m2(1, 4, 4, 1)),
+    ] {
+        g.bench_function(name, |b| {
+            let params = HplParams::order(2400);
+            b.iter(|| black_box(simulate_hpl(&spec, &cfg, &params).gflops));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig1_multiprocessing, fig2_netpipe, fig3_heterogeneous);
+criterion_main!(benches);

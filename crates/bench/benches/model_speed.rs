@@ -1,0 +1,165 @@
+//! The paper's §4 speed claims, measured directly:
+//!
+//! * model construction "takes as little as 0.69 ms" (Basic, 54
+//!   configurations) / "0.52 ms" (NL, 30 configurations);
+//! * estimating all 62 evaluation configurations takes "35 ms" / "26.4
+//!   ms" (on a 2003 AthlonXP 2600+; our numbers land far below on modern
+//!   hardware, which preserves the claim's point: estimation is ~10⁶×
+//!   cheaper than measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use etm_core::adjust::AdjustmentRule;
+use etm_core::measurement::{MeasurementDb, Sample, SampleKey};
+use etm_core::ntmodel::NtModel;
+use etm_core::pipeline::{Estimator, ModelBank};
+use etm_core::plan::evaluation_configs;
+use etm_core::ptmodel::{PtModel, PtObservation};
+use etm_lsq::{fit_poly, multifit_linear, DesignMatrix, LinearTransform};
+
+/// A synthetic but realistically-shaped measurement database with the
+/// paper's full Basic grid (54 configurations × 9 sizes).
+fn synthetic_db(sizes: &[usize], p2s: &[usize]) -> MeasurementDb {
+    let mut db = MeasurementDb::new();
+    let mut put = |key: SampleKey, n: usize| {
+        let x = n as f64;
+        let p = key.total_p() as f64;
+        let speed = if key.kind == 0 { 1.2e9 } else { 0.25e9 };
+        let ta = (2.0 * x * x * x / 3.0) / p / speed * (1.0 + 0.05 * (key.m as f64 - 1.0));
+        let tc = 1e-9 * p * x * x + 5e-9 * x * x / p + 0.01;
+        db.record(
+            key,
+            Sample {
+                n,
+                ta,
+                tc,
+                wall: ta + tc,
+                multi_node: key.pes > 2 || key.kind == 0 && key.pes > 1,
+            },
+        );
+    };
+    for &n in sizes {
+        for m1 in 1..=6 {
+            put(SampleKey::new(etm_cluster::KindId(0), 1, m1), n);
+        }
+        for &p2 in p2s {
+            for m2 in 1..=6 {
+                put(SampleKey::new(etm_cluster::KindId(1), p2, m2), n);
+            }
+        }
+    }
+    db
+}
+
+fn model_construction_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_construction_speed");
+    // Basic: 9 sizes × 8 P2 values; NL/NS: 4 × 4.
+    for (name, sizes, p2s) in [
+        (
+            "basic_54_configs",
+            vec![400usize, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400],
+            vec![1usize, 2, 3, 4, 5, 6, 7, 8],
+        ),
+        (
+            "nl_30_configs",
+            vec![1600usize, 3200, 4800, 6400],
+            vec![1usize, 2, 4, 8],
+        ),
+    ] {
+        let db = synthetic_db(&sizes, &p2s);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(ModelBank::fit(&db, 0.85).expect("fit")));
+        });
+    }
+    g.finish();
+}
+
+fn estimation_speed_62_configs(c: &mut Criterion) {
+    let db = synthetic_db(&[1600, 3200, 4800, 6400], &[1, 2, 4, 8]);
+    let bank = ModelBank::fit(&db, 0.85).expect("fit");
+    let mut estimator = Estimator::unadjusted(bank);
+    estimator.adjustment = AdjustmentRule {
+        min_m1: 3,
+        scale: 0.9,
+        base_coeff: 0.05,
+    };
+    let configs = evaluation_configs();
+    c.bench_function("estimation_speed_62_configs", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for cfg in &configs {
+                if let Ok(t) = estimator.estimate(cfg, black_box(6400)) {
+                    best = best.min(t);
+                }
+            }
+            black_box(best)
+        });
+    });
+}
+
+fn lsq_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsq_kernels");
+    // The N-T fit: 9 observations, 4 coefficients.
+    let ns: Vec<f64> = [400.0, 600.0, 800.0, 1200.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0]
+        .to_vec();
+    let ys: Vec<f64> = ns.iter().map(|n| 1e-9 * n * n * n + 0.3).collect();
+    g.bench_function("nt_fit_9x4", |b| {
+        b.iter(|| black_box(fit_poly(&ns, &ys, 3).expect("fit")));
+    });
+    // The P-T fit: 36 observations, 3 coefficients.
+    let rows: Vec<[f64; 3]> = (0..36)
+        .map(|i| {
+            let p = 1.0 + (i % 6) as f64;
+            let c0 = 1.0 + (i / 6) as f64;
+            [p * c0, c0 / p, 1.0]
+        })
+        .collect();
+    let yc: Vec<f64> = rows.iter().map(|r| 0.2 * r[0] + 0.4 * r[1] + 0.05).collect();
+    let design = DesignMatrix::from_rows(&rows);
+    g.bench_function("pt_fit_36x3", |b| {
+        b.iter(|| black_box(multifit_linear(&design, &yc).expect("fit")));
+    });
+    // The adjustment fit.
+    let est = [150.0, 210.0, 270.0, 330.0];
+    let meas = [107.0, 104.0, 105.0, 127.0];
+    g.bench_function("adjustment_fit_4pts", |b| {
+        b.iter(|| black_box(LinearTransform::fit(&est, &meas).expect("fit")));
+    });
+    g.finish();
+}
+
+fn single_prediction_speed(c: &mut Criterion) {
+    let nt = NtModel {
+        ka: [1e-9, 2e-7, 1e-4, 0.3],
+        kc: [1e-8, 1e-5, 0.05],
+    };
+    let obs: Vec<PtObservation> = (1..=8)
+        .flat_map(|p| {
+            [800usize, 1600, 3200, 6400].map(|n| PtObservation {
+                n,
+                p,
+                ta: nt.ta(n) / p as f64,
+                tc: nt.tc(n) * p as f64 * 0.1,
+            })
+        })
+        .collect();
+    let pt = PtModel::fit(nt, &obs).expect("fit");
+    let mut g = c.benchmark_group("single_prediction");
+    g.bench_function("nt_total", |b| {
+        b.iter(|| black_box(nt.total(black_box(6400))));
+    });
+    g.bench_function("pt_total", |b| {
+        b.iter(|| black_box(pt.total(black_box(6400), black_box(12))));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    model_construction_speed,
+    estimation_speed_62_configs,
+    lsq_kernels,
+    single_prediction_speed
+);
+criterion_main!(benches);

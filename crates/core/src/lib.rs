@@ -1,0 +1,43 @@
+//! # etm-core — the execution-time estimation model
+//!
+//! The paper's contribution, reproduced in full:
+//!
+//! * [`NtModel`] (§3.2) — per configuration `(P, Mᵢ)`, computation time
+//!   `Ta(N) = k0·N³ + k1·N² + k2·N + k3` and communication time
+//!   `Tc(N) = k4·N² + k5·N + k6`, fit by linear least squares from
+//!   measured runs (`gsl_multifit_linear` analogue in `etm-lsq`).
+//! * [`PtModel`] (§3.3) — per `(kind, Mᵢ)`, N-T models across several `P`
+//!   integrated into `Ta(N,P) = k7·TaRef(N)/P + k8` and
+//!   `Tc(N,P) = k9·P·TcRef(N) + k10·TcRef(N)/P + k11`.
+//! * **Binning** (§3.4) — [`Estimator`] selects the N-T model when the
+//!   configuration runs on a single PE (`P = Mᵢ`, no inter-PE
+//!   communication) and the P-T model otherwise; [`MemoryBinnedNt`]
+//!   implements the §3.4 memory-regime piecewise extension.
+//! * **Model composition** (§3.5) — [`compose`] derives a PE kind's P-T
+//!   model by scaling another kind's (the paper scales Pentium-II models
+//!   by 0.27 / 0.85 to get Athlon models, having only one Athlon).
+//! * **Adjustment** (§4.1) — [`adjust`] fits the provisional linear
+//!   transformation at a reference configuration and applies it to
+//!   estimates with `M₁ ≥ 3`.
+//! * [`plan`] — the measurement campaigns of Tables 2, 5 and 8 (Basic,
+//!   NL, NS) and the 62-configuration evaluation grid.
+//! * [`pipeline`] — end-to-end: run the simulated measurements, fit every
+//!   model, build the [`Estimator`], pick the best configuration.
+
+#![warn(missing_docs)]
+
+pub mod adjust;
+pub mod compose;
+pub mod measurement;
+pub mod ntmodel;
+pub mod pipeline;
+pub mod plan;
+pub mod ptmodel;
+pub mod report;
+
+pub use adjust::AdjustmentRule;
+pub use measurement::{MeasurementDb, Sample, SampleKey};
+pub use ntmodel::{MemoryBinnedNt, NtModel};
+pub use pipeline::{Estimator, ModelBank, PipelineError};
+pub use plan::{EvalPoint, MeasurementPlan, PlanKind};
+pub use ptmodel::PtModel;

@@ -1,0 +1,233 @@
+//! The measurement database: `(kind, P_pes, Mᵢ, N) → (Ta, Tc)` samples
+//! from (simulated) HPL trials, plus the bookkeeping the paper reports in
+//! Tables 3 and 6 (how long the measurement campaign itself took).
+
+use std::collections::BTreeMap;
+
+use etm_cluster::KindId;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a measured configuration of a *homogeneous* trial: `pes`
+/// PEs of `kind`, each running `m` processes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SampleKey {
+    /// PE kind index.
+    pub kind: usize,
+    /// PEs used (the paper's `Pᵢ`).
+    pub pes: usize,
+    /// Processes per PE (the paper's `Mᵢ`).
+    pub m: usize,
+}
+
+impl SampleKey {
+    /// Creates a key.
+    pub fn new(kind: KindId, pes: usize, m: usize) -> Self {
+        SampleKey {
+            kind: kind.0,
+            pes,
+            m,
+        }
+    }
+
+    /// Total process count `P = pes · m` of the homogeneous trial.
+    pub fn total_p(&self) -> usize {
+        self.pes * self.m
+    }
+
+    /// The kind as a typed id.
+    pub fn kind_id(&self) -> KindId {
+        KindId(self.kind)
+    }
+}
+
+/// One measured trial.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Sample {
+    /// Matrix order N.
+    pub n: usize,
+    /// Measured computation time of the kind's slowest process (s).
+    pub ta: f64,
+    /// Measured communication time of the kind's slowest process (s).
+    pub tc: f64,
+    /// End-to-end execution time of the trial (s) — what Tables 3/6 sum.
+    pub wall: f64,
+    /// Whether the trial spanned more than one node (inter-node
+    /// communication present). §3.4 binning: the P-T communication model
+    /// is fit only on samples from this regime.
+    #[serde(default)]
+    pub multi_node: bool,
+}
+
+/// All measurements of one campaign.
+///
+/// Serialized as a list of `(key, samples)` pairs (JSON objects cannot
+/// key on structs).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(from = "DbRepr", into = "DbRepr")]
+pub struct MeasurementDb {
+    samples: BTreeMap<SampleKey, Vec<Sample>>,
+}
+
+/// Serialization mirror of [`MeasurementDb`].
+#[derive(Serialize, Deserialize)]
+struct DbRepr {
+    entries: Vec<(SampleKey, Vec<Sample>)>,
+}
+
+impl From<DbRepr> for MeasurementDb {
+    fn from(r: DbRepr) -> Self {
+        MeasurementDb {
+            samples: r.entries.into_iter().collect(),
+        }
+    }
+}
+
+impl From<MeasurementDb> for DbRepr {
+    fn from(db: MeasurementDb) -> Self {
+        DbRepr {
+            entries: db.samples.into_iter().collect(),
+        }
+    }
+}
+
+impl MeasurementDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a trial.
+    pub fn record(&mut self, key: SampleKey, sample: Sample) {
+        let entry = self.samples.entry(key).or_default();
+        debug_assert!(
+            entry.iter().all(|s| s.n != sample.n),
+            "duplicate measurement for {key:?} at N={}",
+            sample.n
+        );
+        entry.push(sample);
+        entry.sort_by_key(|s| s.n);
+    }
+
+    /// Samples for a configuration (ascending N), empty if none.
+    pub fn samples(&self, key: &SampleKey) -> &[Sample] {
+        self.samples.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All keys with at least one sample.
+    pub fn keys(&self) -> impl Iterator<Item = &SampleKey> {
+        self.samples.keys()
+    }
+
+    /// Keys of a kind with the given multiplicity, ascending by `pes`.
+    pub fn keys_of(&self, kind: KindId, m: usize) -> Vec<SampleKey> {
+        self.samples
+            .keys()
+            .filter(|k| k.kind == kind.0 && k.m == m)
+            .copied()
+            .collect()
+    }
+
+    /// Total measurement wall time per kind and N — the paper's Table 3 /
+    /// Table 6 rows. Returns `(n, seconds)` pairs ascending in N.
+    pub fn cost_by_n(&self, kind: KindId) -> Vec<(usize, f64)> {
+        let mut acc: BTreeMap<usize, f64> = BTreeMap::new();
+        for (key, samples) in &self.samples {
+            if key.kind != kind.0 {
+                continue;
+            }
+            for s in samples {
+                *acc.entry(s.n).or_default() += s.wall;
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// Total measurement wall time of the whole campaign.
+    pub fn total_cost(&self) -> f64 {
+        self.samples
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|s| s.wall)
+            .sum()
+    }
+
+    /// Number of (configuration, N) trials recorded.
+    pub fn len(&self) -> usize {
+        self.samples.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(pes: usize, m: usize) -> SampleKey {
+        SampleKey::new(KindId(1), pes, m)
+    }
+
+    fn sample(n: usize, wall: f64) -> Sample {
+        Sample {
+            n,
+            ta: wall * 0.8,
+            tc: wall * 0.2,
+            wall,
+            multi_node: true,
+        }
+    }
+
+    #[test]
+    fn records_sorted_by_n() {
+        let mut db = MeasurementDb::new();
+        db.record(key(1, 1), sample(800, 2.0));
+        db.record(key(1, 1), sample(400, 1.0));
+        let s = db.samples(&key(1, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].n, 400);
+        assert_eq!(s[1].n, 800);
+        assert!(db.samples(&key(2, 1)).is_empty());
+    }
+
+    #[test]
+    fn total_p_combines_pes_and_m() {
+        assert_eq!(key(4, 3).total_p(), 12);
+        assert_eq!(SampleKey::new(KindId(0), 1, 6).total_p(), 6);
+    }
+
+    #[test]
+    fn keys_of_filters_kind_and_m() {
+        let mut db = MeasurementDb::new();
+        db.record(key(1, 1), sample(400, 1.0));
+        db.record(key(2, 1), sample(400, 1.5));
+        db.record(key(2, 3), sample(400, 1.5));
+        db.record(SampleKey::new(KindId(0), 1, 1), sample(400, 0.5));
+        let ks = db.keys_of(KindId(1), 1);
+        assert_eq!(ks, vec![key(1, 1), key(2, 1)]);
+    }
+
+    #[test]
+    fn cost_accounting_matches_tables() {
+        let mut db = MeasurementDb::new();
+        db.record(key(1, 1), sample(400, 1.0));
+        db.record(key(1, 2), sample(400, 2.0));
+        db.record(key(1, 1), sample(800, 4.0));
+        db.record(SampleKey::new(KindId(0), 1, 1), sample(400, 8.0));
+        let by_n = db.cost_by_n(KindId(1));
+        assert_eq!(by_n, vec![(400, 3.0), (800, 4.0)]);
+        assert_eq!(db.total_cost(), 15.0);
+        assert_eq!(db.len(), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut db = MeasurementDb::new();
+        db.record(key(3, 2), sample(1600, 7.5));
+        let json = serde_json::to_string(&db).unwrap();
+        let back: MeasurementDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.samples(&key(3, 2))[0].wall, 7.5);
+    }
+}

@@ -1,0 +1,190 @@
+//! The N-T model (§3.2): per configuration `(P, Mᵢ)`, polynomials in N
+//! for computation and communication time, plus the §3.4 memory-regime
+//! piecewise extension.
+
+use etm_lsq::{multifit_linear, DesignMatrix, LsqError};
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::Sample;
+
+/// N-T model: `Ta(N) = k0·N³ + k1·N² + k2·N + k3`,
+/// `Tc(N) = k4·N² + k5·N + k6`.
+///
+/// The orders come from the HPL algorithm (§3.2): `update = 2N³/3P + …`
+/// dominates computation (O(N³)); `laswp` and `bcast` make communication
+/// O(N²). Coefficients are extracted from ≥4 measured problem sizes by
+/// least squares.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NtModel {
+    /// `[k0, k1, k2, k3]`, descending powers.
+    pub ka: [f64; 4],
+    /// `[k4, k5, k6]`, descending powers.
+    pub kc: [f64; 3],
+}
+
+impl NtModel {
+    /// Fits both polynomials from measured samples.
+    ///
+    /// # Errors
+    /// [`LsqError::Underdetermined`] with fewer than 4 samples — the
+    /// paper's "at least four different N" requirement (Ta has four
+    /// coefficients).
+    pub fn fit(samples: &[Sample]) -> Result<NtModel, LsqError> {
+        let ns: Vec<f64> = samples.iter().map(|s| s.n as f64).collect();
+        let tas: Vec<f64> = samples.iter().map(|s| s.ta).collect();
+        let tcs: Vec<f64> = samples.iter().map(|s| s.tc).collect();
+        let xa = DesignMatrix::from_rows(
+            &ns.iter()
+                .map(|&n| [n * n * n, n * n, n, 1.0])
+                .collect::<Vec<_>>(),
+        );
+        let fa = multifit_linear(&xa, &tas)?;
+        let xc = DesignMatrix::from_rows(
+            &ns.iter().map(|&n| [n * n, n, 1.0]).collect::<Vec<_>>(),
+        );
+        let fc = multifit_linear(&xc, &tcs)?;
+        Ok(NtModel {
+            ka: [fa.coeffs[0], fa.coeffs[1], fa.coeffs[2], fa.coeffs[3]],
+            kc: [fc.coeffs[0], fc.coeffs[1], fc.coeffs[2]],
+        })
+    }
+
+    /// Predicted computation time `Ta(N)`.
+    pub fn ta(&self, n: usize) -> f64 {
+        let n = n as f64;
+        ((self.ka[0] * n + self.ka[1]) * n + self.ka[2]) * n + self.ka[3]
+    }
+
+    /// Predicted communication time `Tc(N)`.
+    pub fn tc(&self, n: usize) -> f64 {
+        let n = n as f64;
+        (self.kc[0] * n + self.kc[1]) * n + self.kc[2]
+    }
+
+    /// Predicted total `T(N) = Ta + Tc`.
+    pub fn total(&self, n: usize) -> f64 {
+        self.ta(n) + self.tc(n)
+    }
+}
+
+/// §3.4's memory-regime binning: "the model of Tai and Tci is not
+/// necessarily continuous nor differentiable, but it could be a piecewise
+/// function" — the memory requirement is computable from `N` and `P`, so
+/// a different N-T model can be selected per regime.
+///
+/// Bins are `(upper_n_exclusive, model)` in ascending order; the last bin
+/// catches everything above.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBinnedNt {
+    /// `(threshold, model)`: the model applies while `N <` threshold.
+    pub bins: Vec<(usize, NtModel)>,
+    /// Model for `N ≥` the last threshold.
+    pub tail: NtModel,
+}
+
+impl MemoryBinnedNt {
+    /// Creates a binned model.
+    ///
+    /// # Panics
+    /// Panics if thresholds are not strictly ascending.
+    pub fn new(bins: Vec<(usize, NtModel)>, tail: NtModel) -> Self {
+        for w in bins.windows(2) {
+            assert!(w[0].0 < w[1].0, "bin thresholds must ascend");
+        }
+        MemoryBinnedNt { bins, tail }
+    }
+
+    /// The model in effect at problem size `n`.
+    pub fn select(&self, n: usize) -> &NtModel {
+        for (limit, model) in &self.bins {
+            if n < *limit {
+                return model;
+            }
+        }
+        &self.tail
+    }
+
+    /// Piecewise `Ta(N)`.
+    pub fn ta(&self, n: usize) -> f64 {
+        self.select(n).ta(n)
+    }
+
+    /// Piecewise `Tc(N)`.
+    pub fn tc(&self, n: usize) -> f64 {
+        self.select(n).tc(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(n: usize) -> Sample {
+        let x = n as f64;
+        Sample {
+            n,
+            ta: 1e-9 * x * x * x + 2e-6 * x * x + 3e-4 * x + 0.01,
+            tc: 5e-7 * x * x + 1e-4 * x + 0.02,
+            wall: 0.0,
+            multi_node: true,
+        }
+    }
+
+    #[test]
+    fn recovers_exact_polynomials() {
+        let samples: Vec<Sample> = [400, 800, 1600, 3200, 6400].iter().map(|&n| synth(n)).collect();
+        let m = NtModel::fit(&samples).unwrap();
+        assert!((m.ka[0] - 1e-9).abs() < 1e-13);
+        assert!((m.kc[0] - 5e-7).abs() < 1e-11);
+        for s in &samples {
+            assert!((m.ta(s.n) - s.ta).abs() < 1e-6 * s.ta);
+            assert!((m.tc(s.n) - s.tc).abs() < 1e-6 * s.tc);
+        }
+        assert!((m.total(1600) - (m.ta(1600) + m.tc(1600))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_samples_suffice_three_do_not() {
+        let four: Vec<Sample> = [400, 800, 1200, 1600].iter().map(|&n| synth(n)).collect();
+        assert!(NtModel::fit(&four).is_ok());
+        assert!(matches!(
+            NtModel::fit(&four[..3]),
+            Err(LsqError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn extrapolation_is_polynomial() {
+        let samples: Vec<Sample> = [400, 800, 1200, 1600].iter().map(|&n| synth(n)).collect();
+        let m = NtModel::fit(&samples).unwrap();
+        // Noise-free cubic data: extrapolation must stay exact.
+        let s = synth(6400);
+        assert!((m.ta(6400) - s.ta).abs() < 1e-4 * s.ta);
+    }
+
+    #[test]
+    fn binned_model_switches_at_thresholds() {
+        let lo = NtModel {
+            ka: [0.0, 0.0, 0.0, 1.0],
+            kc: [0.0, 0.0, 1.0],
+        };
+        let hi = NtModel {
+            ka: [0.0, 0.0, 0.0, 2.0],
+            kc: [0.0, 0.0, 2.0],
+        };
+        let binned = MemoryBinnedNt::new(vec![(5000, lo)], hi);
+        assert_eq!(binned.ta(4000), 1.0);
+        assert_eq!(binned.ta(5000), 2.0);
+        assert_eq!(binned.tc(9000), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn binned_thresholds_must_ascend() {
+        let m = NtModel {
+            ka: [0.0; 4],
+            kc: [0.0; 3],
+        };
+        let _ = MemoryBinnedNt::new(vec![(5000, m), (5000, m)], m);
+    }
+}

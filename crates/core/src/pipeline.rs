@@ -1,0 +1,479 @@
+//! End-to-end estimation pipeline: run the (simulated) measurement
+//! campaign, fit every N-T and P-T model, compose models for kinds with
+//! too few PEs, fit the §4.1 adjustment, and estimate any configuration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use etm_cluster::{ClusterSpec, Configuration, KindId};
+use etm_hpl::{simulate_hpl, HplParams, SimulatedRun};
+use etm_lsq::LsqError;
+use serde::{Deserialize, Serialize};
+
+use crate::adjust::AdjustmentRule;
+use crate::compose::{compose_fitted, PAPER_TC_SCALE};
+use crate::measurement::{MeasurementDb, Sample, SampleKey};
+use crate::ntmodel::NtModel;
+use crate::plan::MeasurementPlan;
+use crate::ptmodel::{PtModel, PtObservation};
+
+/// Errors from model fitting or estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A least-squares fit failed.
+    Fit(LsqError),
+    /// No N-T model available for this homogeneous configuration.
+    MissingNt(SampleKey),
+    /// No P-T model (measured or composed) for this kind/multiplicity.
+    MissingPt {
+        /// Kind index.
+        kind: usize,
+        /// Multiplicity Mᵢ.
+        m: usize,
+    },
+    /// A kind needed composition but no donor kind had a measured P-T
+    /// model at that multiplicity.
+    NoDonor {
+        /// Kind index lacking a model.
+        kind: usize,
+        /// Multiplicity Mᵢ.
+        m: usize,
+    },
+    /// The configuration to estimate uses no PEs.
+    EmptyConfiguration,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Fit(e) => write!(f, "least-squares fit failed: {e}"),
+            PipelineError::MissingNt(k) => write!(
+                f,
+                "no N-T model for kind {} pes {} m {}",
+                k.kind, k.pes, k.m
+            ),
+            PipelineError::MissingPt { kind, m } => {
+                write!(f, "no P-T model for kind {kind} at M={m}")
+            }
+            PipelineError::NoDonor { kind, m } => {
+                write!(f, "no donor P-T model to compose kind {kind} at M={m}")
+            }
+            PipelineError::EmptyConfiguration => write!(f, "configuration uses no PEs"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<LsqError> for PipelineError {
+    fn from(e: LsqError) -> Self {
+        PipelineError::Fit(e)
+    }
+}
+
+/// All fitted models of one campaign.
+///
+/// Serialized as lists of `(key, model)` pairs (JSON objects cannot key
+/// on structs or tuples).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(from = "BankRepr", into = "BankRepr")]
+pub struct ModelBank {
+    /// N-T models per homogeneous configuration.
+    pub nt: BTreeMap<SampleKey, NtModel>,
+    /// P-T models per `(kind, m)`, measured where possible.
+    pub pt: BTreeMap<(usize, usize), PtModel>,
+    /// Kinds whose P-T models were composed (§3.5) rather than measured.
+    pub composed_kinds: Vec<usize>,
+}
+
+/// Serialization mirror of [`ModelBank`].
+#[derive(Serialize, Deserialize)]
+struct BankRepr {
+    nt: Vec<(SampleKey, NtModel)>,
+    pt: Vec<((usize, usize), PtModel)>,
+    composed_kinds: Vec<usize>,
+}
+
+impl From<BankRepr> for ModelBank {
+    fn from(r: BankRepr) -> Self {
+        ModelBank {
+            nt: r.nt.into_iter().collect(),
+            pt: r.pt.into_iter().collect(),
+            composed_kinds: r.composed_kinds,
+        }
+    }
+}
+
+impl From<ModelBank> for BankRepr {
+    fn from(b: ModelBank) -> Self {
+        BankRepr {
+            nt: b.nt.into_iter().collect(),
+            pt: b.pt.into_iter().collect(),
+            composed_kinds: b.composed_kinds,
+        }
+    }
+}
+
+impl ModelBank {
+    /// Fits every model the database supports.
+    ///
+    /// * An N-T model is fit for each key with ≥ 4 problem sizes.
+    /// * A P-T model is fit for each `(kind, m)` whose keys span ≥ 2
+    ///   distinct PE counts (with ≥ 3 observations); the reference N-T
+    ///   model is the smallest-P key of the group.
+    /// * Kinds with no measured P-T model at some `m` are composed from
+    ///   a donor kind's model at the same `m` (computation scale fitted
+    ///   from the two single-PE N-T models; communication scale
+    ///   `tc_scale`, the paper's 0.85).
+    ///
+    /// # Errors
+    /// [`PipelineError::Fit`] if a well-posed fit fails numerically;
+    /// [`PipelineError::NoDonor`] if composition is impossible.
+    pub fn fit(db: &MeasurementDb, tc_scale: f64) -> Result<ModelBank, PipelineError> {
+        let mut nt = BTreeMap::new();
+        for key in db.keys() {
+            let samples = db.samples(key);
+            if samples.len() >= 4 {
+                nt.insert(*key, NtModel::fit(samples)?);
+            }
+        }
+
+        // Group keys by (kind, m) for P-T fitting.
+        let mut groups: BTreeMap<(usize, usize), Vec<SampleKey>> = BTreeMap::new();
+        for key in db.keys() {
+            groups.entry((key.kind, key.m)).or_default().push(*key);
+        }
+
+        let mut pt = BTreeMap::new();
+        let mut unfittable: Vec<(usize, usize)> = Vec::new();
+        for (&(kind, m), keys) in &groups {
+            let mut distinct_pes: Vec<usize> = keys.iter().map(|k| k.pes).collect();
+            distinct_pes.sort_unstable();
+            distinct_pes.dedup();
+            if distinct_pes.len() < 2 {
+                unfittable.push((kind, m));
+                continue;
+            }
+            // Reference N-T model: the *largest* measured P of the group.
+            // The smallest (often P = 1) has no inter-PE communication at
+            // all, so its Tc curve is a degenerate basis for the P-T
+            // communication model.
+            let reference_key = keys
+                .iter()
+                .max_by_key(|k| k.total_p())
+                .expect("group is non-empty");
+            let reference = match nt.get(reference_key) {
+                Some(r) => *r,
+                None => {
+                    unfittable.push((kind, m));
+                    continue;
+                }
+            };
+            let obs: Vec<PtObservation> = keys
+                .iter()
+                .flat_map(|k| {
+                    db.samples(k).iter().map(move |s| PtObservation {
+                        n: s.n,
+                        p: k.total_p(),
+                        ta: s.ta,
+                        tc: s.tc,
+                    })
+                })
+                .collect();
+            // §3.4 binning by communication regime: the Tc model is fit
+            // only on samples with real inter-node communication — the
+            // single-node trials (P = 1, or both processes on one dual
+            // node) sit in a different regime whose near-zero Tc would
+            // distort the P-slope of the fit.
+            let obs_tc: Vec<PtObservation> = keys
+                .iter()
+                .flat_map(|k| {
+                    db.samples(k)
+                        .iter()
+                        .filter(|s| s.multi_node)
+                        .map(move |s| PtObservation {
+                            n: s.n,
+                            p: k.total_p(),
+                            ta: s.ta,
+                            tc: s.tc,
+                        })
+                })
+                .collect();
+            let distinct_tc_p = {
+                let mut ps: Vec<usize> = obs_tc.iter().map(|o| o.p).collect();
+                ps.sort_unstable();
+                ps.dedup();
+                ps.len()
+            };
+            let model = if distinct_tc_p >= 2 {
+                PtModel::fit_split(reference, &obs, &obs_tc)?
+            } else {
+                PtModel::fit(reference, &obs)?
+            };
+            pt.insert((kind, m), model);
+        }
+
+        // Compose models for the unfittable groups.
+        let mut composed_kinds = Vec::new();
+        let construction_ns: Vec<usize> = {
+            // All problem sizes seen anywhere (for the Ta-scale fit grid).
+            let mut ns: Vec<usize> = db
+                .keys()
+                .flat_map(|k| db.samples(k).iter().map(|s| s.n))
+                .collect();
+            ns.sort_unstable();
+            ns.dedup();
+            ns
+        };
+        for (kind, m) in unfittable {
+            // Donor: any other kind with a measured P-T model at this m.
+            let donor = pt
+                .iter()
+                .find(|(&(dk, dm), _)| dk != kind && dm == m)
+                .map(|(&(dk, _), model)| (dk, *model));
+            let (donor_kind, donor_pt) = match donor {
+                Some(d) => d,
+                None => return Err(PipelineError::NoDonor { kind, m }),
+            };
+            // Single-PE N-T models of both kinds at this m drive the Ta
+            // scale; fall back to m=1 curves if needed.
+            let target_nt = nt
+                .get(&SampleKey {
+                    kind,
+                    pes: 1,
+                    m,
+                })
+                .or_else(|| nt.get(&SampleKey { kind, pes: 1, m: 1 }));
+            let donor_nt = nt
+                .get(&SampleKey {
+                    kind: donor_kind,
+                    pes: 1,
+                    m,
+                })
+                .or_else(|| {
+                    nt.get(&SampleKey {
+                        kind: donor_kind,
+                        pes: 1,
+                        m: 1,
+                    })
+                });
+            let (target_nt, donor_nt) = match (target_nt, donor_nt) {
+                (Some(t), Some(d)) => (t, d),
+                _ => return Err(PipelineError::NoDonor { kind, m }),
+            };
+            let composed =
+                compose_fitted(&donor_pt, target_nt, donor_nt, &construction_ns, tc_scale);
+            pt.insert((kind, m), composed);
+            if !composed_kinds.contains(&kind) {
+                composed_kinds.push(kind);
+            }
+        }
+
+        Ok(ModelBank {
+            nt,
+            pt,
+            composed_kinds,
+        })
+    }
+}
+
+/// The complete estimator: model bank + binning rule + adjustment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Estimator {
+    /// The fitted models.
+    pub bank: ModelBank,
+    /// The §4.1 linear correction.
+    pub adjustment: AdjustmentRule,
+    /// The kind whose multiplicity gates the adjustment (the paper's
+    /// Athlon, kind 0).
+    pub fast_kind: usize,
+}
+
+impl Estimator {
+    /// Wraps a bank with no adjustment.
+    pub fn unadjusted(bank: ModelBank) -> Self {
+        Estimator {
+            bank,
+            adjustment: AdjustmentRule::identity(),
+            fast_kind: 0,
+        }
+    }
+
+    /// Estimates the execution time of `config` at problem size `n`
+    /// *without* the adjustment (the raw model of Figs. 6/8/9/12/14).
+    ///
+    /// Binning (§3.4): a single-PE configuration (`P = Mᵢ`) uses its N-T
+    /// model — there is no inter-PE communication and the P-T form would
+    /// be "illogical and imprecise"; anything else uses the P-T models at
+    /// the run's total process count. The estimate is the slowest kind's
+    /// `Ta + Tc`.
+    ///
+    /// # Errors
+    /// [`PipelineError::MissingNt`] / [`PipelineError::MissingPt`] if the
+    /// campaign never measured the needed configuration family.
+    pub fn estimate_raw(&self, config: &Configuration, n: usize) -> Result<f64, PipelineError> {
+        let p_total = config.total_processes();
+        if p_total == 0 {
+            return Err(PipelineError::EmptyConfiguration);
+        }
+        let single = config.is_single_pe();
+        let mut worst: f64 = 0.0;
+        for u in config.uses.iter().filter(|u| u.pes > 0) {
+            let t = if single {
+                let key = SampleKey::new(u.kind, 1, u.procs_per_pe);
+                let nt = self
+                    .bank
+                    .nt
+                    .get(&key)
+                    .ok_or(PipelineError::MissingNt(key))?;
+                nt.total(n)
+            } else {
+                let pt = self
+                    .bank
+                    .pt
+                    .get(&(u.kind.0, u.procs_per_pe))
+                    .ok_or(PipelineError::MissingPt {
+                        kind: u.kind.0,
+                        m: u.procs_per_pe,
+                    })?;
+                pt.total(n, p_total)
+            };
+            worst = worst.max(t);
+        }
+        Ok(worst)
+    }
+
+    /// Estimates with the adjustment applied (the paper's operating mode
+    /// after §4.1).
+    ///
+    /// The adjustment corrects the *communication* models' systematic
+    /// deviation, so it only applies to multi-PE configurations — a
+    /// single-PE run has no inter-PE communication and its N-T estimate
+    /// is already accurate.
+    ///
+    /// # Errors
+    /// See [`Estimator::estimate_raw`].
+    pub fn estimate(&self, config: &Configuration, n: usize) -> Result<f64, PipelineError> {
+        let raw = self.estimate_raw(config, n)?;
+        if config.is_single_pe() {
+            return Ok(raw);
+        }
+        let m1 = config.procs_per_pe(KindId(self.fast_kind));
+        if m1 < self.adjustment.min_m1 {
+            return Ok(raw);
+        }
+        let baseline = self.baseline_estimate(config, n).unwrap_or(raw);
+        Ok(self.adjustment.apply(m1, raw, baseline))
+    }
+
+    /// Raw estimate of the same configuration with the fast kind dialled
+    /// back to one process per PE — the scale anchor of the adjustment.
+    fn baseline_estimate(&self, config: &Configuration, n: usize) -> Option<f64> {
+        let mut base_cfg = config.clone();
+        for u in &mut base_cfg.uses {
+            if u.kind.0 == self.fast_kind && u.pes > 0 {
+                u.procs_per_pe = 1;
+            }
+        }
+        self.estimate_raw(&base_cfg, n).ok()
+    }
+}
+
+/// Runs every construction trial of `plan` on the simulated cluster and
+/// records the per-kind `Ta`/`Tc` of each.
+pub fn run_construction(spec: &ClusterSpec, plan: &MeasurementPlan, nb: usize) -> MeasurementDb {
+    let mut db = MeasurementDb::new();
+    for point in &plan.construction {
+        let cfg = Configuration {
+            uses: vec![etm_cluster::KindUse {
+                kind: point.key.kind_id(),
+                pes: point.key.pes,
+                procs_per_pe: point.key.m,
+            }],
+        };
+        let run = simulate_hpl(spec, &cfg, &HplParams::order(point.n).with_nb(nb));
+        db.record(point.key, sample_from_run(&run, point.key.kind_id(), point.n));
+    }
+    db
+}
+
+/// Extracts the model-facing sample from a simulated run.
+pub fn sample_from_run(run: &SimulatedRun, kind: KindId, n: usize) -> Sample {
+    Sample {
+        n,
+        ta: run.ta_of_kind(kind).expect("kind participated"),
+        tc: run.tc_of_kind(kind).expect("kind participated"),
+        wall: run.wall_seconds,
+        multi_node: run.nodes_used > 1,
+    }
+}
+
+/// Fits the §4.1 adjustment: estimate-vs-measurement at the reference
+/// configurations `P1 = 1, M1 = min_m1..=6, P2 = ref_p2` and `N = ref_n`
+/// (the paper uses `N = 6400, P2 = 8, M1 ≥ 3`).
+///
+/// # Errors
+/// Propagates estimation and regression failures.
+pub fn fit_adjustment(
+    spec: &ClusterSpec,
+    estimator: &Estimator,
+    ref_n: usize,
+    ref_p2: usize,
+    min_m1: usize,
+    nb: usize,
+) -> Result<AdjustmentRule, PipelineError> {
+    let mut estimates = Vec::new();
+    let mut baselines = Vec::new();
+    let mut measurements = Vec::new();
+    let baseline_cfg = Configuration::p1m1_p2m2(1, 1, ref_p2, 1);
+    let baseline = estimator.estimate_raw(&baseline_cfg, ref_n)?;
+    // Use every multiplicity >= min_m1 the bank actually has a model for
+    // (the paper's M1 = 3..6; a trimmed campaign may have fewer).
+    let available: Vec<usize> = estimator
+        .bank
+        .pt
+        .keys()
+        .filter(|(kind, m)| *kind == estimator.fast_kind && *m >= min_m1)
+        .map(|(_, m)| *m)
+        .collect();
+    if available.len() < 2 {
+        // Not enough reference points for a two-coefficient fit: leave
+        // the estimates unadjusted rather than fitting noise.
+        return Ok(AdjustmentRule::identity());
+    }
+    for m1 in available {
+        let cfg = Configuration::p1m1_p2m2(1, m1, ref_p2, 1);
+        estimates.push(estimator.estimate_raw(&cfg, ref_n)?);
+        baselines.push(baseline);
+        let run = simulate_hpl(spec, &cfg, &HplParams::order(ref_n).with_nb(nb));
+        measurements.push(run.wall_seconds);
+    }
+    Ok(AdjustmentRule::fit(
+        min_m1,
+        &estimates,
+        &baselines,
+        &measurements,
+    )?)
+}
+
+/// The full pipeline: measure, fit, adjust. Returns the estimator and the
+/// measurement database (whose costs populate Tables 3/6).
+///
+/// # Errors
+/// Any fitting failure.
+pub fn build_estimator(
+    spec: &ClusterSpec,
+    plan: &MeasurementPlan,
+    nb: usize,
+) -> Result<(Estimator, MeasurementDb), PipelineError> {
+    let db = run_construction(spec, plan, nb);
+    let bank = ModelBank::fit(&db, PAPER_TC_SCALE)?;
+    let mut estimator = Estimator::unadjusted(bank);
+    let ref_n = *plan
+        .construction_ns
+        .last()
+        .expect("plans have construction sizes");
+    let ref_p2 = spec.cpus_of_kind(KindId(1));
+    estimator.adjustment = fit_adjustment(spec, &estimator, ref_n, ref_p2, 3, nb)?;
+    Ok((estimator, db))
+}

@@ -1,0 +1,49 @@
+//! # etm-hpl — the High-Performance Linpack analogue
+//!
+//! HPL solves a dense `N × N` system by right-looking LU factorization
+//! with partial pivoting over a block-cyclic process grid. The paper runs
+//! it unmodified on a heterogeneous cluster with a **1 × P grid** (1-D
+//! block-cyclic column distribution) and models its execution time from
+//! the detailed timing breakdown of Fig. 4:
+//!
+//! ```text
+//! total ┬ rfact  ┬ pfact   (panel factorization, compute)
+//!       │        └ mxswp   (pivot bookkeeping, O(1) comm)
+//!       ├ update ┬ laswp   (row interchanges, comm)
+//!       │        └ dtrsm+dgemm (trailing-matrix compute)
+//!       ├ uptrsv           (backward substitution)
+//!       └ bcast            (panel broadcast, comm)
+//! ```
+//!
+//! This crate provides both halves of the reproduction:
+//!
+//! * [`numeric`] — a *real* distributed LU over
+//!   [`ThreadComm`](etm_mpisim::ThreadComm): every rank owns its
+//!   block-cyclic columns, panels are genuinely factored, broadcast and
+//!   applied, and the solution is verified with HPL's scaled residual.
+//!   This proves the algorithm whose time we model is the genuine article.
+//! * [`simulate`] — the same control flow executed against the
+//!   discrete-event fabric ([`SimComm`](etm_mpisim::SimComm)): arithmetic
+//!   is replaced by calibrated virtual-time charges
+//!   ([`PerfModel`](etm_cluster::PerfModel)), messages carry byte counts,
+//!   and each rank accumulates per-phase times exactly as
+//!   `-DHPL_DETAILED_TIMING` does. This is the paper's *measurement
+//!   apparatus*, producing the `(N, P, Mᵢ) → (Ta, Tc)` samples the
+//!   estimation models are fit to.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod grid2d;
+pub mod numeric;
+pub mod params;
+pub mod phases;
+pub mod simulate;
+pub mod weighted;
+
+pub use dist::{BlockCyclic, ColumnAssignment, WeightedDist};
+pub use grid2d::{simulate_hpl_grid, GridShape};
+pub use params::{BcastAlgo, HplParams};
+pub use phases::PhaseTimes;
+pub use simulate::{simulate_hpl, SimulatedRun};
+pub use weighted::simulate_hpl_weighted;

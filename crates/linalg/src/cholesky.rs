@@ -1,0 +1,245 @@
+//! Cholesky factorization (LAPACK `dpotrf`), unblocked and blocked.
+//!
+//! §2 of the paper cites Kalinov & Lastovetsky's heterogeneous block
+//! cyclic distribution "for the Cholesky factorization of square dense
+//! matrices" as the closest related work. This module supplies that
+//! factorization so the related-work workload can be exercised on the
+//! same substrates.
+
+use crate::blas2::{Diagonal, Triangle};
+use crate::blas3::{dgemm, dtrsm_left};
+use crate::Matrix;
+
+/// Error from Cholesky factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// A leading minor is not positive definite.
+    NotPositiveDefinite {
+        /// Column where the pivot went non-positive.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite at column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Unblocked lower Cholesky (`dpotf2`): factors `A = L·Lᵀ` in place,
+/// writing `L` into the lower triangle. The strict upper triangle is left
+/// untouched.
+///
+/// # Errors
+/// [`CholeskyError::NotPositiveDefinite`] when a pivot is ≤ 0.
+pub fn dpotf2(a: &mut Matrix) -> Result<(), CholeskyError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "Cholesky needs a square matrix");
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= a[(j, k)] * a[(j, k)];
+        }
+        if d <= 0.0 {
+            return Err(CholeskyError::NotPositiveDefinite { column: j });
+        }
+        let ljj = d.sqrt();
+        a[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = s / ljj;
+        }
+    }
+    Ok(())
+}
+
+/// Blocked lower Cholesky (`dpotrf`, right-looking): diagonal-block
+/// `dpotf2`, panel `dtrsm`, trailing `syrk`-style update via `dgemm`.
+///
+/// # Errors
+/// [`CholeskyError::NotPositiveDefinite`] on a failing diagonal block
+/// (column index is absolute).
+pub fn dpotrf(a: &mut Matrix, nb: usize) -> Result<(), CholeskyError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "Cholesky needs a square matrix");
+    assert!(nb > 0);
+    let mut k0 = 0;
+    while k0 < n {
+        let kb = nb.min(n - k0);
+        // Diagonal block.
+        let mut diag = a.submatrix(k0, k0, kb, kb);
+        dpotf2(&mut diag).map_err(|CholeskyError::NotPositiveDefinite { column }| {
+            CholeskyError::NotPositiveDefinite {
+                column: k0 + column,
+            }
+        })?;
+        a.set_submatrix(k0, k0, &diag);
+        let rest = k0 + kb;
+        if rest < n {
+            // Panel: L21 := A21 · L11⁻ᵀ  ⇔  solve L11 · X ᵀ-wise; with
+            // column-major storage do it as dtrsm on the transposed
+            // block: X = A21 L11^{-T}; equivalently solve
+            // L11 · Xᵀ = A21ᵀ.
+            let a21t = a.submatrix(rest, k0, n - rest, kb).transpose();
+            let mut xt = a21t;
+            dtrsm_left(Triangle::Lower, Diagonal::NonUnit, 1.0, &diag, &mut xt);
+            let l21 = xt.transpose();
+            a.set_submatrix(rest, k0, &l21);
+            // Trailing update: A22 -= L21 · L21ᵀ (lower triangle; we
+            // update the full block — the strict upper is ignored by the
+            // algorithm).
+            let l21t = l21.transpose();
+            let mut a22 = a.submatrix(rest, rest, n - rest, n - rest);
+            dgemm(-1.0, &l21, &l21t, 1.0, &mut a22);
+            a.set_submatrix(rest, rest, &a22);
+        }
+        k0 += kb;
+    }
+    Ok(())
+}
+
+/// Solves `A·x = b` for symmetric positive definite `A` via Cholesky
+/// (`dposv`): factor a copy, then forward/backward substitution.
+///
+/// # Errors
+/// [`CholeskyError::NotPositiveDefinite`] if factorization fails.
+pub fn dposv(a: &Matrix, b: &[f64], nb: usize) -> Result<Vec<f64>, CholeskyError> {
+    let mut f = a.clone();
+    dpotrf(&mut f, nb)?;
+    let mut x = b.to_vec();
+    // L·y = b.
+    crate::blas2::dtrsv(Triangle::Lower, Diagonal::NonUnit, &f, &mut x);
+    // Lᵀ·x = y: backward substitution against the stored lower factor.
+    let n = f.rows();
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for k in (i + 1)..n {
+            s -= f[(k, i)] * x[k];
+        }
+        x[i] = s / f[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Extracts the lower-triangular factor (zeroing the strict upper part).
+pub fn lower_factor(factored: &Matrix) -> Matrix {
+    let n = factored.rows();
+    Matrix::from_fn(n, n, |i, j| if i >= j { factored[(i, j)] } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::seeded_matrix;
+
+    /// A random SPD matrix: `A = B·Bᵀ + n·I`.
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let b = seeded_matrix(n, n, seed);
+        let bt = b.transpose();
+        let mut a = Matrix::identity(n);
+        for i in 0..n {
+            a[(i, i)] = n as f64;
+        }
+        dgemm(1.0, &b, &bt, 1.0, &mut a);
+        a
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        for j in 0..a.cols() {
+            for i in 0..a.rows() {
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < tol,
+                    "({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // A = [[4, 2], [2, 5]] = L·Lᵀ with L = [[2, 0], [1, 2]].
+        let mut a = Matrix::from_col_major(2, 2, vec![4.0, 2.0, 2.0, 5.0]);
+        dpotf2(&mut a).unwrap();
+        assert!((a[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((a[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((a[(1, 1)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_reconstructs_spd_matrix() {
+        for n in [1usize, 5, 17, 40] {
+            let a0 = spd(n, n as u64);
+            let mut f = a0.clone();
+            dpotrf(&mut f, 8).unwrap();
+            let l = lower_factor(&f);
+            let lt = l.transpose();
+            let mut recon = Matrix::zeros(n, n);
+            dgemm(1.0, &l, &lt, 0.0, &mut recon);
+            assert_close(&a0, &recon, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let a0 = spd(24, 3);
+        let mut ub = a0.clone();
+        dpotf2(&mut ub).unwrap();
+        for nb in [1usize, 5, 8, 24, 64] {
+            let mut bl = a0.clone();
+            dpotrf(&mut bl, nb).unwrap();
+            // Compare lower triangles.
+            for j in 0..24 {
+                for i in j..24 {
+                    assert!(
+                        (ub[(i, j)] - bl[(i, j)]).abs() < 1e-10,
+                        "nb={nb} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dposv_solves_spd_system() {
+        let n = 30;
+        let a = spd(n, 9);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) / 7.0 - 2.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = dposv(&a, &b, 8).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut a = Matrix::identity(3);
+        a[(1, 1)] = -1.0;
+        let r = dpotrf(&mut a, 2);
+        assert_eq!(r, Err(CholeskyError::NotPositiveDefinite { column: 1 }));
+    }
+
+    #[test]
+    fn not_pd_column_is_absolute_in_blocked() {
+        let mut a = spd(10, 4);
+        a[(7, 7)] = -100.0;
+        let mut f = a.clone();
+        match dpotrf(&mut f, 3) {
+            Err(CholeskyError::NotPositiveDefinite { column }) => {
+                assert_eq!(column, 7)
+            }
+            other => panic!("expected failure at column 7, got {other:?}"),
+        }
+    }
+}

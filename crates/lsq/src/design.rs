@@ -1,0 +1,171 @@
+//! Dense row-major design matrices for least-squares problems.
+
+use std::fmt;
+
+/// A dense `rows × cols` design matrix, one observation per row and one
+/// basis function per column (GSL's `X` in `gsl_multifit_linear(X, y, c)`).
+#[derive(Clone, PartialEq)]
+pub struct DesignMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>, // row-major
+}
+
+impl DesignMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DesignMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from observation rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or no rows are given.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Self {
+        assert!(!rows.is_empty(), "design matrix needs at least one row");
+        let cols = rows[0].as_ref().len();
+        assert!(cols > 0, "design matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            let r = r.as_ref();
+            assert_eq!(r.len(), cols, "ragged design matrix rows");
+            data.extend_from_slice(r);
+        }
+        DesignMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix by applying basis functions to sample points.
+    ///
+    /// `basis[j]` maps an abscissa to the value of the j-th regressor; this
+    /// is how the N-T model bases (`N³, N², N, 1`) are assembled.
+    pub fn from_basis<T: Copy>(xs: &[T], basis: &[&dyn Fn(T) -> f64]) -> Self {
+        assert!(!xs.is_empty() && !basis.is_empty());
+        let mut data = Vec::with_capacity(xs.len() * basis.len());
+        for &x in xs {
+            for b in basis {
+                data.push(b(x));
+            }
+        }
+        DesignMatrix {
+            rows: xs.len(),
+            cols: basis.len(),
+            data,
+        }
+    }
+
+    /// Number of observations.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of regressors.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Multiplies `self · v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(v)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    #[allow(dead_code)] // reserved for in-place factorizations
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl fmt::Debug for DesignMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DesignMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = DesignMatrix::from_rows(&[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_basis_builds_polynomial_design() {
+        let xs = [1.0, 2.0, 3.0];
+        let sq: &dyn Fn(f64) -> f64 = &|x| x * x;
+        let id: &dyn Fn(f64) -> f64 = &|x| x;
+        let one: &dyn Fn(f64) -> f64 = &|_| 1.0;
+        let m = DesignMatrix::from_basis(&xs, &[sq, id, one]);
+        assert_eq!(m.row(1), &[4.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = DesignMatrix::from_rows(&[[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[10.0, 1.0]), vec![12.0, 34.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = DesignMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn set_get() {
+        let mut m = DesignMatrix::zeros(2, 2);
+        m.set(0, 1, 7.0);
+        assert_eq!(m.get(0, 1), 7.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+}

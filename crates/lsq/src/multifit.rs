@@ -1,0 +1,237 @@
+//! The `gsl_multifit_linear` analogue: least-squares driver + statistics.
+
+use std::fmt;
+
+use crate::design::DesignMatrix;
+use crate::qr::QrFactors;
+use crate::stats;
+
+/// Errors from least-squares fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsqError {
+    /// Fewer observations than coefficients: the system is underdetermined.
+    Underdetermined {
+        /// Number of observations supplied.
+        rows: usize,
+        /// Number of coefficients requested.
+        cols: usize,
+    },
+    /// Numerically collinear regressors: `R[j][j] ≈ 0` at this column.
+    RankDeficient {
+        /// Index of the offending column.
+        column: usize,
+    },
+    /// Observation vector length does not match the design matrix.
+    DimensionMismatch {
+        /// Expected number of observations (design-matrix rows).
+        expected: usize,
+        /// Provided observation count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LsqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsqError::Underdetermined { rows, cols } => write!(
+                f,
+                "underdetermined least-squares problem: {rows} observations for {cols} coefficients"
+            ),
+            LsqError::RankDeficient { column } => {
+                write!(f, "rank-deficient design matrix at column {column}")
+            }
+            LsqError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} observations, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LsqError {}
+
+/// The result of a linear least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    /// Fitted coefficients, one per design-matrix column.
+    pub coeffs: Vec<f64>,
+    /// Residual sum of squares `‖Xc − y‖²`.
+    pub residual_ss: f64,
+    /// Coefficient of determination R² (1 = perfect fit).
+    pub r_squared: f64,
+    /// Root-mean-square error of the residuals.
+    pub rmse: f64,
+    /// Degrees of freedom (`rows − cols`).
+    pub dof: usize,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted model on a regressor row.
+    pub fn predict(&self, regressors: &[f64]) -> f64 {
+        assert_eq!(regressors.len(), self.coeffs.len());
+        regressors
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(x, c)| x * c)
+            .sum()
+    }
+}
+
+fn finish(x: &DesignMatrix, y: &[f64], coeffs: Vec<f64>) -> LinearFit {
+    let predicted = x.mul_vec(&coeffs);
+    let residual_ss: f64 = predicted
+        .iter()
+        .zip(y)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum();
+    LinearFit {
+        r_squared: stats::r_squared(y, &predicted),
+        rmse: stats::rmse(y, &predicted),
+        dof: x.rows().saturating_sub(x.cols()),
+        coeffs,
+        residual_ss,
+    }
+}
+
+/// Fits `y ≈ X·c` by ordinary least squares (Householder QR).
+///
+/// Direct analogue of GSL's `gsl_multifit_linear(X, y, c, cov, chisq, w)`,
+/// minus the covariance matrix (not used by the paper's pipeline).
+///
+/// # Errors
+/// See [`LsqError`].
+pub fn multifit_linear(x: &DesignMatrix, y: &[f64]) -> Result<LinearFit, LsqError> {
+    if y.len() != x.rows() {
+        return Err(LsqError::DimensionMismatch {
+            expected: x.rows(),
+            got: y.len(),
+        });
+    }
+    let qr = QrFactors::factor(x.clone())?;
+    let coeffs = qr.solve(y)?;
+    Ok(finish(x, y, coeffs))
+}
+
+/// Ridge-regularized variant: minimizes `‖Xc − y‖² + λ‖c‖²`.
+///
+/// Used as a fallback when a measurement plan produces a (near-)collinear
+/// design matrix — e.g. a P-T fit where all trials share one `P`.
+///
+/// # Errors
+/// See [`LsqError`]; with `lambda > 0` the augmented system is always full
+/// rank, so only dimension errors remain possible.
+pub fn multifit_linear_ridge(
+    x: &DesignMatrix,
+    y: &[f64],
+    lambda: f64,
+) -> Result<LinearFit, LsqError> {
+    if y.len() != x.rows() {
+        return Err(LsqError::DimensionMismatch {
+            expected: x.rows(),
+            got: y.len(),
+        });
+    }
+    assert!(lambda >= 0.0, "ridge parameter must be non-negative");
+    let (m, n) = (x.rows(), x.cols());
+    // Augment: [X; sqrt(λ) I] c = [y; 0].
+    let mut aug = DesignMatrix::zeros(m + n, n);
+    for r in 0..m {
+        for c in 0..n {
+            aug.set(r, c, x.get(r, c));
+        }
+    }
+    let sq = lambda.sqrt();
+    for j in 0..n {
+        aug.set(m + j, j, sq);
+    }
+    let mut y_aug = y.to_vec();
+    y_aug.resize(m + n, 0.0);
+    let qr = QrFactors::factor(aug)?;
+    let coeffs = qr.solve(&y_aug)?;
+    Ok(finish(x, y, coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_has_unit_r_squared() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<[f64; 2]> = xs.iter().map(|&x| [x, 1.0]).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 * x - 1.0).collect();
+        let fit = multifit_linear(&DesignMatrix::from_rows(&rows), &y).unwrap();
+        assert!(fit.r_squared > 1.0 - 1e-12);
+        assert!(fit.residual_ss < 1e-20);
+        assert_eq!(fit.dof, 2);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_coefficients_approximately() {
+        // Deterministic pseudo-noise, amplitude << signal.
+        let xs: Vec<f64> = (1..40).map(|i| i as f64).collect();
+        let rows: Vec<[f64; 2]> = xs.iter().map(|&x| [x, 1.0]).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 5.0 * x + 2.0 + 0.01 * ((i * 2654435761) % 100) as f64 / 100.0)
+            .collect();
+        let fit = multifit_linear(&DesignMatrix::from_rows(&rows), &y).unwrap();
+        assert!((fit.coeffs[0] - 5.0).abs() < 1e-3);
+        assert!((fit.coeffs[1] - 2.0).abs() < 2e-2);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn predict_applies_coefficients() {
+        let fit = LinearFit {
+            coeffs: vec![2.0, 1.0],
+            residual_ss: 0.0,
+            r_squared: 1.0,
+            rmse: 0.0,
+            dof: 0,
+        };
+        assert_eq!(fit.predict(&[3.0, 1.0]), 7.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let x = DesignMatrix::from_rows(&[[1.0], [2.0]]);
+        assert!(matches!(
+            multifit_linear(&x, &[1.0]),
+            Err(LsqError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn ridge_handles_collinear_columns() {
+        let x = DesignMatrix::from_rows(&[[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]]);
+        let y = [1.0, 2.0, 3.0];
+        assert!(multifit_linear(&x, &y).is_err());
+        let fit = multifit_linear_ridge(&x, &y, 1e-8).unwrap();
+        // Any solution along the collinear direction reproduces y.
+        let pred: f64 = fit.predict(&[1.0, 2.0]);
+        assert!((pred - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ridge_with_zero_lambda_matches_ols_on_full_rank() {
+        let x = DesignMatrix::from_rows(&[[1.0, 1.0], [2.0, 1.0], [3.0, 1.0]]);
+        let y = [2.0, 3.0, 5.0];
+        let a = multifit_linear(&x, &y).unwrap();
+        let b = multifit_linear_ridge(&x, &y, 0.0).unwrap();
+        for (ca, cb) in a.coeffs.iter().zip(&b.coeffs) {
+            assert!((ca - cb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LsqError::Underdetermined { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("underdetermined"));
+        let e = LsqError::RankDeficient { column: 3 };
+        assert!(e.to_string().contains("column 3"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Polynomial least-squares convenience layer.
+//!
+//! The N-T model's `Ta(N)` and `Tc(N)` are plain polynomials in `N`; this
+//! module wraps [`multifit_linear`](crate::multifit_linear) with a
+//! power-basis design matrix.
+
+use crate::design::DesignMatrix;
+use crate::multifit::{multifit_linear, LinearFit, LsqError};
+
+/// A fitted polynomial `c[0]·x^d + c[1]·x^(d−1) + … + c[d]`
+/// (descending powers, matching how the paper writes `k0·N³ + … + k3`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Coefficients in descending powers of `x`.
+    pub coeffs: Vec<f64>,
+    /// Underlying least-squares fit (statistics, dof).
+    pub fit: LinearFit,
+}
+
+impl PolyFit {
+    /// Evaluates the polynomial at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        eval_poly(&self.coeffs, x)
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+}
+
+/// Evaluates a polynomial with coefficients in descending powers (Horner).
+pub fn eval_poly(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Fits a degree-`degree` polynomial to `(xs, ys)` by least squares.
+///
+/// # Errors
+/// [`LsqError::Underdetermined`] when fewer than `degree + 1` samples are
+/// supplied — e.g. trying to build an N-T `Ta` model (4 coefficients) from
+/// only 3 problem sizes, which the paper explicitly calls out.
+pub fn fit_poly(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit, LsqError> {
+    if xs.len() != ys.len() {
+        return Err(LsqError::DimensionMismatch {
+            expected: xs.len(),
+            got: ys.len(),
+        });
+    }
+    let rows: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|&x| (0..=degree).rev().map(|p| x.powi(p as i32)).collect())
+        .collect();
+    let design = DesignMatrix::from_rows(&rows);
+    let fit = multifit_linear(&design, ys)?;
+    Ok(PolyFit {
+        coeffs: fit.coeffs.clone(),
+        fit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horner_matches_direct() {
+        // 2x² + 3x + 4 at x = 5 → 50 + 15 + 4.
+        assert_eq!(eval_poly(&[2.0, 3.0, 4.0], 5.0), 69.0);
+        assert_eq!(eval_poly(&[7.0], 100.0), 7.0);
+    }
+
+    #[test]
+    fn cubic_recovered_exactly_from_four_points() {
+        let truth = [1e-9, -2e-5, 3e-2, 1.0];
+        let xs = [400.0, 800.0, 1200.0, 1600.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| eval_poly(&truth, x)).collect();
+        let fit = fit_poly(&xs, &ys, 3).unwrap();
+        for (got, want) in fit.coeffs.iter().zip(&truth) {
+            assert!(
+                (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                "got {got}, want {want}"
+            );
+        }
+        assert_eq!(fit.degree(), 3);
+    }
+
+    #[test]
+    fn too_few_points_is_underdetermined() {
+        assert!(matches!(
+            fit_poly(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 3),
+            Err(LsqError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(matches!(
+            fit_poly(&[1.0, 2.0], &[1.0], 1),
+            Err(LsqError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn overdetermined_quadratic_smooths_noise() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * x + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let fit = fit_poly(&xs, &ys, 2).unwrap();
+        assert!((fit.coeffs[0] - 1.0).abs() < 1e-3);
+        assert!(fit.fit.r_squared > 0.999999);
+    }
+}

@@ -1,0 +1,204 @@
+//! Householder QR factorization for tall matrices.
+//!
+//! The least-squares solve `min ‖Xc − y‖₂` is computed the numerically
+//! stable way: factor `X = QR` with Householder reflections, apply `Qᵀ` to
+//! `y`, and back-substitute against the upper-triangular `R`. This mirrors
+//! what GSL does inside `gsl_multifit_linear` (which uses an SVD; for the
+//! well-conditioned polynomial bases of this study QR is equivalent and
+//! faster).
+
+use crate::design::DesignMatrix;
+use crate::multifit::LsqError;
+
+/// The compact Householder QR factorization of a design matrix.
+///
+/// Stores the reflectors in the lower trapezoid of the factored matrix and
+/// `R` in the upper triangle, exactly like LAPACK's `dgeqrf`.
+pub struct QrFactors {
+    a: DesignMatrix,
+    /// Householder scalar τ per column.
+    tau: Vec<f64>,
+}
+
+impl QrFactors {
+    /// Factors `x` (consumed). Requires `rows ≥ cols`.
+    ///
+    /// # Errors
+    /// [`LsqError::Underdetermined`] when there are fewer observations
+    /// than regressors.
+    pub fn factor(mut x: DesignMatrix) -> Result<Self, LsqError> {
+        let (m, n) = (x.rows(), x.cols());
+        if m < n {
+            return Err(LsqError::Underdetermined { rows: m, cols: n });
+        }
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector annihilating column k below
+            // the diagonal.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                let v = x.get(i, k);
+                norm2 += v * v;
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let akk = x.get(k, k);
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            let v0 = akk - alpha;
+            // Normalize so the reflector's first component is 1.
+            for i in (k + 1)..m {
+                let v = x.get(i, k) / v0;
+                x.set(i, k, v);
+            }
+            tau[k] = -v0 / alpha;
+            x.set(k, k, alpha);
+            // Apply the reflector to the remaining columns:
+            // A := (I − τ v vᵀ) A.
+            for j in (k + 1)..n {
+                let mut dot = x.get(k, j);
+                for i in (k + 1)..m {
+                    dot += x.get(i, k) * x.get(i, j);
+                }
+                let scale = tau[k] * dot;
+                let new_kj = x.get(k, j) - scale;
+                x.set(k, j, new_kj);
+                for i in (k + 1)..m {
+                    let v = x.get(i, j) - scale * x.get(i, k);
+                    x.set(i, j, v);
+                }
+            }
+        }
+        Ok(QrFactors { a: x, tau })
+    }
+
+    /// Applies `Qᵀ` to `y` in place.
+    fn apply_qt(&self, y: &mut [f64]) {
+        let (m, n) = (self.a.rows(), self.a.cols());
+        assert_eq!(y.len(), m);
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.a.get(i, k) * y[i];
+            }
+            let scale = self.tau[k] * dot;
+            y[k] -= scale;
+            for i in (k + 1)..m {
+                y[i] -= scale * self.a.get(i, k);
+            }
+        }
+    }
+
+    /// Solves the least-squares problem for observation vector `y`,
+    /// returning the coefficient vector of length `cols`.
+    ///
+    /// # Errors
+    /// [`LsqError::RankDeficient`] if a diagonal entry of `R` is
+    /// numerically zero (collinear regressors).
+    pub fn solve(&self, y: &[f64]) -> Result<Vec<f64>, LsqError> {
+        let (m, n) = (self.a.rows(), self.a.cols());
+        assert_eq!(y.len(), m, "observation length mismatch");
+        let mut qty = y.to_vec();
+        self.apply_qt(&mut qty);
+        // Relative rank tolerance in the spirit of LAPACK: based on the
+        // largest diagonal magnitude.
+        let rmax = (0..n)
+            .map(|j| self.a.get(j, j).abs())
+            .fold(0.0_f64, f64::max);
+        let tol = rmax * (m.max(n) as f64) * f64::EPSILON;
+        let mut c = vec![0.0; n];
+        for j in (0..n).rev() {
+            let rjj = self.a.get(j, j);
+            if rjj.abs() <= tol {
+                return Err(LsqError::RankDeficient { column: j });
+            }
+            let mut s = qty[j];
+            for k in (j + 1)..n {
+                s -= self.a.get(j, k) * c[k];
+            }
+            c[j] = s / rjj;
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(x: DesignMatrix, y: &[f64]) -> Vec<f64> {
+        QrFactors::factor(x).unwrap().solve(y).unwrap()
+    }
+
+    #[test]
+    fn exact_square_system() {
+        // [2 1; 1 3] c = [4; 7] -> c = [1, 2].
+        let x = DesignMatrix::from_rows(&[[2.0, 1.0], [1.0, 3.0]]);
+        let c = solve(x, &[4.0, 7.0]);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // y = 3x + 1 sampled at 5 points, no noise.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<[f64; 2]> = xs.iter().map(|&x| [x, 1.0]).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 1.0).collect();
+        let c = solve(DesignMatrix::from_rows(&rows), &y);
+        assert!((c[0] - 3.0).abs() < 1e-12);
+        assert!((c[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: best fit of a constant to [0, 1] is 0.5.
+        let x = DesignMatrix::from_rows(&[[1.0], [1.0]]);
+        let c = solve(x, &[0.0, 1.0]);
+        assert!((c[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let x = DesignMatrix::from_rows(&[[1.0, 2.0]]);
+        assert!(matches!(
+            QrFactors::factor(x),
+            Err(LsqError::Underdetermined { rows: 1, cols: 2 })
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Second column is 2x the first.
+        let x = DesignMatrix::from_rows(&[[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]]);
+        let qr = QrFactors::factor(x).unwrap();
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LsqError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn badly_scaled_polynomial_basis() {
+        // N³ up to ~1e12 alongside a constant column: QR must stay stable.
+        let ns = [400.0, 800.0, 1600.0, 3200.0, 6400.0, 9600.0f64];
+        let rows: Vec<[f64; 4]> = ns.iter().map(|&n| [n * n * n, n * n, n, 1.0]).collect();
+        let truth = [3.5e-10, 2.0e-7, 1.0e-4, 0.3];
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(&truth).map(|(a, b)| a * b).sum())
+            .collect();
+        let c = solve(DesignMatrix::from_rows(&rows), &y);
+        for (got, want) in c.iter().zip(&truth) {
+            assert!(
+                (got - want).abs() <= 1e-6 * want.abs().max(1e-12),
+                "got {got}, want {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Goodness-of-fit statistics.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Coefficient of determination `R² = 1 − SS_res / SS_tot`.
+///
+/// When the observations are constant (zero total variance), returns 1 if
+/// the predictions match them exactly and 0 otherwise.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len());
+    let m = mean(observed);
+    let ss_tot: f64 = observed.iter().map(|y| (y - m) * (y - m)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Root-mean-square error between observations and predictions.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn rmse(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len());
+    if observed.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
+    (ss / observed.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&y, &y), 1.0);
+        // Predicting the mean gives R² = 0.
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&y, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_constant_observations() {
+        let y = [5.0, 5.0];
+        assert_eq!(r_squared(&y, &[5.0, 5.0]), 1.0);
+        assert_eq!(r_squared(&y, &[5.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[0.0, 0.0], &[3.0, 4.0]), (12.5f64).sqrt());
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+}

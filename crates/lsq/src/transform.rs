@@ -1,0 +1,148 @@
+//! 1-D linear transforms `t ≈ a·T + b`.
+//!
+//! §4.1 of the paper: the raw communication models show *systematic,
+//! regular* deviations from measurement, so the authors patch the
+//! estimates with a linear transformation fit at a reference configuration
+//! (N = 6400, P2 = 8) and apply it to configurations with `M1 ≥ 3`. This
+//! module provides that transform.
+
+use crate::multifit::LsqError;
+
+/// An affine map `y = scale·x + offset` fit by least squares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearTransform {
+    /// Multiplicative term `a`.
+    pub scale: f64,
+    /// Additive term `b`.
+    pub offset: f64,
+}
+
+impl LinearTransform {
+    /// The identity transform (`y = x`).
+    pub const IDENTITY: LinearTransform = LinearTransform {
+        scale: 1.0,
+        offset: 0.0,
+    };
+
+    /// Fits `ys ≈ scale·xs + offset` by ordinary least squares
+    /// (closed-form simple regression).
+    ///
+    /// # Errors
+    /// [`LsqError::Underdetermined`] with fewer than two points;
+    /// [`LsqError::RankDeficient`] when all `xs` coincide.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, LsqError> {
+        if xs.len() != ys.len() {
+            return Err(LsqError::DimensionMismatch {
+                expected: xs.len(),
+                got: ys.len(),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(LsqError::Underdetermined {
+                rows: xs.len(),
+                cols: 2,
+            });
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        if sxx == 0.0 {
+            return Err(LsqError::RankDeficient { column: 0 });
+        }
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let scale = sxy / sxx;
+        let offset = my - scale * mx;
+        Ok(LinearTransform { scale, offset })
+    }
+
+    /// Applies the transform.
+    pub fn apply(&self, x: f64) -> f64 {
+        self.scale * x + self.offset
+    }
+
+    /// The inverse transform, if `scale != 0`.
+    pub fn inverse(&self) -> Option<LinearTransform> {
+        if self.scale == 0.0 {
+            None
+        } else {
+            Some(LinearTransform {
+                scale: 1.0 / self.scale,
+                offset: -self.offset / self.scale,
+            })
+        }
+    }
+}
+
+impl Default for LinearTransform {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 5.0, 7.0];
+        let t = LinearTransform::fit(&xs, &ys).unwrap();
+        assert!((t.scale - 2.0).abs() < 1e-12);
+        assert!((t.offset - 1.0).abs() < 1e-12);
+        assert!((t.apply(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        assert_eq!(LinearTransform::IDENTITY.apply(5.5), 5.5);
+        assert_eq!(LinearTransform::default(), LinearTransform::IDENTITY);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let t = LinearTransform {
+            scale: 2.0,
+            offset: -3.0,
+        };
+        let inv = t.inverse().unwrap();
+        for x in [-1.0, 0.0, 7.25] {
+            assert!((inv.apply(t.apply(x)) - x).abs() < 1e-12);
+        }
+        let degenerate = LinearTransform {
+            scale: 0.0,
+            offset: 1.0,
+        };
+        assert!(degenerate.inverse().is_none());
+    }
+
+    #[test]
+    fn single_point_underdetermined() {
+        assert!(matches!(
+            LinearTransform::fit(&[1.0], &[2.0]),
+            Err(LsqError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_abscissae_rank_deficient() {
+        assert!(matches!(
+            LinearTransform::fit(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(LsqError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn noisy_fit_is_least_squares() {
+        // Residuals of the fit must be orthogonal to [x, 1].
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.1, 0.9, 2.2, 2.8];
+        let t = LinearTransform::fit(&xs, &ys).unwrap();
+        let res: Vec<f64> = xs.iter().zip(&ys).map(|(x, y)| y - t.apply(*x)).collect();
+        let dot_x: f64 = res.iter().zip(&xs).map(|(r, x)| r * x).sum();
+        let dot_1: f64 = res.iter().sum();
+        assert!(dot_x.abs() < 1e-12);
+        assert!(dot_1.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! # etm-mpisim — MPI-like message passing for the reproduction
+//!
+//! The paper runs HPL over MPICH. This crate supplies the two MPI
+//! analogues the reproduction needs:
+//!
+//! * [`ThreadComm`] — every rank is an OS thread, messages carry real
+//!   `Vec<f64>` payloads over crossbeam channels. The *numeric* HPL in
+//!   `etm-hpl` runs on this backend and is validated by residual checks.
+//! * [`SimComm`] — every rank is a process inside an `etm-sim`
+//!   [`Simulation`](etm_sim::Simulation); messages carry only a byte
+//!   count, and sending charges virtual time: intra-node transfers burn
+//!   CPU through the [`CommLibProfile`](etm_cluster::CommLibProfile)
+//!   (reproducing the MPICH-1.2.1 vs 1.2.2 gap of Figs. 1–2), inter-node
+//!   transfers occupy the sender's NIC (a processor-sharing resource, so
+//!   broadcast fan-out contends realistically).
+//!
+//! Collective operations ([`coll`]) are implemented once, generically,
+//! over the [`Comm`] trait — ring and binomial broadcast, barrier — and
+//! therefore behave identically on both backends.
+//!
+//! [`netpipe`] is the NetPIPE analogue: a ping-pong throughput sweep over
+//! the simulated fabric, regenerating Fig. 2.
+
+#![warn(missing_docs)]
+
+pub mod coll;
+pub mod netpipe;
+mod simcomm;
+mod subcomm;
+mod threadcomm;
+
+pub use simcomm::{SimComm, SimCommSeed, SimFabric, SimMsg};
+pub use subcomm::SubComm;
+pub use threadcomm::{build_thread_comms, ThreadComm, ThreadMsg};
+
+/// Message-passing endpoint: what the generic collectives require.
+///
+/// `send` is asynchronous-buffered (never blocks on a matching receive);
+/// `recv` blocks until a message from `from` with the expected `tag`
+/// arrives. Point-to-point ordering per (sender, receiver) pair is
+/// guaranteed; tags are checked, not searched — out-of-order tag usage
+/// within a pair is a protocol bug and panics.
+pub trait Comm {
+    /// Message payload type (real data or byte counts).
+    type Msg: Clone + Default + Send + 'static;
+
+    /// This endpoint's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// Sends `msg` to rank `to` under `tag`.
+    fn send(&self, to: usize, tag: u32, msg: Self::Msg);
+
+    /// Receives the next message from rank `from`, asserting it carries
+    /// `tag`.
+    fn recv(&self, from: usize, tag: u32) -> Self::Msg;
+}

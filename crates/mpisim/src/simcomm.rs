@@ -1,0 +1,225 @@
+//! Discrete-event-backed communicator: messages carry byte counts and
+//! sending charges virtual time against the shared CPU/NIC resources.
+
+use std::sync::Arc;
+
+use etm_cluster::{ClusterSpec, CommLibProfile, NetworkSpec, Placement};
+use etm_sim::{Ctx, MailboxId, ResourceId, Simulation};
+
+use crate::Comm;
+
+/// A timed message: no payload, just its size on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimMsg {
+    /// Message size in bytes.
+    pub bytes: f64,
+}
+
+impl SimMsg {
+    /// A message of `bytes` bytes.
+    pub fn of(bytes: f64) -> Self {
+        SimMsg { bytes }
+    }
+}
+
+struct FabricShared {
+    node_of_rank: Vec<usize>,
+    /// Per-rank CPU resource (speed 1.0: one second of CPU work per
+    /// virtual second when uncontended).
+    cpu_of_rank: Vec<ResourceId>,
+    /// Per-node NIC resource (speed = bandwidth in bytes/s). Indexed by
+    /// node id; unused nodes hold `None`.
+    nic_of_node: Vec<Option<ResourceId>>,
+    /// `mailboxes[from * size + to]`.
+    mailboxes: Vec<MailboxId>,
+    size: usize,
+    profile: CommLibProfile,
+    network: NetworkSpec,
+}
+
+/// The communication fabric of one simulated run: resources + mailboxes
+/// for all ranks. Build it once per [`Simulation`], then hand each rank
+/// its [`SimCommSeed`].
+pub struct SimFabric {
+    shared: Arc<FabricShared>,
+}
+
+impl SimFabric {
+    /// Registers CPUs, NICs and mailboxes for `placement` in `sim`.
+    ///
+    /// One CPU resource is created per *used* (node, cpu) pair — ranks
+    /// sharing a CPU share its processor-sharing resource, which is how
+    /// multiprocessing contention arises. One NIC resource is created per
+    /// used node.
+    pub fn build(sim: &mut Simulation, spec: &ClusterSpec, placement: &Placement) -> SimFabric {
+        let size = placement.len();
+        let mut nic_of_node: Vec<Option<ResourceId>> = vec![None; spec.nodes.len()];
+        for &node in &placement.used_nodes() {
+            nic_of_node[node] = Some(sim.add_shared_resource(
+                format!("nic:{}", spec.nodes[node].name),
+                spec.network.bandwidth,
+            ));
+        }
+        // CPU resources, deduplicated by (node, cpu).
+        let mut cpu_map: Vec<((usize, usize), ResourceId)> = Vec::new();
+        let mut cpu_of_rank = Vec::with_capacity(size);
+        for slot in &placement.slots {
+            let key = (slot.node, slot.cpu);
+            let res = match cpu_map.iter().find(|(k, _)| *k == key) {
+                Some((_, r)) => *r,
+                None => {
+                    let r = sim.add_shared_resource(
+                        format!("cpu:{}:{}", spec.nodes[slot.node].name, slot.cpu),
+                        1.0,
+                    );
+                    cpu_map.push((key, r));
+                    r
+                }
+            };
+            cpu_of_rank.push(res);
+        }
+        let mailboxes = (0..size * size).map(|_| sim.add_mailbox()).collect();
+        SimFabric {
+            shared: Arc::new(FabricShared {
+                node_of_rank: placement.slots.iter().map(|s| s.node).collect(),
+                cpu_of_rank,
+                nic_of_node,
+                mailboxes,
+                size,
+                profile: spec.comm_lib.clone(),
+                network: spec.network,
+            }),
+        }
+    }
+
+    /// The seed for `rank`, to be moved into that rank's spawned process.
+    pub fn seed(&self, rank: usize) -> SimCommSeed {
+        assert!(rank < self.shared.size, "rank out of range");
+        SimCommSeed {
+            rank,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Per-rank half-built communicator; bind it to the process's [`Ctx`]
+/// inside the spawned closure.
+pub struct SimCommSeed {
+    rank: usize,
+    shared: Arc<FabricShared>,
+}
+
+impl SimCommSeed {
+    /// Binds the seed to the executing process's context.
+    pub fn bind(self, ctx: &Ctx) -> SimComm<'_> {
+        SimComm {
+            ctx,
+            rank: self.rank,
+            shared: self.shared,
+        }
+    }
+}
+
+/// A rank's endpoint on the simulated fabric.
+pub struct SimComm<'a> {
+    ctx: &'a Ctx,
+    rank: usize,
+    shared: Arc<FabricShared>,
+}
+
+impl SimComm<'_> {
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.ctx.now()
+    }
+
+    /// The CPU resource this rank runs on (shared with co-resident
+    /// ranks).
+    pub fn cpu(&self) -> ResourceId {
+        self.shared.cpu_of_rank[self.rank]
+    }
+
+    /// Performs `seconds` of uncontended-equivalent CPU work (elongated
+    /// by processor sharing if co-resident ranks compute simultaneously).
+    pub fn compute(&self, seconds: f64) {
+        self.ctx.compute(self.cpu(), seconds);
+    }
+
+    /// Advances virtual time without consuming any resource.
+    pub fn idle(&self, seconds: f64) {
+        self.ctx.hold(seconds);
+    }
+
+    /// Whether `other` is on the same node (intra-node path).
+    pub fn same_node(&self, other: usize) -> bool {
+        self.shared.node_of_rank[self.rank] == self.shared.node_of_rank[other]
+    }
+
+    fn mailbox(&self, from: usize, to: usize) -> MailboxId {
+        self.shared.mailboxes[from * self.shared.size + to]
+    }
+}
+
+impl Comm for SimComm<'_> {
+    type Msg = SimMsg;
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Charges the transfer cost to the sender, then posts the message.
+    ///
+    /// * self-send: free (in-process hand-off);
+    /// * intra-node: library latency + a CPU-bound copy at the comm
+    ///   library's throughput for this message size — co-resident
+    ///   processes contend for the CPU, reproducing the MPICH-1.2.1
+    ///   multiprocessing collapse;
+    /// * inter-node: network latency + NIC occupancy at wire bandwidth —
+    ///   concurrent transfers from one node contend for its NIC.
+    fn send(&self, to: usize, tag: u32, msg: SimMsg) {
+        if to != self.rank {
+            if self.same_node(to) {
+                let copy = if msg.bytes > 0.0 {
+                    msg.bytes / self.shared.profile.intra_throughput(msg.bytes)
+                } else {
+                    0.0
+                };
+                self.ctx.hold(self.shared.profile.intra_latency);
+                if copy > 0.0 {
+                    self.ctx.compute(self.cpu(), copy);
+                }
+            } else {
+                let node = self.shared.node_of_rank[self.rank];
+                let nic = self.shared.nic_of_node[node].expect("sender node has a NIC");
+                self.ctx.hold(self.shared.network.latency);
+                if msg.bytes > 0.0 {
+                    self.ctx.compute(nic, msg.bytes);
+                }
+            }
+        }
+        self.ctx.send(self.mailbox(self.rank, to), (tag, msg));
+    }
+
+    /// Receives and pays the receiver-side cost: an inter-node message
+    /// must also cross *this* node's NIC and protocol stack, so the
+    /// receiver occupies its own NIC for the message size (store-and-
+    /// forward; concurrent inbound transfers to one node contend).
+    fn recv(&self, from: usize, tag: u32) -> SimMsg {
+        let (got_tag, msg): (u32, SimMsg) = self.ctx.recv(self.mailbox(from, self.rank));
+        assert_eq!(
+            got_tag, tag,
+            "rank {}: expected tag {tag} from {from}, got {got_tag}",
+            self.rank
+        );
+        if from != self.rank && !self.same_node(from) && msg.bytes > 0.0 {
+            let node = self.shared.node_of_rank[self.rank];
+            let nic = self.shared.nic_of_node[node].expect("receiver node has a NIC");
+            self.ctx.compute(nic, msg.bytes);
+        }
+        msg
+    }
+}

@@ -1,0 +1,112 @@
+//! Calibration scratchpad: quick end-to-end pipeline check (not part of
+//! the published experiment set).
+
+use etm_cluster::spec::paper_cluster;
+use etm_cluster::{CommLibProfile, Configuration};
+use etm_core::pipeline::build_estimator;
+use etm_core::plan::{evaluation_configs, MeasurementPlan};
+use etm_hpl::{simulate_hpl, HplParams};
+
+fn main() {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let nb = 64;
+
+    // Quick sanity: single-config curves.
+    for (label, cfg) in [
+        ("Athlon x1", Configuration::p1m1_p2m2(1, 1, 0, 0)),
+        ("Ath+P2x4", Configuration::p1m1_p2m2(1, 1, 4, 1)),
+        ("P2 x5", Configuration::p1m1_p2m2(0, 0, 5, 1)),
+        ("Ath(2)+P2x4", Configuration::p1m1_p2m2(1, 2, 4, 1)),
+        ("Ath(4)+P2x4", Configuration::p1m1_p2m2(1, 4, 4, 1)),
+    ] {
+        print!("{label:>14}: ");
+        for n in [1000usize, 3000, 5000, 7000, 10000] {
+            let run = simulate_hpl(&spec, &cfg, &HplParams::order(n).with_nb(nb));
+            print!("N={n}:{:.2}Gf ", run.gflops);
+        }
+        println!();
+    }
+
+    let t0 = std::time::Instant::now();
+    let plan = MeasurementPlan::basic();
+    let (est, db) = build_estimator(&spec, &plan, nb).expect("pipeline");
+    println!(
+        "\nBasic campaign: {} trials, {:.0} simulated-seconds total, built in {:.1}s wall",
+        db.len(),
+        db.total_cost(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "adjustment: scale {:.3} base {:.3} (M1 >= {})",
+        est.adjustment.scale, est.adjustment.base_coeff, est.adjustment.min_m1
+    );
+
+    // Diagnostics: M1 series at the largest N, P2=8: raw vs adjusted vs measured.
+    for n in [6400usize, 9600] {
+        println!("\n  M1 series at N={n}, P2=8:");
+        for m1 in 0..=6usize {
+            let cfg = if m1 == 0 {
+                Configuration::p1m1_p2m2(0, 0, 8, 1)
+            } else {
+                Configuration::p1m1_p2m2(1, m1, 8, 1)
+            };
+            let raw = est.estimate_raw(&cfg, n).unwrap();
+            let adj = est.estimate(&cfg, n).unwrap();
+            let meas = simulate_hpl(&spec, &cfg, &HplParams::order(n).with_nb(nb)).wall_seconds;
+            println!("   M1={m1}: raw={raw:8.1} adj={adj:8.1} meas={meas:8.1}");
+        }
+    }
+
+    // Per-kind diagnosis at N=4800, M1=3, sweeping P2.
+    {
+        use etm_cluster::KindId;
+        let n = 4800usize;
+        println!("\n  N={n}, M1=3 sweep of P2 (per-kind est vs meas):");
+        for p2 in [3usize, 5, 7, 8] {
+            let cfg = Configuration::p1m1_p2m2(1, 3, p2, 1);
+            let p_total = cfg.total_processes();
+            let a = est.bank.pt.get(&(0, 3)).unwrap();
+            let b = est.bank.pt.get(&(1, 1)).unwrap();
+            let run = simulate_hpl(&spec, &cfg, &HplParams::order(n).with_nb(nb));
+            println!(
+                "   P2={p2}: est A(ta={:6.1},tc={:6.1}) P2(ta={:6.1},tc={:6.1}) | meas A(ta={:6.1},tc={:6.1}) P2(ta={:6.1},tc={:6.1}) wall={:6.1}",
+                a.ta(n, p_total), a.tc(n, p_total),
+                b.ta(n, p_total), b.tc(n, p_total),
+                run.ta_of_kind(KindId(0)).unwrap(), run.tc_of_kind(KindId(0)).unwrap(),
+                run.ta_of_kind(KindId(1)).unwrap(), run.tc_of_kind(KindId(1)).unwrap(),
+                run.wall_seconds,
+            );
+        }
+    }
+
+    // Table 4 analogue.
+    let cfgs = evaluation_configs();
+    println!("\n N     est-best (tau, tau_hat)      actual-best (T_hat)      errors");
+    for &n in &plan.evaluation_ns {
+        let mut best_est: Option<(usize, f64)> = None;
+        for (i, c) in cfgs.iter().enumerate() {
+            if let Ok(t) = est.estimate(c, n) {
+                if best_est.is_none() || t < best_est.unwrap().1 {
+                    best_est = Some((i, t));
+                }
+            }
+        }
+        let (bi, tau) = best_est.unwrap();
+        let tau_hat = simulate_hpl(&spec, &cfgs[bi], &HplParams::order(n).with_nb(nb)).wall_seconds;
+        let mut best_meas: Option<(usize, f64)> = None;
+        for (i, c) in cfgs.iter().enumerate() {
+            let t = simulate_hpl(&spec, c, &HplParams::order(n).with_nb(nb)).wall_seconds;
+            if best_meas.is_none() || t < best_meas.unwrap().1 {
+                best_meas = Some((i, t));
+            }
+        }
+        let (mi, t_hat) = best_meas.unwrap();
+        println!(
+            "{n:>5}  {} tau={tau:.1} meas={tau_hat:.1} | {} T={t_hat:.1} | (tau-T)/T={:+.3} (tauh-T)/T={:+.3}",
+            cfgs[bi].label(&spec),
+            cfgs[mi].label(&spec),
+            (tau - t_hat) / t_hat,
+            (tau_hat - t_hat) / t_hat
+        );
+    }
+}

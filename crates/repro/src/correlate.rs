@@ -1,0 +1,120 @@
+//! Estimate-vs-measurement correlation (the scatter plots of Figs. 6–15).
+
+use etm_cluster::{ClusterSpec, Configuration, KindId};
+use etm_core::pipeline::Estimator;
+use etm_core::plan::evaluation_configs;
+use etm_hpl::{simulate_hpl, HplParams};
+
+/// One point of a correlation plot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorrelationPoint {
+    /// The candidate configuration.
+    pub config: Configuration,
+    /// Fast-kind multiplicity `M₁` (the plots' series key; 0 = unused).
+    pub m1: usize,
+    /// Raw model estimate `T` (before adjustment).
+    pub estimate_raw: f64,
+    /// Adjusted estimate.
+    pub estimate_adjusted: f64,
+    /// Measured execution time `t`.
+    pub measured: f64,
+}
+
+/// Runs the full 62-configuration correlation at one problem size:
+/// estimate each configuration (raw and adjusted) and measure it.
+pub fn correlation_at(
+    spec: &ClusterSpec,
+    estimator: &Estimator,
+    n: usize,
+    nb: usize,
+) -> Vec<CorrelationPoint> {
+    evaluation_configs()
+        .into_iter()
+        .filter_map(|config| {
+            let estimate_raw = estimator.estimate_raw(&config, n).ok()?;
+            let estimate_adjusted = estimator.estimate(&config, n).ok()?;
+            let measured = simulate_hpl(spec, &config, &HplParams::order(n).with_nb(nb))
+                .wall_seconds;
+            let m1 = config.procs_per_pe(KindId(estimator.fast_kind));
+            Some(CorrelationPoint {
+                config,
+                m1,
+                estimate_raw,
+                estimate_adjusted,
+                measured,
+            })
+        })
+        .collect()
+}
+
+/// Mean absolute relative deviation of a correlation set, using the
+/// chosen estimate field.
+pub fn mean_abs_rel_error(points: &[CorrelationPoint], adjusted: bool) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points
+        .iter()
+        .map(|p| {
+            let e = if adjusted {
+                p.estimate_adjusted
+            } else {
+                p.estimate_raw
+            };
+            ((e - p.measured) / p.measured).abs()
+        })
+        .sum::<f64>()
+        / points.len() as f64
+}
+
+/// The Table 4/7/9 row for one problem size: best-by-estimate vs
+/// best-by-measurement and the two error ratios.
+#[derive(Clone, Debug)]
+pub struct BestConfigRow {
+    /// Problem size.
+    pub n: usize,
+    /// Configuration the model picks.
+    pub estimated_best: Configuration,
+    /// Its estimated time τ.
+    pub tau: f64,
+    /// Its *measured* time τ̂.
+    pub tau_hat: f64,
+    /// Configuration that actually measures fastest.
+    pub actual_best: Configuration,
+    /// Its measured time T̂.
+    pub t_hat: f64,
+}
+
+impl BestConfigRow {
+    /// `(τ − T̂)/T̂`: how far the estimate is from the true optimum time.
+    pub fn estimate_error(&self) -> f64 {
+        (self.tau - self.t_hat) / self.t_hat
+    }
+
+    /// `(τ̂ − T̂)/T̂`: the execution-time penalty of trusting the model —
+    /// the paper's headline metric (0%–3.6% for the Basic model).
+    pub fn selection_penalty(&self) -> f64 {
+        (self.tau_hat - self.t_hat) / self.t_hat
+    }
+}
+
+/// Computes the best-configuration comparison at one problem size from a
+/// pre-measured correlation set.
+pub fn best_config_row(points: &[CorrelationPoint], n: usize) -> BestConfigRow {
+    let est_best = points
+        .iter()
+        .min_by(|a, b| a.estimate_adjusted.total_cmp(&b.estimate_adjusted))
+        .expect("non-empty grid");
+    let meas_best = points
+        .iter()
+        .min_by(|a, b| a.measured.total_cmp(&b.measured))
+        .expect("non-empty grid");
+    BestConfigRow {
+        n,
+        estimated_best: est_best.config.clone(),
+        tau: est_best.estimate_adjusted,
+        tau_hat: est_best.measured,
+        actual_best: meas_best.config.clone(),
+        t_hat: meas_best.measured,
+    }
+}

@@ -1,0 +1,546 @@
+//! # etm-search — configuration-space optimization
+//!
+//! §4 of the paper evaluates *every* candidate configuration with the
+//! estimation model and picks the minimum — feasible for 62 candidates,
+//! but §5 notes that "for larger clusters, it is essential to find a way
+//! to reduce the search space. Approximation algorithms (i.e.,
+//! heuristics) are also worth considering." This crate provides both:
+//!
+//! * [`ConfigSpace`] — enumerate all `(Pᵢ, Mᵢ)` combinations of a
+//!   cluster;
+//! * [`exhaustive`] — evaluate everything, keep the best (the paper's
+//!   method);
+//! * [`greedy`] — grow the configuration one PE at a time, keeping each
+//!   addition only if the estimate improves;
+//! * [`local_search`] — hill-climb over ±1 neighbours in each `Pᵢ`/`Mᵢ`
+//!   coordinate from a seed configuration;
+//! * [`annealing`] — simulated annealing over the same neighbourhood,
+//!   able to escape the local optima that trap the greedy climb.
+//!
+//! All optimizers are generic over the objective `f(config) → time`, so
+//! they work with the model estimator, the simulator itself, or any
+//! other cost function.
+
+#![warn(missing_docs)]
+
+use etm_cluster::{ClusterSpec, Configuration, KindId, KindUse};
+
+/// The space of candidate configurations for a cluster.
+#[derive(Clone, Debug)]
+pub struct ConfigSpace {
+    /// Per kind: available PEs.
+    pub available: Vec<usize>,
+    /// Per kind: maximum processes per PE considered.
+    pub max_m: Vec<usize>,
+}
+
+impl ConfigSpace {
+    /// Builds the space for a cluster, capping multiplicity at `max_m`
+    /// per kind (the paper caps the Athlon at 6, the P-II at 6 during
+    /// construction and 1 during evaluation).
+    pub fn new(spec: &ClusterSpec, max_m: Vec<usize>) -> Self {
+        assert_eq!(max_m.len(), spec.kinds.len());
+        ConfigSpace {
+            available: (0..spec.kinds.len())
+                .map(|k| spec.cpus_of_kind(KindId(k)))
+                .collect(),
+            max_m,
+        }
+    }
+
+    /// Enumerates every non-empty configuration.
+    pub fn enumerate(&self) -> Vec<Configuration> {
+        let mut out = Vec::new();
+        let mut current: Vec<KindUse> = Vec::new();
+        self.rec(0, &mut current, &mut out);
+        out
+    }
+
+    fn rec(&self, kind: usize, current: &mut Vec<KindUse>, out: &mut Vec<Configuration>) {
+        if kind == self.available.len() {
+            let cfg = Configuration {
+                uses: current.clone(),
+            };
+            if cfg.total_processes() > 0 {
+                out.push(cfg);
+            }
+            return;
+        }
+        // Unused kind.
+        current.push(KindUse {
+            kind: KindId(kind),
+            pes: 0,
+            procs_per_pe: 0,
+        });
+        self.rec(kind + 1, current, out);
+        current.pop();
+        // Used with every (pes, m) combination.
+        for pes in 1..=self.available[kind] {
+            for m in 1..=self.max_m[kind] {
+                current.push(KindUse {
+                    kind: KindId(kind),
+                    pes,
+                    procs_per_pe: m,
+                });
+                self.rec(kind + 1, current, out);
+                current.pop();
+            }
+        }
+    }
+
+    /// Size of the enumeration without materializing it:
+    /// `Π (1 + availableᵢ·max_mᵢ) − 1`.
+    pub fn len(&self) -> usize {
+        self.available
+            .iter()
+            .zip(&self.max_m)
+            .map(|(&a, &m)| 1 + a * m)
+            .product::<usize>()
+            - 1
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The outcome of an optimization: the best configuration, its estimated
+/// time, and how many objective evaluations were spent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResult {
+    /// The winning configuration.
+    pub config: Configuration,
+    /// Its objective value (estimated execution time, seconds).
+    pub time: f64,
+    /// Objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Exhaustive search (§4's method): evaluates every candidate.
+/// Candidates whose objective errors out are skipped.
+///
+/// Returns `None` when no candidate evaluates successfully.
+pub fn exhaustive<E>(
+    candidates: &[Configuration],
+    mut objective: impl FnMut(&Configuration) -> Result<f64, E>,
+) -> Option<SearchResult> {
+    let mut best: Option<SearchResult> = None;
+    let mut evals = 0;
+    for cfg in candidates {
+        evals += 1;
+        if let Ok(t) = objective(cfg) {
+            if best.as_ref().is_none_or(|b| t < b.time) {
+                best = Some(SearchResult {
+                    config: cfg.clone(),
+                    time: t,
+                    evaluations: 0,
+                });
+            }
+        }
+    }
+    best.map(|mut b| {
+        b.evaluations = evals;
+        b
+    })
+}
+
+/// Greedy construction: start from the best single-PE configuration,
+/// then repeatedly try to add one PE of some kind (at each multiplicity)
+/// or bump a kind's multiplicity; keep the best improving move; stop when
+/// nothing improves.
+///
+/// Evaluates `O(kinds · max_m · steps)` candidates instead of the full
+/// product space.
+pub fn greedy<E>(
+    space: &ConfigSpace,
+    mut objective: impl FnMut(&Configuration) -> Result<f64, E>,
+) -> Option<SearchResult> {
+    let kinds = space.available.len();
+    let mut evals = 0;
+    // Seed: best single-PE config.
+    let mut singles = Vec::new();
+    for k in 0..kinds {
+        if space.available[k] == 0 {
+            continue;
+        }
+        for m in 1..=space.max_m[k] {
+            let mut uses = vec![
+                KindUse {
+                    kind: KindId(0),
+                    pes: 0,
+                    procs_per_pe: 0,
+                };
+                0
+            ];
+            uses.clear();
+            for kk in 0..kinds {
+                uses.push(KindUse {
+                    kind: KindId(kk),
+                    pes: usize::from(kk == k),
+                    procs_per_pe: if kk == k { m } else { 0 },
+                });
+            }
+            singles.push(Configuration { uses });
+        }
+    }
+    let mut best = {
+        let mut b: Option<SearchResult> = None;
+        for cfg in &singles {
+            evals += 1;
+            if let Ok(t) = objective(cfg) {
+                if b.as_ref().is_none_or(|x| t < x.time) {
+                    b = Some(SearchResult {
+                        config: cfg.clone(),
+                        time: t,
+                        evaluations: 0,
+                    });
+                }
+            }
+        }
+        b?
+    };
+    // Improvement loop.
+    loop {
+        let mut improved = false;
+        let neighbours = neighbours_of(&best.config, space);
+        for cfg in neighbours {
+            evals += 1;
+            if let Ok(t) = objective(&cfg) {
+                if t < best.time {
+                    best = SearchResult {
+                        config: cfg,
+                        time: t,
+                        evaluations: 0,
+                    };
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best.evaluations = evals;
+    Some(best)
+}
+
+/// All configurations within ±1 of `cfg` in one `Pᵢ` or `Mᵢ` coordinate.
+fn neighbours_of(cfg: &Configuration, space: &ConfigSpace) -> Vec<Configuration> {
+    let mut out = Vec::new();
+    for (i, u) in cfg.uses.iter().enumerate() {
+        let k = u.kind.0;
+        // pes ± 1.
+        if u.pes < space.available[k] {
+            let mut c = cfg.clone();
+            c.uses[i].pes = u.pes + 1;
+            if c.uses[i].procs_per_pe == 0 {
+                c.uses[i].procs_per_pe = 1;
+            }
+            out.push(c);
+        }
+        if u.pes > 0 {
+            let mut c = cfg.clone();
+            c.uses[i].pes = u.pes - 1;
+            if c.uses[i].pes == 0 {
+                c.uses[i].procs_per_pe = 0;
+            }
+            if c.total_processes() > 0 {
+                out.push(c);
+            }
+        }
+        // m ± 1 (only for used kinds).
+        if u.pes > 0 {
+            if u.procs_per_pe < space.max_m[k] {
+                let mut c = cfg.clone();
+                c.uses[i].procs_per_pe = u.procs_per_pe + 1;
+                out.push(c);
+            }
+            if u.procs_per_pe > 1 {
+                let mut c = cfg.clone();
+                c.uses[i].procs_per_pe = u.procs_per_pe - 1;
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Hill-climbing from an explicit seed configuration.
+pub fn local_search<E>(
+    space: &ConfigSpace,
+    seed: Configuration,
+    mut objective: impl FnMut(&Configuration) -> Result<f64, E>,
+) -> Option<SearchResult> {
+    let mut evals = 1;
+    let mut best = SearchResult {
+        time: objective(&seed).ok()?,
+        config: seed,
+        evaluations: 0,
+    };
+    loop {
+        let mut improved = false;
+        for cfg in neighbours_of(&best.config, space) {
+            evals += 1;
+            if let Ok(t) = objective(&cfg) {
+                if t < best.time {
+                    best = SearchResult {
+                        config: cfg,
+                        time: t,
+                        evaluations: 0,
+                    };
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best.evaluations = evals;
+    Some(best)
+}
+
+/// Tuning knobs for [`annealing`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnnealParams {
+    /// Monte-Carlo steps.
+    pub steps: usize,
+    /// Initial temperature as a fraction of the seed objective value.
+    pub initial_temp_frac: f64,
+    /// Geometric cooling factor per step (0 < alpha < 1).
+    pub cooling: f64,
+    /// RNG seed (annealing is deterministic given the seed).
+    pub rng_seed: u64,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            steps: 2000,
+            initial_temp_frac: 0.3,
+            cooling: 0.997,
+            rng_seed: 42,
+        }
+    }
+}
+
+/// Simulated annealing from a seed configuration: random ±1 moves in the
+/// `Pᵢ`/`Mᵢ` coordinates, accepting uphill moves with Boltzmann
+/// probability under a geometrically cooled temperature. Deterministic
+/// for a fixed [`AnnealParams::rng_seed`].
+///
+/// Returns the best configuration *visited* (not merely the final one),
+/// or `None` if the seed itself fails to evaluate.
+pub fn annealing<E>(
+    space: &ConfigSpace,
+    seed: Configuration,
+    params: AnnealParams,
+    mut objective: impl FnMut(&Configuration) -> Result<f64, E>,
+) -> Option<SearchResult> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(params.rng_seed);
+    let mut evals = 1;
+    let seed_cost = objective(&seed).ok()?;
+    let mut current = seed.clone();
+    let mut current_cost = seed_cost;
+    let mut best = SearchResult {
+        config: seed,
+        time: seed_cost,
+        evaluations: 0,
+    };
+    let mut temp = (seed_cost * params.initial_temp_frac).max(f64::MIN_POSITIVE);
+    for _ in 0..params.steps {
+        let neighbours = neighbours_of(&current, space);
+        if neighbours.is_empty() {
+            break;
+        }
+        let candidate = neighbours[rng.gen_range(0..neighbours.len())].clone();
+        evals += 1;
+        if let Ok(cost) = objective(&candidate) {
+            let accept = cost <= current_cost || {
+                let delta = cost - current_cost;
+                rng.gen::<f64>() < (-delta / temp).exp()
+            };
+            if accept {
+                current = candidate;
+                current_cost = cost;
+                if cost < best.time {
+                    best = SearchResult {
+                        config: current.clone(),
+                        time: cost,
+                        evaluations: 0,
+                    };
+                }
+            }
+        }
+        temp *= params.cooling;
+    }
+    best.evaluations = evals;
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etm_cluster::commlib::CommLibProfile;
+    use etm_cluster::spec::paper_cluster;
+    use std::convert::Infallible;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(&paper_cluster(CommLibProfile::mpich122()), vec![6, 6])
+    }
+
+    /// A smooth synthetic objective with a known optimum: prefer ~10
+    /// processes total, lightly penalize PEs (communication) and
+    /// multiplicity (overhead).
+    fn objective(cfg: &Configuration) -> Result<f64, Infallible> {
+        let p = cfg.total_processes() as f64;
+        let pes = cfg.total_pes() as f64;
+        let m_pen: f64 = cfg
+            .uses
+            .iter()
+            .filter(|u| u.pes > 0)
+            .map(|u| 0.02 * (u.procs_per_pe as f64 - 1.0))
+            .sum();
+        Ok((p - 10.0).abs() + 0.1 * pes + m_pen)
+    }
+
+    #[test]
+    fn enumeration_size_matches_closed_form() {
+        let s = space();
+        let all = s.enumerate();
+        assert_eq!(all.len(), s.len());
+        // (1 + 1*6)(1 + 8*6) - 1 = 7*49 - 1 = 342.
+        assert_eq!(all.len(), 342);
+        assert!(!s.is_empty());
+        // All distinct and valid.
+        for cfg in &all {
+            assert!(cfg.total_processes() > 0);
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_global_minimum() {
+        let s = space();
+        let all = s.enumerate();
+        let best = exhaustive(&all, objective).unwrap();
+        assert_eq!(best.evaluations, all.len());
+        // Brute-force verify.
+        let brute = all
+            .iter()
+            .map(|c| objective(c).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(best.time, brute);
+    }
+
+    #[test]
+    fn greedy_is_near_optimal_and_cheaper() {
+        // Greedy is a heuristic: it may stop in a local optimum (that is
+        // the trade-off §5 anticipates), but it must stay close to the
+        // global optimum and spend far fewer evaluations.
+        let s = space();
+        let all = s.enumerate();
+        let ex = exhaustive(&all, objective).unwrap();
+        let gr = greedy(&s, objective).unwrap();
+        assert!(
+            gr.time <= 2.0 * ex.time + 1e-9,
+            "greedy {} vs exhaustive {}",
+            gr.time,
+            ex.time
+        );
+        assert!(
+            gr.evaluations < ex.evaluations / 2,
+            "greedy must evaluate far fewer candidates ({} vs {})",
+            gr.evaluations,
+            ex.evaluations
+        );
+    }
+
+    #[test]
+    fn greedy_exact_on_unimodal_objective() {
+        // When the objective is unimodal in each coordinate (pure process
+        // count preference), hill climbing reaches the global optimum.
+        let uni = |cfg: &Configuration| -> Result<f64, Infallible> {
+            let p = cfg.total_processes() as f64;
+            Ok((p - 6.0).abs())
+        };
+        let s = space();
+        let all = s.enumerate();
+        let ex = exhaustive(&all, uni).unwrap();
+        let gr = greedy(&s, uni).unwrap();
+        assert_eq!(gr.time, ex.time);
+        assert_eq!(gr.time, 0.0);
+    }
+
+    #[test]
+    fn local_search_improves_its_seed() {
+        let s = space();
+        let seed = Configuration::p1m1_p2m2(1, 1, 1, 1);
+        let seed_cost = objective(&seed).unwrap();
+        let res = local_search(&s, seed, objective).unwrap();
+        assert!(res.time <= seed_cost);
+    }
+
+    #[test]
+    fn exhaustive_skips_failing_candidates() {
+        let s = space();
+        let all = s.enumerate();
+        let best = exhaustive(&all, |c| {
+            if c.total_pes() > 2 {
+                Err(())
+            } else {
+                objective(c).map_err(|_| ())
+            }
+        })
+        .unwrap();
+        assert!(best.config.total_pes() <= 2);
+    }
+
+    #[test]
+    fn all_failing_yields_none() {
+        let s = space();
+        let all = s.enumerate();
+        let r: Option<SearchResult> = exhaustive(&all, |_| Err::<f64, ()>(()));
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn annealing_escapes_greedy_local_optimum() {
+        // On the rugged objective where greedy stalls, annealing (best
+        // visited) must do at least as well as greedy and approach the
+        // global optimum.
+        let s = space();
+        let all = s.enumerate();
+        let ex = exhaustive(&all, objective).unwrap();
+        let gr = greedy(&s, objective).unwrap();
+        let seed = Configuration::p1m1_p2m2(1, 1, 1, 1);
+        let an = annealing(&s, seed, AnnealParams::default(), objective).unwrap();
+        assert!(an.time <= gr.time + 1e-12, "annealing {} vs greedy {}", an.time, gr.time);
+        assert!(an.time <= 1.5 * ex.time + 1e-9, "annealing {} vs optimal {}", an.time, ex.time);
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let s = space();
+        let seed = Configuration::p1m1_p2m2(1, 2, 2, 1);
+        let p = AnnealParams { steps: 500, ..AnnealParams::default() };
+        let a = annealing(&s, seed.clone(), p, objective).unwrap();
+        let b = annealing(&s, seed.clone(), p, objective).unwrap();
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.time, b.time);
+        let p2 = AnnealParams { rng_seed: 7, ..p };
+        let _c = annealing(&s, seed, p2, objective).unwrap(); // different walk, still valid
+    }
+
+    #[test]
+    fn annealing_handles_failing_seed() {
+        let s = space();
+        let seed = Configuration::p1m1_p2m2(1, 1, 0, 0);
+        let r: Option<SearchResult> =
+            annealing(&s, seed, AnnealParams::default(), |_| Err::<f64, ()>(()));
+        assert!(r.is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! Heuristics against a realistic estimator-shaped objective: a smooth
+//! compute/communication trade-off like the fitted models produce.
+
+use etm_cluster::commlib::CommLibProfile;
+use etm_cluster::spec::paper_cluster;
+use etm_cluster::Configuration;
+use etm_search::{annealing, exhaustive, greedy, local_search, AnnealParams, ConfigSpace};
+use std::convert::Infallible;
+
+/// Estimator-shaped objective: Ta = W/(aggregate rate) with per-kind
+/// multiprocessing overhead, Tc = α·P + β/P.
+fn objective(cfg: &Configuration) -> Result<f64, Infallible> {
+    let p = cfg.total_processes() as f64;
+    if p == 0.0 {
+        unreachable!("spaces never produce empty configs");
+    }
+    let rates = [1.2f64, 0.25];
+    let mut slowest: f64 = 0.0;
+    for u in cfg.uses.iter().filter(|u| u.pes > 0) {
+        let m = u.procs_per_pe as f64;
+        // The PE runs m processes, each with W/p work, at an aggregate
+        // rate degraded by the multiprocessing overhead.
+        let pe_busy = m * (100.0 / p) * (1.0 + 0.08 * (m - 1.0)) / rates[u.kind.0];
+        slowest = slowest.max(pe_busy);
+    }
+    Ok(slowest + 0.8 * p + 12.0 / p)
+}
+
+fn space() -> ConfigSpace {
+    ConfigSpace::new(&paper_cluster(CommLibProfile::mpich122()), vec![6, 6])
+}
+
+#[test]
+fn seeded_heuristics_land_near_the_optimum() {
+    // This landscape has the canyon that motivates the paper's exhaustive
+    // search: with equal work distribution, adding slow PEs one at a time
+    // passes through states where a lone Pentium-II bottlenecks the run,
+    // so pure hill climbing from a single-PE seed cannot reach the
+    // heterogeneous optimum. Seeded near the full cluster, refinement
+    // works.
+    let s = space();
+    let all = s.enumerate();
+    let ex = exhaustive(&all, objective).unwrap();
+    assert!(ex.config.pes(etm_cluster::KindId(1)) >= 6, "optimum is bulk-heterogeneous");
+
+    let seed = Configuration::p1m1_p2m2(1, 1, 8, 1);
+    let ls = local_search(&s, seed.clone(), objective).unwrap();
+    assert!(
+        ls.time <= 1.10 * ex.time,
+        "local {} vs optimal {}",
+        ls.time,
+        ex.time
+    );
+
+    let an = annealing(&s, seed, AnnealParams::default(), objective).unwrap();
+    assert!(
+        an.time <= 1.10 * ex.time,
+        "annealing {} vs optimal {}",
+        an.time,
+        ex.time
+    );
+}
+
+#[test]
+fn greedy_hits_the_canyon_and_stays_sane() {
+    // Greedy self-seeds from the best single-PE configuration and cannot
+    // cross the canyon — but it must never return something worse than
+    // that seed, and the gap it leaves is exactly the paper's argument
+    // for exhaustive evaluation.
+    let s = space();
+    let all = s.enumerate();
+    let ex = exhaustive(&all, objective).unwrap();
+    let gr = greedy(&s, objective).unwrap();
+    assert!(gr.time >= ex.time);
+    let best_single = all
+        .iter()
+        .filter(|c| c.total_pes() == 1)
+        .map(|c| objective(c).unwrap())
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        gr.time <= best_single + 1e-9,
+        "greedy {} must not be worse than its seed {}",
+        gr.time,
+        best_single
+    );
+}
+
+#[test]
+fn heuristics_scale_better_than_exhaustive() {
+    let s = space();
+    let all = s.enumerate();
+    let ex = exhaustive(&all, objective).unwrap();
+    let gr = greedy(&s, objective).unwrap();
+    assert!(gr.evaluations < ex.evaluations / 3);
+}
+
+#[test]
+fn optimum_uses_the_whole_cluster_for_this_workload() {
+    // Sanity on the objective itself: with W = 100 and mild comm costs,
+    // the best configuration is heterogeneous.
+    let s = space();
+    let all = s.enumerate();
+    let ex = exhaustive(&all, objective).unwrap();
+    assert!(ex.config.total_pes() > 1, "{:?}", ex.config);
+}

@@ -1,0 +1,533 @@
+//! The simulation kernel: event queue, process scheduling, cooperative
+//! hand-off between the kernel thread and process threads.
+//!
+//! ## Scheduling discipline
+//!
+//! Every simulated process runs on its own OS thread, but the kernel
+//! enforces *one runnable process at a time*: a process executes only
+//! after the kernel hands it a `Go` token, and it returns control by
+//! sending a [`Request`] and blocking on its private wake channel. Events
+//! at equal virtual time are ordered by an insertion sequence number, so a
+//! whole simulation is a deterministic function of its inputs — re-running
+//! a measurement campaign always reproduces the same virtual timings,
+//! which the estimation-model experiments rely on.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::mailbox::{Mailbox, MailboxId, Payload};
+use crate::resource::{ResourceId, SharedResource};
+use crate::time::SimTime;
+
+/// Identifies a simulated process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Pid(pub(crate) usize);
+
+/// What a process asks the kernel to do when it yields.
+enum Request {
+    /// Sleep for a delay, then wake.
+    Hold(f64),
+    /// Join a processor-sharing resource with `work` work-units and wake
+    /// on completion.
+    Compute { res: ResourceId, work: f64 },
+    /// Post a message to a mailbox; the sender stays runnable.
+    Send { mb: MailboxId, msg: Payload },
+    /// Block until a message is available in the mailbox.
+    Recv { mb: MailboxId },
+    /// The process body returned normally.
+    Finished,
+    /// The process body panicked; the payload is re-thrown on the kernel
+    /// thread so test assertions inside processes fail the test.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// Wake-up token handed to a blocked process. Carries the received message
+/// when the wake completes a `recv`.
+enum Wake {
+    Go,
+    Delivery(Payload),
+}
+
+/// Marker payload used to unwind a process thread when the simulation is
+/// dropped while the process is still blocked.
+struct Cancelled;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EvKind {
+    WakeProcess(Pid),
+    ResourceFire { res: ResourceId, generation: u64 },
+}
+
+#[derive(PartialEq, Eq, Debug)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// All simulated processes are blocked and no event can wake them.
+///
+/// Returned by [`Simulation::run`]; carries the names of the stuck
+/// processes for diagnosis (e.g. a receive with no matching send).
+#[derive(Debug)]
+pub struct DeadlockError {
+    /// Names of the processes still blocked when the event queue drained.
+    pub blocked: Vec<String>,
+    /// Virtual time at which the simulation stalled.
+    pub at: SimTime,
+}
+
+impl fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation deadlocked at t={} with blocked processes: {}",
+            self.at,
+            self.blocked.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for DeadlockError {}
+
+struct ProcessRecord {
+    name: String,
+    go_tx: Sender<Wake>,
+    handle: Option<JoinHandle<()>>,
+    finished: bool,
+}
+
+/// Handle given to each process body for interacting with the simulation.
+///
+/// All methods that block in virtual time suspend the calling process and
+/// resume it when the corresponding event fires.
+pub struct Ctx {
+    pid: Pid,
+    clock: Arc<AtomicU64>,
+    req_tx: Sender<(Pid, Request)>,
+    go_rx: Receiver<Wake>,
+}
+
+impl Ctx {
+    /// The process's own id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        f64::from_bits(self.clock.load(Ordering::Relaxed))
+    }
+
+    fn yield_with(&self, req: Request) -> Wake {
+        if self.req_tx.send((self.pid, req)).is_err() {
+            panic::panic_any(Cancelled);
+        }
+        match self.go_rx.recv() {
+            Ok(wake) => wake,
+            Err(_) => panic::panic_any(Cancelled),
+        }
+    }
+
+    /// Suspends the process for `dt` virtual seconds.
+    ///
+    /// # Panics
+    /// Panics if `dt` is negative or NaN.
+    pub fn hold(&self, dt: f64) {
+        assert!(dt >= 0.0 && !dt.is_nan(), "hold duration must be >= 0, got {dt}");
+        self.yield_with(Request::Hold(dt));
+    }
+
+    /// Performs `work` work-units on a processor-sharing resource and
+    /// returns when the work completes. With `n` concurrent jobs on a
+    /// resource of speed `s`, each progresses at `s/n` — the elapsed
+    /// virtual time therefore depends on contention, exactly like a
+    /// time-sliced CPU or a shared network link.
+    pub fn compute(&self, res: ResourceId, work: f64) {
+        self.yield_with(Request::Compute { res, work });
+    }
+
+    /// Transfers `bytes` over a shared link: a fixed `latency` hold
+    /// followed by occupying the link's bandwidth (processor sharing with
+    /// any concurrent transfers). The link's resource speed is interpreted
+    /// as bytes per second.
+    pub fn transfer(&self, link: ResourceId, bytes: f64, latency: f64) {
+        if latency > 0.0 {
+            self.hold(latency);
+        }
+        self.compute(link, bytes);
+    }
+
+    /// Posts a message to `mb` without blocking (delivery is instantaneous
+    /// in virtual time; model transport cost with [`Ctx::transfer`]).
+    pub fn send<T: Any + Send>(&self, mb: MailboxId, msg: T) {
+        self.yield_with(Request::Send {
+            mb,
+            msg: Box::new(msg),
+        });
+    }
+
+    /// Receives the next message from `mb`, blocking in virtual time until
+    /// one is available.
+    ///
+    /// # Panics
+    /// Panics if the message at the head of the mailbox is not a `T`;
+    /// mixing payload types in one mailbox is a programming error.
+    pub fn recv<T: Any + Send>(&self, mb: MailboxId) -> T {
+        match self.yield_with(Request::Recv { mb }) {
+            Wake::Delivery(payload) => match payload.downcast::<T>() {
+                Ok(boxed) => *boxed,
+                Err(_) => panic!(
+                    "mailbox type mismatch: expected {}",
+                    std::any::type_name::<T>()
+                ),
+            },
+            Wake::Go => unreachable!("recv woken without a delivery"),
+        }
+    }
+}
+
+/// A discrete-event simulation: processes, resources, mailboxes and the
+/// virtual clock. Build one, spawn processes, call [`Simulation::run`].
+///
+/// A `Simulation` is single-shot: `run` consumes the event horizon and the
+/// value cannot be reused for a second run.
+pub struct Simulation {
+    clock: Arc<AtomicU64>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    resources: Vec<SharedResource>,
+    mailboxes: Vec<Mutex<Mailbox>>,
+    processes: Vec<ProcessRecord>,
+    req_tx: Sender<(Pid, Request)>,
+    req_rx: Receiver<(Pid, Request)>,
+    /// Messages taken from a mailbox for a parked receiver whose wake
+    /// event has been scheduled but not yet fired.
+    pending_deliveries: Vec<(Pid, Payload)>,
+    events_dispatched: u64,
+    ran: bool,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at virtual time zero.
+    pub fn new() -> Self {
+        install_cancel_hook();
+        let (req_tx, req_rx) = unbounded();
+        Simulation {
+            clock: Arc::new(AtomicU64::new(0f64.to_bits())),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            resources: Vec::new(),
+            mailboxes: Vec::new(),
+            processes: Vec::new(),
+            req_tx,
+            req_rx,
+            pending_deliveries: Vec::new(),
+            events_dispatched: 0,
+            ran: false,
+        }
+    }
+
+    /// Registers a processor-sharing resource (CPU: `speed` = 1.0 for a
+    /// unit-speed processor; link: `speed` = bytes per second).
+    pub fn add_shared_resource(&mut self, name: impl Into<String>, speed: f64) -> ResourceId {
+        let id = ResourceId(self.resources.len());
+        self.resources.push(SharedResource::new(name, speed));
+        id
+    }
+
+    /// Registers a mailbox for message passing between processes.
+    pub fn add_mailbox(&mut self) -> MailboxId {
+        let id = MailboxId(self.mailboxes.len());
+        self.mailboxes.push(Mutex::new(Mailbox::default()));
+        id
+    }
+
+    /// Spawns a simulated process. The body runs on its own thread but is
+    /// scheduled cooperatively by the kernel, starting at virtual time 0.
+    ///
+    /// # Panics
+    /// Panics if called after [`Simulation::run`].
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        assert!(!self.ran, "cannot spawn after the simulation has run");
+        let pid = Pid(self.processes.len());
+        let (go_tx, go_rx) = bounded(1);
+        let ctx = Ctx {
+            pid,
+            clock: Arc::clone(&self.clock),
+            req_tx: self.req_tx.clone(),
+            go_rx,
+        };
+        let name = name.into();
+        let thread_name = name.clone();
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                // Wait for the kernel's first Go before touching anything.
+                if ctx.go_rx.recv().is_err() {
+                    return; // simulation dropped before starting
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+                match result {
+                    Ok(()) => {
+                        let _ = ctx.req_tx.send((ctx.pid, Request::Finished));
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<Cancelled>().is_some() {
+                            // Quietly exit: the simulation was torn down.
+                        } else {
+                            let _ = ctx.req_tx.send((ctx.pid, Request::Panicked(payload)));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn simulation process thread");
+        self.processes.push(ProcessRecord {
+            name,
+            go_tx,
+            handle: Some(handle),
+            finished: false,
+        });
+        // Start event at t = 0.
+        self.push_event(SimTime::ZERO, EvKind::WakeProcess(pid));
+        pid
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn set_clock(&self, t: SimTime) {
+        self.clock.store(t.secs().to_bits(), Ordering::Relaxed);
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::new(f64::from_bits(self.clock.load(Ordering::Relaxed)))
+    }
+
+    /// Reschedules the completion event for a resource after a membership
+    /// change.
+    fn reschedule_resource(&mut self, res: ResourceId) {
+        if let Some(t) = self.resources[res.0].next_completion() {
+            let generation = self.resources[res.0].generation;
+            // Guard against float drift placing the completion marginally
+            // in the past.
+            let t = t.max(self.now());
+            self.push_event(t, EvKind::ResourceFire { res, generation });
+        }
+    }
+
+    /// Resumes `pid` and services its requests until it blocks, finishes
+    /// or panics.
+    fn resume(&mut self, pid: Pid, wake: Wake) {
+        if self.processes[pid.0].go_tx.send(wake).is_err() {
+            // Thread already gone (only possible after a panic we have
+            // since rethrown); nothing to do.
+            return;
+        }
+        loop {
+            let (from, req) = self
+                .req_rx
+                .recv()
+                .expect("process hung up without Finished/Panicked");
+            debug_assert_eq!(from, pid, "only the resumed process may issue requests");
+            match req {
+                Request::Hold(dt) => {
+                    let at = self.now() + dt;
+                    self.push_event(at, EvKind::WakeProcess(pid));
+                    return;
+                }
+                Request::Compute { res, work } => {
+                    let now = self.now();
+                    self.resources[res.0].advance_to(now);
+                    self.resources[res.0].add_job(pid, work);
+                    self.reschedule_resource(res);
+                    return;
+                }
+                Request::Send { mb, msg } => {
+                    let woken = self.mailboxes[mb.0].lock().post(msg);
+                    if let Some((waiter, payload)) = woken {
+                        // Deliver at the current instant; the waiter runs
+                        // after the sender yields for real.
+                        self.pending_deliveries.push((waiter, payload));
+                        let now = self.now();
+                        self.push_event(now, EvKind::WakeProcess(waiter));
+                    }
+                    // Sender continues immediately.
+                    if self.processes[pid.0].go_tx.send(Wake::Go).is_err() {
+                        return;
+                    }
+                }
+                Request::Recv { mb } => {
+                    let taken = self.mailboxes[mb.0].lock().take_or_wait(pid);
+                    match taken {
+                        Some(payload) => {
+                            if self.processes[pid.0].go_tx.send(Wake::Delivery(payload)).is_err() {
+                                return;
+                            }
+                        }
+                        None => return, // parked in the mailbox
+                    }
+                }
+                Request::Finished => {
+                    self.processes[pid.0].finished = true;
+                    if let Some(h) = self.processes[pid.0].handle.take() {
+                        let _ = h.join();
+                    }
+                    return;
+                }
+                Request::Panicked(payload) => {
+                    self.processes[pid.0].finished = true;
+                    if let Some(h) = self.processes[pid.0].handle.take() {
+                        let _ = h.join();
+                    }
+                    panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// Returns the final virtual time once every process has finished, or
+    /// a [`DeadlockError`] if the event queue drains while processes are
+    /// still blocked.
+    ///
+    /// # Panics
+    /// Re-raises any panic from a process body on the calling thread.
+    pub fn run(&mut self) -> Result<f64, DeadlockError> {
+        assert!(!self.ran, "Simulation::run may only be called once");
+        self.ran = true;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now(), "event in the past");
+            self.events_dispatched += 1;
+            self.set_clock(ev.time);
+            match ev.kind {
+                EvKind::WakeProcess(pid) => {
+                    if self.processes[pid.0].finished {
+                        continue;
+                    }
+                    // A wake may complete a pending mailbox delivery.
+                    let wake = match self
+                        .pending_deliveries
+                        .iter()
+                        .position(|(p, _)| *p == pid)
+                    {
+                        Some(i) => Wake::Delivery(self.pending_deliveries.remove(i).1),
+                        None => Wake::Go,
+                    };
+                    self.resume(pid, wake);
+                }
+                EvKind::ResourceFire { res, generation } => {
+                    if self.resources[res.0].generation != generation {
+                        continue; // stale: membership changed since scheduling
+                    }
+                    let now = self.now();
+                    self.resources[res.0].advance_to(now);
+                    let done = self.resources[res.0].take_completed(true);
+                    self.reschedule_resource(res);
+                    for pid in done {
+                        self.resume(pid, Wake::Go);
+                    }
+                }
+            }
+        }
+        let blocked: Vec<String> = self
+            .processes
+            .iter()
+            .filter(|p| !p.finished)
+            .map(|p| p.name.clone())
+            .collect();
+        if blocked.is_empty() {
+            Ok(self.now().secs())
+        } else {
+            Err(DeadlockError {
+                blocked,
+                at: self.now(),
+            })
+        }
+    }
+}
+
+impl Simulation {
+    /// Post-run statistics: final time, event count, per-resource usage.
+    ///
+    /// Meaningful after [`Simulation::run`]; resources are advanced to
+    /// the final clock so busy time is complete.
+    pub fn stats(&mut self) -> crate::stats::SimStats {
+        let now = self.now();
+        let mut resources = std::collections::BTreeMap::new();
+        for r in &mut self.resources {
+            r.advance_to(now);
+            resources.insert(r.name().to_string(), r.stats);
+        }
+        crate::stats::SimStats {
+            end_seconds: now.secs(),
+            events: self.events_dispatched,
+            resources,
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Closing the Go channels unblocks any parked process thread; its
+        // next primitive call unwinds with `Cancelled`, which the thread
+        // wrapper swallows.
+        for p in &mut self.processes {
+            let (dead_tx, _) = bounded(1);
+            p.go_tx = dead_tx;
+            if let Some(h) = p.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" report for the internal `Cancelled` unwind marker and
+/// delegates everything else to the previous hook.
+fn install_cancel_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Cancelled>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}

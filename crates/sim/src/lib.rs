@@ -1,0 +1,60 @@
+//! # etm-sim — deterministic discrete-event simulation engine
+//!
+//! A process-oriented discrete-event simulator in the style of SimPy /
+//! OMNeT++, purpose-built as the measurement substrate for the
+//! execution-time estimation study (Kishimoto & Ichikawa, IPDPS 2004
+//! reproduction). The paper measures HPL on physical hardware; this crate
+//! provides the *virtual hardware clock* those measurements run against.
+//!
+//! ## Model
+//!
+//! A [`Simulation`] owns a virtual clock and an event queue. User code
+//! spawns *processes* — ordinary Rust closures that run on dedicated OS
+//! threads but are scheduled **cooperatively**: exactly one process runs at
+//! any instant, and control returns to the kernel whenever the process
+//! calls a blocking primitive on its [`Ctx`] handle. This yields fully
+//! deterministic executions (identical event interleavings for identical
+//! inputs) while letting simulation logic be written as straight-line code.
+//!
+//! Primitives:
+//!
+//! * [`Ctx::hold`] — advance this process's local time by a delay.
+//! * [`Ctx::compute`] — occupy a processor-sharing CPU for a given amount
+//!   of *work* (seconds at full speed); co-scheduled jobs slow each other
+//!   down, which is exactly the multiprocessing overhead regime the paper
+//!   studies.
+//! * [`Ctx::transfer`] — move bytes across a processor-sharing link
+//!   (latency + shared bandwidth), modelling NIC/switch contention.
+//! * [`Ctx::send`] / [`Ctx::recv`] — typed mailbox rendezvous used by the
+//!   message-passing layer in `etm-mpisim`.
+//!
+//! ## Example
+//!
+//! ```
+//! use etm_sim::Simulation;
+//!
+//! let mut sim = Simulation::new();
+//! let cpu = sim.add_shared_resource("cpu", 1.0);
+//! for i in 0..2 {
+//!     sim.spawn(format!("worker{i}"), move |ctx| {
+//!         // Two jobs of 1.0s of work share one CPU: both finish at t=2.
+//!         ctx.compute(cpu, 1.0);
+//!     });
+//! }
+//! let end = sim.run().expect("no deadlock");
+//! assert!((end - 2.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod kernel;
+mod mailbox;
+mod resource;
+pub mod stats;
+mod time;
+
+pub use kernel::{Ctx, DeadlockError, Pid, Simulation};
+pub use mailbox::MailboxId;
+pub use resource::ResourceId;
+pub use stats::{ResourceStats, SimStats};
+pub use time::SimTime;

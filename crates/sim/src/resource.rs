@@ -1,0 +1,252 @@
+//! Processor-sharing resources.
+//!
+//! A [`SharedResource`] serves all active jobs simultaneously at a rate of
+//! `speed / n` work-units per second when `n` jobs are present. This is the
+//! classical *processor sharing* queueing discipline and is the right model
+//! for the two contended devices in the study:
+//!
+//! * a CPU running `Mi` time-sliced HPL processes (the paper's
+//!   multiprocessing approach) — Linux's scheduler approximates fair
+//!   sharing over the quanta relevant here;
+//! * a NIC/link carrying several concurrent transfers.
+//!
+//! The resource is a pure state machine driven by the simulation kernel:
+//! the kernel advances it to the current virtual time before every
+//! membership change and asks for the next completion to schedule.
+
+use crate::kernel::Pid;
+use crate::time::SimTime;
+
+/// Identifies a resource registered with a [`crate::Simulation`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ResourceId(pub(crate) usize);
+
+/// One in-service job on a processor-sharing resource.
+#[derive(Debug)]
+struct Job {
+    pid: Pid,
+    /// Work remaining, in work-units (seconds at full, uncontended speed
+    /// for a unit-speed resource).
+    remaining: f64,
+    /// Completion tolerance derived from the job's initial size, so float
+    /// drift never strands an almost-finished job.
+    eps: f64,
+}
+
+/// A processor-sharing resource (CPU or network link).
+#[derive(Debug)]
+pub(crate) struct SharedResource {
+    name: String,
+    /// Work-units served per second when a single job is active.
+    speed: f64,
+    jobs: Vec<Job>,
+    last_update: SimTime,
+    /// Bumped on every membership change; stale completion events carry an
+    /// old generation and are ignored by the kernel.
+    pub(crate) generation: u64,
+    /// Accumulated statistics (busy time, served work, completions).
+    pub(crate) stats: crate::stats::ResourceStats,
+}
+
+impl SharedResource {
+    pub(crate) fn new(name: impl Into<String>, speed: f64) -> Self {
+        assert!(speed > 0.0, "resource speed must be positive");
+        SharedResource {
+            name: name.into(),
+            speed,
+            jobs: Vec::new(),
+            last_update: SimTime::ZERO,
+            generation: 0,
+            stats: crate::stats::ResourceStats::default(),
+        }
+    }
+
+    #[allow(dead_code)] // diagnostic accessor, used by future tracing
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current per-job service rate.
+    fn rate(&self) -> f64 {
+        debug_assert!(!self.jobs.is_empty());
+        self.speed / self.jobs.len() as f64
+    }
+
+    /// Advances all in-service jobs to `now`, consuming remaining work.
+    pub(crate) fn advance_to(&mut self, now: SimTime) {
+        let dt = now - self.last_update;
+        debug_assert!(dt >= -1e-12, "time went backwards: {dt}");
+        if !self.jobs.is_empty() && dt > 0.0 {
+            let served = self.rate() * dt;
+            for job in &mut self.jobs {
+                job.remaining -= served;
+            }
+            self.stats.busy_seconds += dt;
+            self.stats.work_served += served * self.jobs.len() as f64;
+        }
+        self.last_update = now;
+    }
+
+    /// Adds a job of `work` work-units for `pid`. The caller must have
+    /// called [`advance_to`](Self::advance_to) first.
+    pub(crate) fn add_job(&mut self, pid: Pid, work: f64) {
+        assert!(
+            work >= 0.0 && work.is_finite(),
+            "job work must be finite and non-negative, got {work} on {}",
+            self.name
+        );
+        let eps = 1e-12 * work.max(1.0);
+        self.jobs.push(Job {
+            pid,
+            remaining: work,
+            eps,
+        });
+        self.generation += 1;
+    }
+
+    /// Removes and returns every job whose remaining work is (numerically)
+    /// zero. The caller must have advanced the resource to `now` first.
+    ///
+    /// When `force_min` is set — used by the kernel on a *valid-generation*
+    /// completion event, i.e. the job set is unchanged since the event was
+    /// scheduled, so the minimum job is due exactly now — the
+    /// minimum-remaining job is completed even if float drift left it a
+    /// few ulps short. Without this, a long simulation can livelock:
+    /// `served = rate·(t − last_update)` accumulates relative error
+    /// proportional to the absolute time, the job never crosses the fixed
+    /// tolerance, and the resource refires at `now + ε` forever.
+    pub(crate) fn take_completed(&mut self, force_min: bool) -> Vec<Pid> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.jobs.len() {
+            if self.jobs[i].remaining <= self.jobs[i].eps {
+                done.push(self.jobs.remove(i).pid);
+            } else {
+                i += 1;
+            }
+        }
+        if done.is_empty() && force_min && !self.jobs.is_empty() {
+            let (arg_min, _) = self
+                .jobs
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.remaining.total_cmp(&b.remaining))
+                .expect("non-empty");
+            done.push(self.jobs.remove(arg_min).pid);
+        }
+        if !done.is_empty() {
+            self.generation += 1;
+            self.stats.jobs_completed += done.len() as u64;
+        }
+        done
+    }
+
+    /// Virtual time at which the next job completes, if any job is active.
+    pub(crate) fn next_completion(&self) -> Option<SimTime> {
+        let min_remaining = self
+            .jobs
+            .iter()
+            .map(|j| j.remaining.max(0.0))
+            .fold(f64::INFINITY, f64::min);
+        if min_remaining.is_finite() {
+            Some(self.last_update + min_remaining / self.rate())
+        } else {
+            None
+        }
+    }
+
+    /// Number of in-service jobs (used by tests and diagnostics).
+    #[cfg(test)]
+    pub(crate) fn load(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> Pid {
+        Pid(i)
+    }
+
+    #[test]
+    fn single_job_completes_after_work_over_speed() {
+        let mut r = SharedResource::new("cpu", 2.0);
+        r.advance_to(SimTime::ZERO);
+        r.add_job(pid(0), 4.0);
+        let t = r.next_completion().unwrap();
+        assert!((t.secs() - 2.0).abs() < 1e-12);
+        r.advance_to(t);
+        assert_eq!(r.take_completed(false), vec![pid(0)]);
+        assert_eq!(r.load(), 0);
+    }
+
+    #[test]
+    fn two_equal_jobs_share_fairly() {
+        let mut r = SharedResource::new("cpu", 1.0);
+        r.advance_to(SimTime::ZERO);
+        r.add_job(pid(0), 1.0);
+        r.add_job(pid(1), 1.0);
+        let t = r.next_completion().unwrap();
+        assert!((t.secs() - 2.0).abs() < 1e-12, "got {t:?}");
+        r.advance_to(t);
+        let mut done = r.take_completed(false);
+        done.sort_by_key(|p| p.0);
+        assert_eq!(done, vec![pid(0), pid(1)]);
+    }
+
+    #[test]
+    fn late_arrival_slows_first_job() {
+        let mut r = SharedResource::new("cpu", 1.0);
+        r.advance_to(SimTime::ZERO);
+        r.add_job(pid(0), 2.0);
+        // At t=1, one unit of work remains on job 0; job 1 arrives.
+        r.advance_to(SimTime::new(1.0));
+        r.add_job(pid(1), 3.0);
+        // Both at rate 1/2. Job 0 finishes after 2 more seconds (t=3).
+        let t = r.next_completion().unwrap();
+        assert!((t.secs() - 3.0).abs() < 1e-12, "got {t:?}");
+        r.advance_to(t);
+        assert_eq!(r.take_completed(false), vec![pid(0)]);
+        // Job 1 has 3 - 1 = 2 units left, now alone: finishes at t=5.
+        let t = r.next_completion().unwrap();
+        assert!((t.secs() - 5.0).abs() < 1e-12, "got {t:?}");
+    }
+
+    #[test]
+    fn zero_work_job_completes_immediately() {
+        let mut r = SharedResource::new("cpu", 1.0);
+        r.advance_to(SimTime::ZERO);
+        r.add_job(pid(0), 0.0);
+        let t = r.next_completion().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+        r.advance_to(t);
+        assert_eq!(r.take_completed(false), vec![pid(0)]);
+    }
+
+    #[test]
+    fn generation_bumps_on_membership_changes() {
+        let mut r = SharedResource::new("cpu", 1.0);
+        let g0 = r.generation;
+        r.advance_to(SimTime::ZERO);
+        r.add_job(pid(0), 1.0);
+        assert!(r.generation > g0);
+        let g1 = r.generation;
+        r.advance_to(SimTime::new(1.0));
+        r.take_completed(false);
+        assert!(r.generation > g1);
+    }
+
+    #[test]
+    fn no_jobs_means_no_completion() {
+        let r = SharedResource::new("cpu", 1.0);
+        assert!(r.next_completion().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        let _ = SharedResource::new("cpu", 0.0);
+    }
+}

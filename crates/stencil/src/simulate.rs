@@ -1,0 +1,263 @@
+//! Timed Jacobi on the discrete-event fabric: memory-bound sweeps, halo
+//! exchanges and a per-iteration convergence all-reduce, producing the
+//! same `(Ta, Tc)` sample shape as the HPL simulation so the estimation
+//! pipeline runs unchanged on a second application.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use etm_cluster::{ClusterSpec, Configuration, KindId, Placement, PerfModel};
+use etm_mpisim::coll::{gather, ring_bcast};
+use etm_mpisim::{Comm, SimFabric, SimMsg};
+use etm_sim::Simulation;
+
+use crate::numeric::strip;
+
+/// Parameters of a timed stencil run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StencilParams {
+    /// Grid side length N (the problem-size axis for the models).
+    pub n: usize,
+    /// Jacobi iterations.
+    pub iters: usize,
+}
+
+impl StencilParams {
+    /// A run of side `n` with an iteration count proportional to `n`
+    /// (keeps total work O(N³)-ish like a real convergence run).
+    pub fn side(n: usize) -> Self {
+        StencilParams { n, iters: n / 4 }
+    }
+}
+
+/// Per-rank phase times of a stencil run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StencilTimes {
+    /// Sweep computation (memory-bound).
+    pub compute: f64,
+    /// Halo exchanges with neighbours.
+    pub halo: f64,
+    /// Convergence all-reduce.
+    pub reduce: f64,
+}
+
+impl StencilTimes {
+    /// Computation time for the estimation models.
+    pub fn ta(&self) -> f64 {
+        self.compute
+    }
+
+    /// Communication time for the estimation models.
+    pub fn tc(&self) -> f64 {
+        self.halo + self.reduce
+    }
+}
+
+/// Outcome of one timed stencil run.
+#[derive(Clone, Debug)]
+pub struct StencilRun {
+    /// Run parameters.
+    pub params: StencilParams,
+    /// Per-rank phases.
+    pub phases: Vec<StencilTimes>,
+    /// Kind of each rank.
+    pub kinds: Vec<KindId>,
+    /// Nodes spanned.
+    pub nodes_used: usize,
+    /// End-to-end virtual seconds.
+    pub wall_seconds: f64,
+}
+
+impl StencilRun {
+    /// Max `Ta` over ranks of a kind.
+    pub fn ta_of_kind(&self, kind: KindId) -> Option<f64> {
+        self.fold(kind, |p| p.ta())
+    }
+
+    /// Max `Tc` over ranks of a kind.
+    pub fn tc_of_kind(&self, kind: KindId) -> Option<f64> {
+        self.fold(kind, |p| p.tc())
+    }
+
+    fn fold(&self, kind: KindId, f: impl Fn(&StencilTimes) -> f64) -> Option<f64> {
+        self.phases
+            .iter()
+            .zip(&self.kinds)
+            .filter(|(_, k)| **k == kind)
+            .map(|(p, _)| f(p))
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+    }
+}
+
+const HALO_UP: u32 = 0x57E1;
+const HALO_DOWN: u32 = 0x57E2;
+
+/// Simulates a stencil run under `config`.
+///
+/// # Panics
+/// Panics if the configuration is invalid or the simulation deadlocks.
+pub fn simulate_stencil(
+    spec: &ClusterSpec,
+    config: &Configuration,
+    params: &StencilParams,
+) -> StencilRun {
+    let placement = Placement::new(spec, config).expect("invalid configuration");
+    let p = placement.len();
+    let mut sim = Simulation::new();
+    let fabric = SimFabric::build(&mut sim, spec, &placement);
+    let results: Arc<Mutex<Vec<Option<StencilTimes>>>> = Arc::new(Mutex::new(vec![None; p]));
+
+    for slot in &placement.slots {
+        let seed = fabric.seed(slot.rank);
+        let results = Arc::clone(&results);
+        let spec = spec.clone();
+        let params = *params;
+        let kind = slot.kind;
+        let m = placement.procs_on_cpu(slot);
+        let node = slot.node;
+        let rank = slot.rank;
+        let placement_cl = placement.clone();
+        sim.spawn(format!("stencil-rank{rank}"), move |ctx| {
+            let comm = seed.bind(ctx);
+            let pm = PerfModel::new(&spec, params.n, placement_cl.len());
+            let oc = pm.node_overcommit(&placement_cl, node, 1);
+            let me = comm.rank();
+            let np = comm.size();
+            let (start, end) = strip(params.n, np, me);
+            let my_rows = end - start;
+            // 5-point sweep: ~5 reads + 1 write per cell, memory-bound.
+            let sweep_bytes = 6.0 * 8.0 * (my_rows * params.n) as f64;
+            let halo_bytes = 8.0 * params.n as f64;
+            let mut ph = StencilTimes::default();
+            for it in 0..params.iters {
+                let tag_base = (it as u32) & 0x0FFF;
+                let _ = tag_base;
+                // Halo exchange (send both, then receive both).
+                let t0 = comm.now();
+                if me > 0 {
+                    comm.send(me - 1, HALO_UP, SimMsg::of(halo_bytes));
+                }
+                if me < np - 1 {
+                    comm.send(me + 1, HALO_DOWN, SimMsg::of(halo_bytes));
+                }
+                if me > 0 {
+                    let _ = comm.recv(me - 1, HALO_DOWN);
+                }
+                if me < np - 1 {
+                    let _ = comm.recv(me + 1, HALO_UP);
+                }
+                let stall = pm.sync_stall(kind, m);
+                if stall > 0.0 {
+                    comm.idle(stall);
+                }
+                ph.halo += comm.now() - t0;
+                // Sweep.
+                let t1 = comm.now();
+                let mp = pm.mp_factor(kind, m);
+                comm.compute(pm.memop_time(kind, sweep_bytes, oc) * mp);
+                ph.compute += comm.now() - t1;
+                // Convergence all-reduce (gather 8 B to 0, broadcast back).
+                let t2 = comm.now();
+                let _ = gather(&comm, 0, SimMsg::of(8.0));
+                let payload = (me == 0).then(|| SimMsg::of(8.0));
+                let _ = ring_bcast(&comm, 0, payload);
+                ph.reduce += comm.now() - t2;
+            }
+            results.lock()[rank] = Some(ph);
+        });
+    }
+
+    let wall_seconds = sim.run().expect("stencil simulation deadlocked");
+    let phases: Vec<StencilTimes> = results
+        .lock()
+        .iter()
+        .map(|p| p.expect("every rank reports"))
+        .collect();
+    StencilRun {
+        params: *params,
+        kinds: placement.slots.iter().map(|s| s.kind).collect(),
+        nodes_used: placement.used_nodes().len(),
+        phases,
+        wall_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etm_cluster::commlib::CommLibProfile;
+    use etm_cluster::spec::paper_cluster;
+
+    fn spec() -> ClusterSpec {
+        paper_cluster(CommLibProfile::mpich122())
+    }
+
+    #[test]
+    fn single_pe_run_is_compute_only() {
+        let run = simulate_stencil(
+            &spec(),
+            &Configuration::p1m1_p2m2(1, 1, 0, 0),
+            &StencilParams::side(512),
+        );
+        assert_eq!(run.phases.len(), 1);
+        let ph = &run.phases[0];
+        assert!(ph.compute > 0.0);
+        assert_eq!(ph.halo, 0.0, "no neighbours, no halo");
+        assert!(ph.reduce < 1e-9, "self-reduce is free");
+        assert!(run.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn communication_fraction_grows_with_p() {
+        // Halo + reduce are O(N) per iteration while compute is O(N²/P):
+        // more processes -> larger communication share.
+        let s = spec();
+        let params = StencilParams::side(1024);
+        let frac = |p2: usize| {
+            let run = simulate_stencil(&s, &Configuration::p1m1_p2m2(0, 0, p2, 1), &params);
+            let ph = run
+                .phases
+                .iter()
+                .fold((0.0f64, 0.0f64), |(a, c), p| (a + p.ta(), c + p.tc()));
+            ph.1 / (ph.0 + ph.1)
+        };
+        let f2 = frac(2);
+        let f8 = frac(8);
+        assert!(f8 > f2, "comm share must grow: P=2 {f2} vs P=8 {f8}");
+    }
+
+    #[test]
+    fn faster_kind_finishes_sweeps_sooner() {
+        let s = spec();
+        let run = simulate_stencil(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 4, 1),
+            &StencilParams::side(1024),
+        );
+        let ta_fast = run.ta_of_kind(KindId(0)).unwrap();
+        let ta_slow = run.ta_of_kind(KindId(1)).unwrap();
+        // Memory-bound: ratio tracks mem_bw (650/220 ≈ 3), not flops.
+        let ratio = ta_slow / ta_fast;
+        assert!((1.5..5.0).contains(&ratio), "mem-bw ratio, got {ratio}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = spec();
+        let cfg = Configuration::p1m1_p2m2(1, 2, 2, 1);
+        let a = simulate_stencil(&s, &cfg, &StencilParams::side(512));
+        let b = simulate_stencil(&s, &cfg, &StencilParams::side(512));
+        assert_eq!(a.wall_seconds.to_bits(), b.wall_seconds.to_bits());
+    }
+
+    #[test]
+    fn iters_scale_time_linearly() {
+        let s = spec();
+        let cfg = Configuration::p1m1_p2m2(0, 0, 4, 1);
+        let t1 = simulate_stencil(&s, &cfg, &StencilParams { n: 512, iters: 50 }).wall_seconds;
+        let t2 = simulate_stencil(&s, &cfg, &StencilParams { n: 512, iters: 100 }).wall_seconds;
+        let ratio = t2 / t1;
+        assert!((1.9..2.1).contains(&ratio), "iteration scaling {ratio}");
+    }
+}

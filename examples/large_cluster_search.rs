@@ -1,0 +1,127 @@
+//! §5 future work: configuration search at scale.
+//!
+//! The paper evaluates all 62 candidates exhaustively and notes that
+//! larger clusters need search-space reduction or heuristics. This
+//! example builds a three-kind, 44-CPU cluster where the full space has
+//! tens of thousands of candidates, and compares exhaustive search with
+//! the greedy and local-search heuristics.
+//!
+//! Run with: `cargo run --release --example large_cluster_search`
+
+use hetero_etm::cluster::spec::{athlon_1333, pentium2_400, PeKind};
+use hetero_etm::cluster::{ClusterSpec, CommLibProfile, Configuration, KindId, NetworkSpec, NodeSpec};
+use hetero_etm::search::{exhaustive, greedy, local_search, ConfigSpace};
+
+/// A synthetic "big iron" kind, 2x the Athlon.
+fn opteron_like() -> PeKind {
+    let mut k = athlon_1333();
+    k.name = "Opteron".to_string();
+    k.peak_flops *= 2.0;
+    k
+}
+
+fn big_cluster() -> ClusterSpec {
+    let kinds = vec![opteron_like(), athlon_1333(), pentium2_400()];
+    let mem = 1024.0 * 1024.0 * 1024.0;
+    let mut nodes = Vec::new();
+    for i in 0..2 {
+        nodes.push(NodeSpec {
+            name: format!("opteron{i}"),
+            kind: KindId(0),
+            cpus: 2,
+            memory_bytes: 2.0 * mem,
+        });
+    }
+    for i in 0..8 {
+        nodes.push(NodeSpec {
+            name: format!("athlon{i}"),
+            kind: KindId(1),
+            cpus: 1,
+            memory_bytes: mem,
+        });
+    }
+    for i in 0..16 {
+        nodes.push(NodeSpec {
+            name: format!("p2-{i}"),
+            kind: KindId(2),
+            cpus: 2,
+            memory_bytes: mem,
+        });
+    }
+    ClusterSpec::new(kinds, nodes, NetworkSpec::fast_ethernet(), CommLibProfile::mpich122())
+}
+
+/// A closed-form objective standing in for the fitted estimator: balance
+/// compute `W/Σrᵢ·effᵢ` against communication `α·P` and multiprocessing
+/// overhead — cheap to evaluate, so exhaustive search stays tractable
+/// for the comparison.
+fn objective(spec: &ClusterSpec, cfg: &Configuration, n: usize) -> Result<f64, ()> {
+    let w = 2.0 * (n as f64).powi(3) / 3.0;
+    let p = cfg.total_processes() as f64;
+    if p == 0.0 {
+        return Err(());
+    }
+    // Slowest-PE time under equal distribution: each process does W/P at
+    // its PE's rate, m processes share a PE.
+    let mut worst: f64 = 0.0;
+    for u in cfg.uses.iter().filter(|u| u.pes > 0) {
+        let k = spec.kind(u.kind);
+        let m = u.procs_per_pe as f64;
+        let rate = k.peak_flops * 0.8 / (1.0 + k.mp_overhead * (m - 1.0));
+        worst = worst.max(m * (w / p) / rate);
+    }
+    // Communication: per-process O(N²) broadcast volume over the wire.
+    let comm = p * 8.0 * (n as f64).powi(2) / 2.0 / spec.network.bandwidth / p.sqrt();
+    Ok(worst + comm)
+}
+
+fn main() {
+    let spec = big_cluster();
+    let n = 20_000;
+    let space = ConfigSpace::new(&spec, vec![4, 4, 4]);
+    println!(
+        "cluster: {} CPUs over 3 kinds; configuration space = {} candidates",
+        spec.nodes.iter().map(|nd| nd.cpus).sum::<usize>(),
+        space.len()
+    );
+
+    let all = space.enumerate();
+    let t0 = std::time::Instant::now();
+    let ex = exhaustive(&all, |c| objective(&spec, c, n)).unwrap();
+    let t_ex = t0.elapsed();
+    println!(
+        "\nexhaustive : {} -> {:.1} s  ({} evals, {:.1} ms)",
+        ex.config.label(&spec),
+        ex.time,
+        ex.evaluations,
+        t_ex.as_secs_f64() * 1e3
+    );
+
+    let t1 = std::time::Instant::now();
+    let gr = greedy(&space, |c| objective(&spec, c, n)).unwrap();
+    let t_gr = t1.elapsed();
+    println!(
+        "greedy     : {} -> {:.1} s  ({} evals, {:.1} ms, +{:.1}% vs optimal)",
+        gr.config.label(&spec),
+        gr.time,
+        gr.evaluations,
+        t_gr.as_secs_f64() * 1e3,
+        100.0 * (gr.time - ex.time) / ex.time
+    );
+
+    let seed = Configuration {
+        uses: vec![
+            hetero_etm::cluster::KindUse { kind: KindId(0), pes: 4, procs_per_pe: 1 },
+            hetero_etm::cluster::KindUse { kind: KindId(1), pes: 8, procs_per_pe: 1 },
+            hetero_etm::cluster::KindUse { kind: KindId(2), pes: 32, procs_per_pe: 1 },
+        ],
+    };
+    let ls = local_search(&space, seed, |c| objective(&spec, c, n)).unwrap();
+    println!(
+        "local      : {} -> {:.1} s  ({} evals, +{:.1}% vs optimal)",
+        ls.config.label(&spec),
+        ls.time,
+        ls.evaluations,
+        100.0 * (ls.time - ex.time) / ex.time
+    );
+}

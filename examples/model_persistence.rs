@@ -1,0 +1,49 @@
+//! Fitted models are plain data: persist an [`Estimator`] to JSON and
+//! reload it, so the expensive measurement campaign runs once and the
+//! configuration oracle ships as a small artifact.
+//!
+//! Run with: `cargo run --release --example model_persistence`
+
+use hetero_etm::cluster::spec::paper_cluster;
+use hetero_etm::cluster::{CommLibProfile, Configuration};
+use hetero_etm::core::pipeline::{build_estimator, Estimator};
+use hetero_etm::core::plan::MeasurementPlan;
+
+fn main() {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+
+    // Fit once (the measurement campaign is the expensive part).
+    println!("fitting models from the NS campaign (cheapest: ~12 simulated minutes) ...");
+    let (estimator, db) = build_estimator(&spec, &MeasurementPlan::ns(), 64).expect("fit");
+    println!(
+        "campaign: {} trials, {:.0} simulated seconds",
+        db.len(),
+        db.total_cost()
+    );
+
+    // Persist.
+    let json = serde_json::to_string_pretty(&estimator).expect("serialize");
+    let path = std::env::temp_dir().join("hetero-etm-estimator.json");
+    std::fs::write(&path, &json).expect("write");
+    println!(
+        "saved estimator ({} N-T models, {} P-T models, {} bytes) to {}",
+        estimator.bank.nt.len(),
+        estimator.bank.pt.len(),
+        json.len(),
+        path.display()
+    );
+
+    // Reload and use — no cluster access required.
+    let loaded: Estimator = serde_json::from_str(&json).expect("deserialize");
+    let cfg = Configuration::p1m1_p2m2(1, 2, 8, 1);
+    let n = 3200;
+    let a = estimator.estimate(&cfg, n).expect("estimate");
+    let b = loaded.estimate(&cfg, n).expect("estimate");
+    assert_eq!(a.to_bits(), b.to_bits(), "round trip must be exact");
+    println!(
+        "reloaded estimator predicts {} at N={n}: {:.2} s (identical to the original)",
+        cfg.label(&spec),
+        b
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,52 @@
+//! Why the communication library matters (§2, Figs. 1–2): NetPIPE-style
+//! throughput measurement of two MPI library profiles, and the effect on
+//! multiprocessing viability.
+//!
+//! Sasou et al. blamed the OS scheduler for multiprocessing's poor
+//! performance; Kishimoto & Ichikawa traced it to MPICH-1.2.1's intra-node
+//! path. This example reproduces that diagnosis on the simulated fabric.
+//!
+//! Run with: `cargo run --release --example netpipe_compare`
+
+use hetero_etm::cluster::spec::paper_cluster;
+use hetero_etm::cluster::{CommLibProfile, Configuration};
+use hetero_etm::hpl::{simulate_hpl, HplParams};
+use hetero_etm::mpisim::netpipe::{fig2_block_sizes, intra_node_sweep};
+
+fn main() {
+    println!("== Fig 2 analogue: intra-node throughput (two processes, one Athlon) ==");
+    println!("{:>10} {:>14} {:>14}", "block KiB", "MPICH-1.2.1", "MPICH-1.2.2");
+    let old = intra_node_sweep(&paper_cluster(CommLibProfile::mpich121()), &fig2_block_sizes());
+    let new = intra_node_sweep(&paper_cluster(CommLibProfile::mpich122()), &fig2_block_sizes());
+    for (o, n) in old.iter().zip(&new) {
+        println!(
+            "{:>10.0} {:>11.2} Gb {:>11.2} Gb",
+            o.block_bytes / 1024.0,
+            o.bits_per_sec / 1e9,
+            n.bits_per_sec / 1e9
+        );
+    }
+
+    println!("\n== Fig 1 analogue: multiprocessing HPL on one Athlon ==");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "N", "1.2.1 (n=1 / n=4)", "1.2.2 (n=1 / n=4)"
+    );
+    for n in [1000usize, 3000, 5000, 7000] {
+        let mut cells = Vec::new();
+        for profile in [CommLibProfile::mpich121(), CommLibProfile::mpich122()] {
+            let spec = paper_cluster(profile);
+            let g1 = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 1, 0, 0), &HplParams::order(n))
+                .gflops;
+            let g4 = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 4, 0, 0), &HplParams::order(n))
+                .gflops;
+            cells.push(format!("{g1:.2} / {g4:.2}"));
+        }
+        println!("{n:>6} {:>22} {:>22}", cells[0], cells[1]);
+    }
+    println!(
+        "\n-> under the 1.2.1 profile, 4 processes per CPU collapse (the panel\n\
+         broadcast between co-resident processes crawls); under 1.2.2 the\n\
+         overhead is modest — multiprocessing becomes a viable remedy."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: model a heterogeneous cluster, fit execution-time models
+//! from a small simulated measurement campaign, and pick the best
+//! configuration for a target problem size.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hetero_etm::cluster::spec::paper_cluster;
+use hetero_etm::cluster::{CommLibProfile, Configuration};
+use hetero_etm::core::pipeline::build_estimator;
+use hetero_etm::core::plan::{evaluation_configs, MeasurementPlan};
+use hetero_etm::hpl::{simulate_hpl, HplParams};
+use hetero_etm::search::exhaustive;
+
+fn main() {
+    // 1. Describe the cluster (the paper's Table 1: one Athlon 1.33 GHz
+    //    node + four dual-Pentium-II nodes on 100base-TX).
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    println!("cluster: {} nodes, kinds:", spec.nodes.len());
+    for k in &spec.kinds {
+        println!("  {} @ {:.2} Gflops peak", k.name, k.peak_flops / 1e9);
+    }
+
+    // 2. Run the NL measurement campaign (Table 5: 4 problem sizes ×
+    //    30 homogeneous configurations) on the simulated cluster and fit
+    //    the N-T / P-T models.
+    let plan = MeasurementPlan::nl();
+    println!(
+        "\nrunning the {:?} campaign: {} trials ...",
+        plan.kind,
+        plan.construction.len()
+    );
+    let (estimator, db) = build_estimator(&spec, &plan, 64).expect("model fitting");
+    println!(
+        "measured {} trials costing {:.0} simulated seconds; fit {} N-T and {} P-T models",
+        db.len(),
+        db.total_cost(),
+        estimator.bank.nt.len(),
+        estimator.bank.pt.len(),
+    );
+
+    // 3. Estimate the execution time of every candidate configuration
+    //    for a target problem and pick the minimum.
+    let n = 8000;
+    let candidates = evaluation_configs();
+    let best = exhaustive(&candidates, |cfg| estimator.estimate(cfg, n))
+        .expect("estimation succeeds");
+    println!(
+        "\nN = {n}: estimated best configuration = {} (tau = {:.1} s, {} candidates)",
+        best.config.label(&spec),
+        best.time,
+        best.evaluations
+    );
+
+    // 4. Sanity-check the choice against the simulator and against the
+    //    naive all-PEs configuration.
+    let measured = simulate_hpl(&spec, &best.config, &HplParams::order(n)).wall_seconds;
+    let naive = Configuration::p1m1_p2m2(1, 1, 8, 1);
+    let naive_t = simulate_hpl(&spec, &naive, &HplParams::order(n)).wall_seconds;
+    println!(
+        "measured: chosen config {measured:.1} s vs naive all-PEs (M1=1) {naive_t:.1} s \
+         -> {:.0}% faster",
+        100.0 * (naive_t - measured) / naive_t
+    );
+}

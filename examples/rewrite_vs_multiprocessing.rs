@@ -1,0 +1,48 @@
+//! The paper's central pitch, quantified: how much of a *rewritten*
+//! application's benefit does the no-rewrite multiprocessing approach
+//! recover?
+//!
+//! §2 positions the work against Kalinov & Lastovetsky and Beaumont et
+//! al., who modify the application to give fast PEs proportionally more
+//! data. This example runs all three strategies on the simulated cluster:
+//! unmodified HPL, the paper's multiprocessing, and a speed-weighted
+//! rewrite.
+//!
+//! Run with: `cargo run --release --example rewrite_vs_multiprocessing`
+
+use hetero_etm::cluster::spec::paper_cluster;
+use hetero_etm::cluster::{CommLibProfile, Configuration};
+use hetero_etm::hpl::{simulate_hpl, simulate_hpl_weighted, HplParams};
+
+fn main() {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    println!(
+        "{:>6} {:>12} {:>18} {:>14} {:>10}",
+        "N", "unmodified", "multiprocessing", "rewrite", "captured"
+    );
+    for n in [3200usize, 4800, 6400, 9600] {
+        let params = HplParams::order(n);
+        let equal = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params)
+            .wall_seconds;
+        let (best_m1, multi) = (1..=6usize)
+            .map(|m1| {
+                let t = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, m1, 8, 1), &params)
+                    .wall_seconds;
+                (m1, t)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let rewrite =
+            simulate_hpl_weighted(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params)
+                .wall_seconds;
+        let captured = 100.0 * (equal - multi) / (equal - rewrite);
+        println!(
+            "{n:>6} {equal:>11.1}s {multi:>12.1}s (M1={best_m1}) {rewrite:>13.1}s {captured:>9.0}%"
+        );
+    }
+    println!(
+        "\n-> the rewrite is the ceiling; multiprocessing closes most of the\n\
+         gap at production sizes while leaving the application untouched —\n\
+         the trade the paper argues for."
+    );
+}
