@@ -1,42 +1,32 @@
 //! Benchmarks regenerating the paper's *figures*: Fig 1 (multiprocessing
 //! Gflops), Fig 2 (NetPIPE throughput), Fig 3 (heterogeneous
 //! configurations). Each benchmark runs the same code path as
-//! `repro fig*`, on a single representative parameter point so Criterion
-//! iterations stay short.
+//! `repro fig*`, on a single representative parameter point so the
+//! timed iterations stay short.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use etm_bench::{black_box, Runner};
 use etm_cluster::spec::paper_cluster;
 use etm_cluster::{CommLibProfile, Configuration, Placement};
 use etm_hpl::{simulate_hpl, HplParams};
 use etm_mpisim::netpipe::ping_pong;
 
-fn fig1_multiprocessing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_multiprocessing");
-    g.sample_size(10);
+fn fig1_multiprocessing(r: &mut Runner) {
     for (name, profile) in [
         ("mpich121", CommLibProfile::mpich121()),
         ("mpich122", CommLibProfile::mpich122()),
     ] {
         let spec = paper_cluster(profile);
         for m in [1usize, 4] {
-            g.bench_with_input(
-                BenchmarkId::new(name, format!("{m}P_per_cpu")),
-                &m,
-                |b, &m| {
-                    let cfg = Configuration::p1m1_p2m2(1, m, 0, 0);
-                    let params = HplParams::order(2000);
-                    b.iter(|| black_box(simulate_hpl(&spec, &cfg, &params).gflops));
-                },
-            );
+            let cfg = Configuration::p1m1_p2m2(1, m, 0, 0);
+            let params = HplParams::order(2000);
+            r.bench(&format!("fig1_multiprocessing/{name}/{m}P_per_cpu"), || {
+                black_box(simulate_hpl(&spec, &cfg, &params).gflops)
+            });
         }
     }
-    g.finish();
 }
 
-fn fig2_netpipe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_netpipe");
+fn fig2_netpipe(r: &mut Runner) {
     for (name, profile) in [
         ("mpich121", CommLibProfile::mpich121()),
         ("mpich122", CommLibProfile::mpich122()),
@@ -44,16 +34,13 @@ fn fig2_netpipe(c: &mut Criterion) {
         let spec = paper_cluster(profile);
         let placement =
             Placement::new(&spec, &Configuration::p1m1_p2m2(1, 2, 0, 0)).expect("placement");
-        g.bench_function(BenchmarkId::new(name, "128KiB_pingpong"), |b| {
-            b.iter(|| black_box(ping_pong(&spec, &placement, 128.0 * 1024.0, 8).bits_per_sec));
+        r.bench(&format!("fig2_netpipe/{name}/128KiB_pingpong"), || {
+            black_box(ping_pong(&spec, &placement, 128.0 * 1024.0, 8).bits_per_sec)
         });
     }
-    g.finish();
 }
 
-fn fig3_heterogeneous(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_heterogeneous");
-    g.sample_size(10);
+fn fig3_heterogeneous(r: &mut Runner) {
     let spec = paper_cluster(CommLibProfile::mpich122());
     for (name, cfg) in [
         ("athlon_x1", Configuration::p1m1_p2m2(1, 1, 0, 0)),
@@ -61,13 +48,17 @@ fn fig3_heterogeneous(c: &mut Criterion) {
         ("p2_x5", Configuration::p1m1_p2m2(0, 0, 5, 1)),
         ("ath4_plus_p2x4", Configuration::p1m1_p2m2(1, 4, 4, 1)),
     ] {
-        g.bench_function(name, |b| {
-            let params = HplParams::order(2400);
-            b.iter(|| black_box(simulate_hpl(&spec, &cfg, &params).gflops));
+        let params = HplParams::order(2400);
+        r.bench(&format!("fig3_heterogeneous/{name}"), || {
+            black_box(simulate_hpl(&spec, &cfg, &params).gflops)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, fig1_multiprocessing, fig2_netpipe, fig3_heterogeneous);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("figures");
+    fig1_multiprocessing(&mut r);
+    fig2_netpipe(&mut r);
+    fig3_heterogeneous(&mut r);
+    r.finish();
+}

@@ -7,9 +7,7 @@
 //!   hardware, which preserves the claim's point: estimation is ~10⁶×
 //!   cheaper than measurement).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use etm_bench::{black_box, Runner};
 use etm_core::adjust::AdjustmentRule;
 use etm_core::measurement::{MeasurementDb, Sample, SampleKey};
 use etm_core::ntmodel::NtModel;
@@ -52,8 +50,7 @@ fn synthetic_db(sizes: &[usize], p2s: &[usize]) -> MeasurementDb {
     db
 }
 
-fn model_construction_speed(c: &mut Criterion) {
-    let mut g = c.benchmark_group("model_construction_speed");
+fn model_construction_speed(r: &mut Runner) {
     // Basic: 9 sizes × 8 P2 values; NL/NS: 4 × 4.
     for (name, sizes, p2s) in [
         (
@@ -68,14 +65,13 @@ fn model_construction_speed(c: &mut Criterion) {
         ),
     ] {
         let db = synthetic_db(&sizes, &p2s);
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(ModelBank::fit(&db, 0.85).expect("fit")));
+        r.bench(&format!("model_construction_speed/{name}"), || {
+            black_box(ModelBank::fit(&db, 0.85).expect("fit"))
         });
     }
-    g.finish();
 }
 
-fn estimation_speed_62_configs(c: &mut Criterion) {
+fn estimation_speed_62_configs(r: &mut Runner) {
     let db = synthetic_db(&[1600, 3200, 4800, 6400], &[1, 2, 4, 8]);
     let bank = ModelBank::fit(&db, 0.85).expect("fit");
     let mut estimator = Estimator::unadjusted(bank);
@@ -85,27 +81,26 @@ fn estimation_speed_62_configs(c: &mut Criterion) {
         base_coeff: 0.05,
     };
     let configs = evaluation_configs();
-    c.bench_function("estimation_speed_62_configs", |b| {
-        b.iter(|| {
-            let mut best = f64::INFINITY;
-            for cfg in &configs {
-                if let Ok(t) = estimator.estimate(cfg, black_box(6400)) {
-                    best = best.min(t);
-                }
+    r.bench("estimation_speed_62_configs", || {
+        let mut best = f64::INFINITY;
+        for cfg in &configs {
+            if let Ok(t) = estimator.estimate(cfg, black_box(6400)) {
+                best = best.min(t);
             }
-            black_box(best)
-        });
+        }
+        black_box(best)
     });
 }
 
-fn lsq_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lsq_kernels");
+fn lsq_kernels(r: &mut Runner) {
     // The N-T fit: 9 observations, 4 coefficients.
-    let ns: Vec<f64> = [400.0, 600.0, 800.0, 1200.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0]
-        .to_vec();
+    let ns: Vec<f64> = [
+        400.0, 600.0, 800.0, 1200.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0,
+    ]
+    .to_vec();
     let ys: Vec<f64> = ns.iter().map(|n| 1e-9 * n * n * n + 0.3).collect();
-    g.bench_function("nt_fit_9x4", |b| {
-        b.iter(|| black_box(fit_poly(&ns, &ys, 3).expect("fit")));
+    r.bench("lsq_kernels/nt_fit_9x4", || {
+        black_box(fit_poly(&ns, &ys, 3).expect("fit"))
     });
     // The P-T fit: 36 observations, 3 coefficients.
     let rows: Vec<[f64; 3]> = (0..36)
@@ -115,21 +110,23 @@ fn lsq_kernels(c: &mut Criterion) {
             [p * c0, c0 / p, 1.0]
         })
         .collect();
-    let yc: Vec<f64> = rows.iter().map(|r| 0.2 * r[0] + 0.4 * r[1] + 0.05).collect();
+    let yc: Vec<f64> = rows
+        .iter()
+        .map(|r| 0.2 * r[0] + 0.4 * r[1] + 0.05)
+        .collect();
     let design = DesignMatrix::from_rows(&rows);
-    g.bench_function("pt_fit_36x3", |b| {
-        b.iter(|| black_box(multifit_linear(&design, &yc).expect("fit")));
+    r.bench("lsq_kernels/pt_fit_36x3", || {
+        black_box(multifit_linear(&design, &yc).expect("fit"))
     });
     // The adjustment fit.
     let est = [150.0, 210.0, 270.0, 330.0];
     let meas = [107.0, 104.0, 105.0, 127.0];
-    g.bench_function("adjustment_fit_4pts", |b| {
-        b.iter(|| black_box(LinearTransform::fit(&est, &meas).expect("fit")));
+    r.bench("lsq_kernels/adjustment_fit_4pts", || {
+        black_box(LinearTransform::fit(&est, &meas).expect("fit"))
     });
-    g.finish();
 }
 
-fn single_prediction_speed(c: &mut Criterion) {
+fn single_prediction_speed(r: &mut Runner) {
     let nt = NtModel {
         ka: [1e-9, 2e-7, 1e-4, 0.3],
         kc: [1e-8, 1e-5, 0.05],
@@ -145,21 +142,19 @@ fn single_prediction_speed(c: &mut Criterion) {
         })
         .collect();
     let pt = PtModel::fit(nt, &obs).expect("fit");
-    let mut g = c.benchmark_group("single_prediction");
-    g.bench_function("nt_total", |b| {
-        b.iter(|| black_box(nt.total(black_box(6400))));
+    r.bench("single_prediction/nt_total", || {
+        black_box(nt.total(black_box(6400)))
     });
-    g.bench_function("pt_total", |b| {
-        b.iter(|| black_box(pt.total(black_box(6400), black_box(12))));
+    r.bench("single_prediction/pt_total", || {
+        black_box(pt.total(black_box(6400), black_box(12)))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    model_construction_speed,
-    estimation_speed_62_configs,
-    lsq_kernels,
-    single_prediction_speed
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("model_speed");
+    model_construction_speed(&mut r);
+    estimation_speed_62_configs(&mut r);
+    lsq_kernels(&mut r);
+    single_prediction_speed(&mut r);
+    r.finish();
+}

@@ -3,9 +3,7 @@
 //! event throughput. These are ablation-style checks that the built
 //! substrates are fast enough to carry the reproduction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use etm_bench::{black_box, Runner};
 use etm_hpl::numeric::run_numeric;
 use etm_hpl::HplParams;
 use etm_linalg::blas3::{dgemm, dgemm_naive, par_dgemm};
@@ -14,105 +12,84 @@ use etm_linalg::lu::dgetrf;
 use etm_linalg::Matrix;
 use etm_sim::Simulation;
 
-fn gemm_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemm_kernels");
+fn gemm_kernels(r: &mut Runner) {
     for &n in &[64usize, 192] {
         let a = seeded_matrix(n, n, 1);
         let b = seeded_matrix(n, n, 2);
-        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
-            let mut cm = Matrix::zeros(n, n);
-            bch.iter(|| dgemm_naive(1.0, &a, &b, 0.0, black_box(&mut cm)));
+        let mut cm = Matrix::zeros(n, n);
+        r.bench(&format!("gemm_kernels/naive/{n}"), || {
+            dgemm_naive(1.0, &a, &b, 0.0, black_box(&mut cm))
         });
-        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
-            let mut cm = Matrix::zeros(n, n);
-            bch.iter(|| dgemm(1.0, &a, &b, 0.0, black_box(&mut cm)));
+        r.bench(&format!("gemm_kernels/blocked/{n}"), || {
+            dgemm(1.0, &a, &b, 0.0, black_box(&mut cm))
         });
-        g.bench_with_input(BenchmarkId::new("rayon", n), &n, |bch, _| {
-            let mut cm = Matrix::zeros(n, n);
-            bch.iter(|| par_dgemm(1.0, &a, &b, 0.0, black_box(&mut cm)));
+        r.bench(&format!("gemm_kernels/parallel/{n}"), || {
+            par_dgemm(1.0, &a, &b, 0.0, black_box(&mut cm))
         });
     }
-    g.finish();
 }
 
-fn lu_factorization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lu_factorization");
-    g.sample_size(20);
+fn lu_factorization(r: &mut Runner) {
     for &n in &[128usize, 256] {
         let a0 = hpl_matrix(n, 7);
         for &nb in &[16usize, 64] {
-            g.bench_with_input(BenchmarkId::new(format!("nb{nb}"), n), &n, |bch, _| {
-                bch.iter(|| {
-                    let mut a = a0.clone();
-                    black_box(dgetrf(&mut a, nb).expect("non-singular"))
-                });
+            r.bench(&format!("lu_factorization/nb{nb}/{n}"), || {
+                let mut a = a0.clone();
+                black_box(dgetrf(&mut a, nb).expect("non-singular"))
             });
         }
     }
-    g.finish();
 }
 
-fn numeric_hpl(c: &mut Criterion) {
-    let mut g = c.benchmark_group("numeric_hpl");
-    g.sample_size(10);
+fn numeric_hpl(r: &mut Runner) {
     for &p in &[1usize, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            let params = HplParams::order(192).with_nb(32);
-            b.iter(|| black_box(run_numeric(&params, p).residual.scaled));
+        let params = HplParams::order(192).with_nb(32);
+        r.bench(&format!("numeric_hpl/{p}"), || {
+            black_box(run_numeric(&params, p).residual.scaled)
         });
     }
-    g.finish();
 }
 
 /// Raw DES throughput: ping-pong events between two processes.
-fn des_event_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des_event_throughput");
-    g.sample_size(10);
+fn des_event_throughput(r: &mut Runner) {
     let rounds = 2000u32;
-    g.throughput(Throughput::Elements(2 * rounds as u64));
-    g.bench_function("pingpong_2000", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new();
-            let to_b = sim.add_mailbox();
-            let to_a = sim.add_mailbox();
-            sim.spawn("a", move |ctx| {
-                for i in 0..rounds {
-                    ctx.send(to_b, i);
-                    let _: u32 = ctx.recv(to_a);
-                }
-            });
-            sim.spawn("b", move |ctx| {
-                for _ in 0..rounds {
-                    let v: u32 = ctx.recv(to_b);
-                    ctx.send(to_a, v);
-                }
-            });
-            black_box(sim.run().expect("no deadlock"))
-        });
-    });
-    g.bench_function("processor_sharing_16x", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new();
-            let cpu = sim.add_shared_resource("cpu", 1.0);
-            for _ in 0..16 {
-                sim.spawn("w", move |ctx| {
-                    for _ in 0..50 {
-                        ctx.compute(cpu, 0.01);
-                    }
-                });
+    r.bench("des_event_throughput/pingpong_2000", || {
+        let mut sim = Simulation::new();
+        let to_b = sim.add_mailbox();
+        let to_a = sim.add_mailbox();
+        sim.spawn("a", move |ctx| {
+            for i in 0..rounds {
+                ctx.send(to_b, i);
+                let _: u32 = ctx.recv(to_a);
             }
-            black_box(sim.run().expect("no deadlock"))
         });
+        sim.spawn("b", move |ctx| {
+            for _ in 0..rounds {
+                let v: u32 = ctx.recv(to_b);
+                ctx.send(to_a, v);
+            }
+        });
+        black_box(sim.run().expect("no deadlock"))
     });
-    g.finish();
+    r.bench("des_event_throughput/processor_sharing_16x", || {
+        let mut sim = Simulation::new();
+        let cpu = sim.add_shared_resource("cpu", 1.0);
+        for _ in 0..16 {
+            sim.spawn("w", move |ctx| {
+                for _ in 0..50 {
+                    ctx.compute(cpu, 0.01);
+                }
+            });
+        }
+        black_box(sim.run().expect("no deadlock"))
+    });
 }
 
-criterion_group!(
-    benches,
-    gemm_kernels,
-    lu_factorization,
-    numeric_hpl,
-    des_event_throughput
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("substrates");
+    gemm_kernels(&mut r);
+    lu_factorization(&mut r);
+    numeric_hpl(&mut r);
+    des_event_throughput(&mut r);
+    r.finish();
+}

@@ -1,12 +1,10 @@
 //! Benchmarks regenerating the paper's *tables*: the measurement
 //! campaigns behind Tables 3/6 and the model-evaluation pipelines behind
 //! Tables 4/7/9, on trimmed parameter grids (a single construction size /
-//! evaluation point per iteration) so the full Criterion run stays in
-//! minutes. `repro all` regenerates the full-size tables.
+//! evaluation point per iteration) so the full run stays in minutes.
+//! `repro all` regenerates the full-size tables.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use etm_bench::{black_box, Runner};
 use etm_cluster::spec::paper_cluster;
 use etm_cluster::{CommLibProfile, Configuration, KindId};
 use etm_core::measurement::{MeasurementDb, SampleKey};
@@ -41,17 +39,14 @@ fn mini_plan(ns: &[usize]) -> MeasurementPlan {
     }
 }
 
-fn table3_measurement_campaign(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_measurement_campaign");
-    g.sample_size(10);
+fn table3_measurement_campaign(r: &mut Runner) {
     let spec = paper_cluster(CommLibProfile::mpich122());
     for &n in &[400usize, 1200] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let plan = mini_plan(&[n]);
-            b.iter(|| black_box(run_construction(&spec, &plan, 64).total_cost()));
+        let plan = mini_plan(&[n]);
+        r.bench(&format!("table3_measurement_campaign/{n}"), || {
+            black_box(run_construction(&spec, &plan, 64).total_cost())
         });
     }
-    g.finish();
 }
 
 fn build_db(ns: &[usize]) -> MeasurementDb {
@@ -81,56 +76,52 @@ fn build_db(ns: &[usize]) -> MeasurementDb {
 /// Tables 4/7/9 pipeline: fit models from a pre-measured database and
 /// select the best configuration — the decision-making half of the
 /// paper, separated from measurement cost.
-fn table479_fit_and_select(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table479_fit_and_select");
+fn table479_fit_and_select(r: &mut Runner) {
     // Basic-like (large grid) and NS-like (small grid).
     for (name, ns) in [
         ("nl_like", vec![1600usize, 3200, 4800, 6400]),
         ("ns_like", vec![400usize, 800, 1200, 1600]),
     ] {
         let db = build_db(&ns);
-        g.bench_function(BenchmarkId::new("fit_bank", name), |b| {
-            b.iter(|| black_box(ModelBank::fit(&db, 0.85).expect("fit")));
+        r.bench(&format!("table479_fit_and_select/fit_bank/{name}"), || {
+            black_box(ModelBank::fit(&db, 0.85).expect("fit"))
         });
         let bank = ModelBank::fit(&db, 0.85).expect("fit");
         let estimator = Estimator::unadjusted(bank);
         let candidates: Vec<Configuration> = (1..=3)
-            .flat_map(|m1| (0..=8).map(move |p2| {
-                Configuration::p1m1_p2m2(1, m1, p2, usize::from(p2 > 0))
-            }))
+            .flat_map(|m1| {
+                (0..=8).map(move |p2| Configuration::p1m1_p2m2(1, m1, p2, usize::from(p2 > 0)))
+            })
             .collect();
-        g.bench_function(BenchmarkId::new("select_best", name), |b| {
-            b.iter(|| {
+        r.bench(
+            &format!("table479_fit_and_select/select_best/{name}"),
+            || {
                 black_box(
                     exhaustive(&candidates, |cfg| estimator.estimate(cfg, 6400))
                         .expect("estimates"),
                 )
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
 /// The ground-truthing step of Tables 4/7/9: measuring one evaluation
 /// configuration.
-fn table479_measure_one_eval_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table479_measure_eval_point");
-    g.sample_size(10);
+fn table479_measure_one_eval_point(r: &mut Runner) {
     let spec = paper_cluster(CommLibProfile::mpich122());
     for &n in &[1600usize, 3200] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let cfg = Configuration::p1m1_p2m2(1, 2, 8, 1);
-            let params = HplParams::order(n);
-            b.iter(|| black_box(simulate_hpl(&spec, &cfg, &params).wall_seconds));
+        let cfg = Configuration::p1m1_p2m2(1, 2, 8, 1);
+        let params = HplParams::order(n);
+        r.bench(&format!("table479_measure_eval_point/{n}"), || {
+            black_box(simulate_hpl(&spec, &cfg, &params).wall_seconds)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    table3_measurement_campaign,
-    table479_fit_and_select,
-    table479_measure_one_eval_point
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("tables");
+    table3_measurement_campaign(&mut r);
+    table479_fit_and_select(&mut r);
+    table479_measure_one_eval_point(&mut r);
+    r.finish();
+}

@@ -8,7 +8,7 @@
 //! multiprocessing viable at all (their Fig. 1). A [`CommLibProfile`]
 //! captures that intra-node throughput curve.
 
-use serde::{Deserialize, Serialize};
+use etm_support::json_struct;
 
 /// Intra-node communication profile of an MPI implementation.
 ///
@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// curve `bw_max · b / (b + half_size)`, optionally degraded beyond a
 /// buffer-management cliff — the signature of MPICH-1.2.1's localhost
 /// path in Fig. 2(a).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CommLibProfile {
     /// Profile name ("MPICH-1.2.1").
     pub name: String,
@@ -30,6 +30,14 @@ pub struct CommLibProfile {
     /// decays as `cliff / b` of its plateau value (buffer thrashing).
     pub intra_cliff_bytes: Option<f64>,
 }
+
+json_struct!(CommLibProfile {
+    name,
+    intra_bw_max,
+    intra_half_bytes,
+    intra_latency,
+    intra_cliff_bytes,
+});
 
 impl CommLibProfile {
     /// MPICH-1.2.1 analogue: low plateau (~0.35 Gb/s ≈ 44 MB/s) with a

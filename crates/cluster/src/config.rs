@@ -7,12 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use etm_support::json_struct;
 
 use crate::spec::{ClusterSpec, KindId};
 
 /// Participation of one PE kind in a run.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct KindUse {
     /// The PE kind.
     pub kind: KindId,
@@ -24,11 +24,18 @@ pub struct KindUse {
 
 /// A full cluster configuration: one [`KindUse`] per kind (kinds with
 /// `pes = 0` may be omitted).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Configuration {
     /// Per-kind usage.
     pub uses: Vec<KindUse>,
 }
+
+json_struct!(KindUse {
+    kind,
+    pes,
+    procs_per_pe
+});
+json_struct!(Configuration { uses });
 
 /// Errors validating a configuration against a cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]

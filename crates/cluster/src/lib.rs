@@ -18,6 +18,7 @@
 //!
 //! All quantities are SI: seconds, bytes, flops.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commlib;

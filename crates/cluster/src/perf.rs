@@ -109,13 +109,7 @@ impl<'a> PerfModel<'a> {
 
     /// Uncontended seconds for `flops` of panel-factorization work
     /// (BLAS-2 bound `dgetf2`, the paper's `pfact`).
-    pub fn panel_time(
-        &self,
-        kind: KindId,
-        flops: f64,
-        m_on_cpu: usize,
-        overcommit: f64,
-    ) -> f64 {
+    pub fn panel_time(&self, kind: KindId, flops: f64, m_on_cpu: usize, overcommit: f64) -> f64 {
         let k = self.spec.kind(kind);
         let rate = k.peak_flops * k.panel_eff;
         flops / rate * self.mp_factor(kind, m_on_cpu) * self.swap_factor(overcommit)

@@ -1,12 +1,25 @@
 //! Cluster hardware description.
 
-use serde::{Deserialize, Serialize};
+use etm_support::json::{FromJson, Json, JsonError, ToJson};
+use etm_support::json_struct;
 
 use crate::commlib::CommLibProfile;
 
 /// Index of a PE kind within a [`ClusterSpec`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct KindId(pub usize);
+
+impl ToJson for KindId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for KindId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        usize::from_json(v).map(KindId)
+    }
+}
 
 /// A *kind* of processing element (one CPU model), with the calibration
 /// constants the performance model needs.
@@ -14,7 +27,7 @@ pub struct KindId(pub usize);
 /// The defaults in [`athlon_1333`] / [`pentium2_400`] are calibrated so
 /// the simulated cluster reproduces the *shapes* of the paper's figures
 /// (see DESIGN.md §4); they are not claimed to be cycle-accurate.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PeKind {
     /// Human-readable name ("Athlon", "Pentium-II").
     pub name: String,
@@ -80,7 +93,7 @@ pub fn pentium2_400() -> PeKind {
 }
 
 /// One physical node: CPUs of a single kind sharing memory and a NIC.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NodeSpec {
     /// Node name ("node1").
     pub name: String,
@@ -93,7 +106,7 @@ pub struct NodeSpec {
 }
 
 /// Inter-node network parameters (the paper measures over 100base-TX).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetworkSpec {
     /// Per-NIC sustained bandwidth in bytes/s.
     pub bandwidth: f64,
@@ -121,7 +134,7 @@ impl NetworkSpec {
 }
 
 /// A complete heterogeneous cluster: kinds, nodes, network, MPI library.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterSpec {
     /// The PE kinds present, indexed by [`KindId`].
     pub kinds: Vec<PeKind>,
@@ -180,6 +193,33 @@ impl ClusterSpec {
     }
 }
 
+json_struct!(PeKind {
+    name,
+    clock_ghz,
+    peak_flops,
+    eff_min,
+    eff_halfway_bytes,
+    panel_eff,
+    mem_bw,
+    mp_overhead,
+    sched_quantum,
+});
+json_struct!(NodeSpec {
+    name,
+    kind,
+    cpus,
+    memory_bytes
+});
+json_struct!(NetworkSpec { bandwidth, latency });
+json_struct!(ClusterSpec {
+    kinds,
+    nodes,
+    network,
+    comm_lib,
+    usable_mem_frac,
+    swap_beta,
+});
+
 /// The paper's evaluation platform (Table 1): one Athlon node plus four
 /// dual-Pentium-II nodes, 100base-TX, 768 MB everywhere.
 pub fn paper_cluster(comm_lib: CommLibProfile) -> ClusterSpec {
@@ -213,8 +253,10 @@ mod tests {
         assert_eq!(c.cpus_of_kind(KindId(0)), 1, "one Athlon");
         assert_eq!(c.cpus_of_kind(KindId(1)), 8, "eight Pentium-IIs");
         assert_eq!(c.kind(KindId(0)).name, "Athlon");
-        assert!(c.kind(KindId(0)).peak_flops > 4.0 * c.kind(KindId(1)).peak_flops,
-            "Athlon is ~5x a Pentium-II");
+        assert!(
+            c.kind(KindId(0)).peak_flops > 4.0 * c.kind(KindId(1)).peak_flops,
+            "Athlon is ~5x a Pentium-II"
+        );
     }
 
     #[test]
@@ -232,10 +274,10 @@ mod tests {
     }
 
     #[test]
-    fn spec_serde_roundtrip() {
+    fn spec_json_roundtrip() {
         let c = paper_cluster(CommLibProfile::mpich121());
-        let json = serde_json::to_string(&c).unwrap();
-        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        let json = etm_support::json::to_string(&c);
+        let back: ClusterSpec = etm_support::json::from_str(&json).unwrap();
         assert_eq!(c, back);
     }
 }

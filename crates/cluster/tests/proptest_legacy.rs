@@ -1,0 +1,115 @@
+//! Legacy proptest suites, kept verbatim behind the off-by-default
+//! `proptest` feature. The hermetic build cannot resolve the registry
+//! `proptest` crate, so enabling this feature also requires restoring
+//! that dependency (see README "Offline / hermetic build").
+#![cfg(feature = "proptest")]
+
+//! Property-based tests of the cluster cost models and placement logic.
+
+use etm_cluster::commlib::CommLibProfile;
+use etm_cluster::spec::paper_cluster;
+use etm_cluster::{Configuration, KindId, PerfModel, Placement};
+use proptest::prelude::*;
+
+proptest! {
+    /// Placement is total and consistent for every valid configuration.
+    #[test]
+    fn placement_consistency(
+        p1 in 0usize..=1,
+        m1 in 1usize..=6,
+        p2 in 0usize..=8,
+        m2 in 1usize..=6,
+    ) {
+        let spec = paper_cluster(CommLibProfile::mpich122());
+        let cfg = Configuration::p1m1_p2m2(p1, m1 * p1.min(1), p2, m2 * p2.min(1));
+        prop_assume!(cfg.total_processes() > 0);
+        let placement = Placement::new(&spec, &cfg).unwrap();
+        prop_assert_eq!(placement.len(), cfg.total_processes());
+        // Ranks are dense and unique.
+        let mut ranks: Vec<usize> = placement.slots.iter().map(|s| s.rank).collect();
+        ranks.sort_unstable();
+        prop_assert_eq!(ranks.clone(), (0..placement.len()).collect::<Vec<_>>());
+        // Per-CPU process counts match the configuration's Mi.
+        for slot in &placement.slots {
+            let expected = cfg.procs_per_pe(slot.kind);
+            prop_assert_eq!(placement.procs_on_cpu(slot), expected);
+        }
+        // Node process totals partition the ranks.
+        let node_total: usize = placement
+            .used_nodes()
+            .iter()
+            .map(|&n| placement.procs_on_node(n))
+            .sum();
+        prop_assert_eq!(node_total, placement.len());
+    }
+
+    /// Cost-model monotonicity: more flops cost more; more co-resident
+    /// processes never speed a task up; overcommit never helps.
+    #[test]
+    fn cost_model_monotonicity(
+        n in 400usize..8000,
+        flops_k in 1.0f64..100.0,
+        m in 1usize..6,
+        oc in 0.0f64..2.0,
+    ) {
+        let spec = paper_cluster(CommLibProfile::mpich122());
+        let pm = PerfModel::new(&spec, n, 4);
+        let kind = KindId(1);
+        let flops = flops_k * 1e8;
+        let t = pm.gemm_time(kind, flops, m, oc, 64);
+        prop_assert!(t > 0.0);
+        prop_assert!(pm.gemm_time(kind, 2.0 * flops, m, oc, 64) > t);
+        prop_assert!(pm.gemm_time(kind, flops, m + 1, oc, 64) >= t);
+        prop_assert!(pm.gemm_time(kind, flops, m, oc + 0.5, 64) >= t);
+        // Panel work is never cheaper per flop than BLAS-3.
+        prop_assert!(pm.panel_time(kind, flops, m, oc) >= t);
+    }
+
+    /// DGEMM efficiency is monotone in problem size and bounded by 1.
+    #[test]
+    fn efficiency_monotone_in_n(
+        n1 in 400usize..4000,
+        delta in 100usize..6000,
+        p in 1usize..14,
+    ) {
+        let spec = paper_cluster(CommLibProfile::mpich122());
+        for kind in [KindId(0), KindId(1)] {
+            let e1 = PerfModel::new(&spec, n1, p).dgemm_eff(kind, 64);
+            let e2 = PerfModel::new(&spec, n1 + delta, p).dgemm_eff(kind, 64);
+            prop_assert!(e2 >= e1, "eff must rise with N: {e1} -> {e2}");
+            prop_assert!(e2 < 1.0);
+            prop_assert!(e1 >= spec.kind(kind).eff_min);
+        }
+    }
+
+    /// Intra-node throughput is monotone in message size up to any cliff
+    /// and never exceeds the plateau.
+    #[test]
+    fn comm_profile_bounds(bytes in 64.0f64..1e7) {
+        for lib in [CommLibProfile::mpich121(), CommLibProfile::mpich122()] {
+            let bw = lib.intra_throughput(bytes);
+            prop_assert!(bw > 0.0);
+            prop_assert!(bw <= lib.intra_bw_max);
+            let t = lib.intra_time(bytes);
+            prop_assert!(t >= lib.intra_latency);
+        }
+    }
+
+    /// Memory overcommit grows with N and shrinks with more processes
+    /// spread over more nodes.
+    #[test]
+    fn overcommit_scales_with_problem(
+        n in 2000usize..12000,
+    ) {
+        let spec = paper_cluster(CommLibProfile::mpich122());
+        let single = Configuration::p1m1_p2m2(1, 1, 0, 0);
+        let placement = Placement::new(&spec, &single).unwrap();
+        let oc_small = PerfModel::new(&spec, n, 1).node_overcommit(&placement, 0, 64);
+        let oc_big = PerfModel::new(&spec, n + 1000, 1).node_overcommit(&placement, 0, 64);
+        prop_assert!(oc_big > oc_small);
+        // Swap factor only punishes overcommit > 1.
+        let pm = PerfModel::new(&spec, n, 1);
+        prop_assert_eq!(pm.swap_factor(oc_small.min(1.0)), 1.0);
+        prop_assert!(pm.swap_factor(1.5) > 1.0);
+    }
+}

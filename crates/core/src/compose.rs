@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn fitted_scale_recovers_exact_ratio() {
         let slow = nt_from_curve(|x| 4e-9 * x * x * x + 1e-5 * x * x, |x| 1e-7 * x * x);
-        let fast = nt_from_curve(|x| 0.27 * (4e-9 * x * x * x + 1e-5 * x * x), |x| 1e-7 * x * x);
+        let fast = nt_from_curve(
+            |x| 0.27 * (4e-9 * x * x * x + 1e-5 * x * x),
+            |x| 1e-7 * x * x,
+        );
         let s = fit_ta_scale(&fast, &slow, &[1600, 3200, 6400]);
         assert!((s - 0.27).abs() < 1e-9, "got {s}");
     }
@@ -104,7 +107,10 @@ mod tests {
             (r_large, r_small)
         };
         assert!(s >= lo && s <= hi, "{s} outside [{lo}, {hi}]");
-        assert!((s - r_large).abs() < (s - r_small).abs(), "biased to large N");
+        assert!(
+            (s - r_large).abs() < (s - r_small).abs(),
+            "biased to large N"
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   NL, NS) and the 62-configuration evaluation grid.
 //! * [`pipeline`] — end-to-end: run the simulated measurements, fit every
 //!   model, build the [`Estimator`], pick the best configuration.
+//! * [`validate`] — the model-validity audit: registered invariant
+//!   checks (finite coefficients, non-negative predictions, basis
+//!   conditioning) that `cargo xtask check` runs over a fitted bank.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adjust;
@@ -34,6 +38,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod ptmodel;
 pub mod report;
+pub mod validate;
 
 pub use adjust::AdjustmentRule;
 pub use measurement::{MeasurementDb, Sample, SampleKey};

@@ -5,11 +5,12 @@
 use std::collections::BTreeMap;
 
 use etm_cluster::KindId;
-use serde::{Deserialize, Serialize};
+use etm_support::json::{FromJson, Json, JsonError, ToJson};
+use etm_support::json_struct;
 
 /// Identifies a measured configuration of a *homogeneous* trial: `pes`
 /// PEs of `kind`, each running `m` processes.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SampleKey {
     /// PE kind index.
     pub kind: usize,
@@ -41,7 +42,7 @@ impl SampleKey {
 }
 
 /// One measured trial.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Sample {
     /// Matrix order N.
     pub n: usize,
@@ -54,39 +55,57 @@ pub struct Sample {
     /// Whether the trial spanned more than one node (inter-node
     /// communication present). §3.4 binning: the P-T communication model
     /// is fit only on samples from this regime.
-    #[serde(default)]
     pub multi_node: bool,
+}
+
+json_struct!(SampleKey { kind, pes, m });
+
+impl ToJson for Sample {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".to_string(), self.n.to_json()),
+            ("ta".to_string(), self.ta.to_json()),
+            ("tc".to_string(), self.tc.to_json()),
+            ("wall".to_string(), self.wall.to_json()),
+            ("multi_node".to_string(), self.multi_node.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Sample {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Sample {
+            n: v.field("n")?,
+            ta: v.field("ta")?,
+            tc: v.field("tc")?,
+            wall: v.field("wall")?,
+            // Databases written before the §3.4 binning work lack this
+            // flag; default to single-node, matching serde(default).
+            multi_node: v.field_or_default("multi_node")?,
+        })
+    }
 }
 
 /// All measurements of one campaign.
 ///
 /// Serialized as a list of `(key, samples)` pairs (JSON objects cannot
 /// key on structs).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-#[serde(from = "DbRepr", into = "DbRepr")]
+#[derive(Clone, Debug, Default)]
 pub struct MeasurementDb {
     samples: BTreeMap<SampleKey, Vec<Sample>>,
 }
 
-/// Serialization mirror of [`MeasurementDb`].
-#[derive(Serialize, Deserialize)]
-struct DbRepr {
-    entries: Vec<(SampleKey, Vec<Sample>)>,
-}
-
-impl From<DbRepr> for MeasurementDb {
-    fn from(r: DbRepr) -> Self {
-        MeasurementDb {
-            samples: r.entries.into_iter().collect(),
-        }
+impl ToJson for MeasurementDb {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("entries".to_string(), self.samples.to_json())])
     }
 }
 
-impl From<MeasurementDb> for DbRepr {
-    fn from(db: MeasurementDb) -> Self {
-        DbRepr {
-            entries: db.samples.into_iter().collect(),
-        }
+impl FromJson for MeasurementDb {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MeasurementDb {
+            samples: v.field("entries")?,
+        })
     }
 }
 
@@ -223,11 +242,20 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut db = MeasurementDb::new();
         db.record(key(3, 2), sample(1600, 7.5));
-        let json = serde_json::to_string(&db).unwrap();
-        let back: MeasurementDb = serde_json::from_str(&json).unwrap();
+        let json = etm_support::json::to_string(&db);
+        let back: MeasurementDb = etm_support::json::from_str(&json).unwrap();
         assert_eq!(back.samples(&key(3, 2))[0].wall, 7.5);
+    }
+
+    /// Pre-binning databases have no `multi_node` key; reading them must
+    /// default the flag to false instead of erroring.
+    #[test]
+    fn missing_multi_node_defaults_false() {
+        let text = "{\"n\": 400, \"ta\": 1.0, \"tc\": 0.5, \"wall\": 1.6}";
+        let s: Sample = etm_support::json::from_str(text).unwrap();
+        assert!(!s.multi_node);
     }
 }

@@ -3,7 +3,7 @@
 //! piecewise extension.
 
 use etm_lsq::{multifit_linear, DesignMatrix, LsqError};
-use serde::{Deserialize, Serialize};
+use etm_support::json_struct;
 
 use crate::measurement::Sample;
 
@@ -14,13 +14,15 @@ use crate::measurement::Sample;
 /// dominates computation (O(N³)); `laswp` and `bcast` make communication
 /// O(N²). Coefficients are extracted from ≥4 measured problem sizes by
 /// least squares.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NtModel {
     /// `[k0, k1, k2, k3]`, descending powers.
     pub ka: [f64; 4],
     /// `[k4, k5, k6]`, descending powers.
     pub kc: [f64; 3],
 }
+
+json_struct!(NtModel { ka, kc });
 
 impl NtModel {
     /// Fits both polynomials from measured samples.
@@ -39,9 +41,7 @@ impl NtModel {
                 .collect::<Vec<_>>(),
         );
         let fa = multifit_linear(&xa, &tas)?;
-        let xc = DesignMatrix::from_rows(
-            &ns.iter().map(|&n| [n * n, n, 1.0]).collect::<Vec<_>>(),
-        );
+        let xc = DesignMatrix::from_rows(&ns.iter().map(|&n| [n * n, n, 1.0]).collect::<Vec<_>>());
         let fc = multifit_linear(&xc, &tcs)?;
         Ok(NtModel {
             ka: [fa.coeffs[0], fa.coeffs[1], fa.coeffs[2], fa.coeffs[3]],
@@ -74,13 +74,15 @@ impl NtModel {
 ///
 /// Bins are `(upper_n_exclusive, model)` in ascending order; the last bin
 /// catches everything above.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MemoryBinnedNt {
     /// `(threshold, model)`: the model applies while `N <` threshold.
     pub bins: Vec<(usize, NtModel)>,
     /// Model for `N ≥` the last threshold.
     pub tail: NtModel,
 }
+
+json_struct!(MemoryBinnedNt { bins, tail });
 
 impl MemoryBinnedNt {
     /// Creates a binned model.
@@ -132,7 +134,10 @@ mod tests {
 
     #[test]
     fn recovers_exact_polynomials() {
-        let samples: Vec<Sample> = [400, 800, 1600, 3200, 6400].iter().map(|&n| synth(n)).collect();
+        let samples: Vec<Sample> = [400, 800, 1600, 3200, 6400]
+            .iter()
+            .map(|&n| synth(n))
+            .collect();
         let m = NtModel::fit(&samples).unwrap();
         assert!((m.ka[0] - 1e-9).abs() < 1e-13);
         assert!((m.kc[0] - 5e-7).abs() < 1e-11);

@@ -8,7 +8,8 @@ use std::fmt;
 use etm_cluster::{ClusterSpec, Configuration, KindId};
 use etm_hpl::{simulate_hpl, HplParams, SimulatedRun};
 use etm_lsq::LsqError;
-use serde::{Deserialize, Serialize};
+use etm_support::json::{FromJson, Json, JsonError, ToJson};
+use etm_support::json_struct;
 
 use crate::adjust::AdjustmentRule;
 use crate::compose::{compose_fitted, PAPER_TC_SCALE};
@@ -75,8 +76,7 @@ impl From<LsqError> for PipelineError {
 ///
 /// Serialized as lists of `(key, model)` pairs (JSON objects cannot key
 /// on structs or tuples).
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(from = "BankRepr", into = "BankRepr")]
+#[derive(Clone, Debug)]
 pub struct ModelBank {
     /// N-T models per homogeneous configuration.
     pub nt: BTreeMap<SampleKey, NtModel>,
@@ -86,31 +86,23 @@ pub struct ModelBank {
     pub composed_kinds: Vec<usize>,
 }
 
-/// Serialization mirror of [`ModelBank`].
-#[derive(Serialize, Deserialize)]
-struct BankRepr {
-    nt: Vec<(SampleKey, NtModel)>,
-    pt: Vec<((usize, usize), PtModel)>,
-    composed_kinds: Vec<usize>,
-}
-
-impl From<BankRepr> for ModelBank {
-    fn from(r: BankRepr) -> Self {
-        ModelBank {
-            nt: r.nt.into_iter().collect(),
-            pt: r.pt.into_iter().collect(),
-            composed_kinds: r.composed_kinds,
-        }
+impl ToJson for ModelBank {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("nt".to_string(), self.nt.to_json()),
+            ("pt".to_string(), self.pt.to_json()),
+            ("composed_kinds".to_string(), self.composed_kinds.to_json()),
+        ])
     }
 }
 
-impl From<ModelBank> for BankRepr {
-    fn from(b: ModelBank) -> Self {
-        BankRepr {
-            nt: b.nt.into_iter().collect(),
-            pt: b.pt.into_iter().collect(),
-            composed_kinds: b.composed_kinds,
-        }
+impl FromJson for ModelBank {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ModelBank {
+            nt: v.field("nt")?,
+            pt: v.field("pt")?,
+            composed_kinds: v.field("composed_kinds")?,
+        })
     }
 }
 
@@ -238,11 +230,7 @@ impl ModelBank {
             // Single-PE N-T models of both kinds at this m drive the Ta
             // scale; fall back to m=1 curves if needed.
             let target_nt = nt
-                .get(&SampleKey {
-                    kind,
-                    pes: 1,
-                    m,
-                })
+                .get(&SampleKey { kind, pes: 1, m })
                 .or_else(|| nt.get(&SampleKey { kind, pes: 1, m: 1 }));
             let donor_nt = nt
                 .get(&SampleKey {
@@ -278,7 +266,7 @@ impl ModelBank {
 }
 
 /// The complete estimator: model bank + binning rule + adjustment.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Estimator {
     /// The fitted models.
     pub bank: ModelBank,
@@ -288,6 +276,12 @@ pub struct Estimator {
     /// Athlon, kind 0).
     pub fast_kind: usize,
 }
+
+json_struct!(Estimator {
+    bank,
+    adjustment,
+    fast_kind
+});
 
 impl Estimator {
     /// Wraps a bank with no adjustment.
@@ -328,14 +322,12 @@ impl Estimator {
                     .ok_or(PipelineError::MissingNt(key))?;
                 nt.total(n)
             } else {
-                let pt = self
-                    .bank
-                    .pt
-                    .get(&(u.kind.0, u.procs_per_pe))
-                    .ok_or(PipelineError::MissingPt {
+                let pt = self.bank.pt.get(&(u.kind.0, u.procs_per_pe)).ok_or(
+                    PipelineError::MissingPt {
                         kind: u.kind.0,
                         m: u.procs_per_pe,
-                    })?;
+                    },
+                )?;
                 pt.total(n, p_total)
             };
             worst = worst.max(t);
@@ -392,7 +384,10 @@ pub fn run_construction(spec: &ClusterSpec, plan: &MeasurementPlan, nb: usize) -
             }],
         };
         let run = simulate_hpl(spec, &cfg, &HplParams::order(point.n).with_nb(nb));
-        db.record(point.key, sample_from_run(&run, point.key.kind_id(), point.n));
+        db.record(
+            point.key,
+            sample_from_run(&run, point.key.kind_id(), point.n),
+        );
     }
     db
 }

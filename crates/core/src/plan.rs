@@ -6,12 +6,12 @@
 //! measured to ground-truth the estimates).
 
 use etm_cluster::{Configuration, KindId};
-use serde::{Deserialize, Serialize};
+use etm_support::{json_enum, json_struct};
 
 use crate::measurement::SampleKey;
 
 /// Which of the paper's three campaigns.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PlanKind {
     /// §4.1: 9 problem sizes × 8 Pentium-II counts — the full campaign
     /// (≈ 6 h of measurement on the paper's hardware).
@@ -24,7 +24,7 @@ pub enum PlanKind {
 }
 
 /// One construction trial: a homogeneous configuration at one N.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ConstructionPoint {
     /// The homogeneous configuration key.
     pub key: SampleKey,
@@ -34,7 +34,7 @@ pub struct ConstructionPoint {
 
 /// One evaluation point: a candidate (possibly heterogeneous)
 /// configuration at one N.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EvalPoint {
     /// The candidate configuration.
     pub config: Configuration,
@@ -43,7 +43,7 @@ pub struct EvalPoint {
 }
 
 /// A full measurement campaign.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MeasurementPlan {
     /// Which campaign this is.
     pub kind: PlanKind,
@@ -56,6 +56,17 @@ pub struct MeasurementPlan {
     /// Problem sizes used for evaluation (ascending).
     pub evaluation_ns: Vec<usize>,
 }
+
+json_enum!(PlanKind { Basic, NL, NS });
+json_struct!(ConstructionPoint { key, n });
+json_struct!(EvalPoint { config, n });
+json_struct!(MeasurementPlan {
+    kind,
+    construction,
+    construction_ns,
+    evaluation,
+    evaluation_ns,
+});
 
 /// The paper's fast kind (Athlon) is kind 0, slow kind (P-II) kind 1.
 const FAST: KindId = KindId(0);

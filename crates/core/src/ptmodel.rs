@@ -15,7 +15,7 @@
 //! scales as `1/P`, `bcast` as `(P−1) ≈ P`, `laswp` as `1/P`.
 
 use etm_lsq::{multifit_linear, DesignMatrix, LsqError};
-use serde::{Deserialize, Serialize};
+use etm_support::json_struct;
 
 use crate::ntmodel::NtModel;
 
@@ -34,7 +34,7 @@ pub struct PtObservation {
 }
 
 /// P-T model for one `(kind, Mᵢ)`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PtModel {
     /// `Ta` coefficients `[k7, k8]`.
     pub ka: [f64; 2],
@@ -43,6 +43,8 @@ pub struct PtModel {
     /// The reference N-T model the bases are built from.
     pub reference: NtModel,
 }
+
+json_struct!(PtModel { ka, kc, reference });
 
 impl PtModel {
     /// Fits `k7..k11` from observations spanning several `P`.
@@ -158,7 +160,7 @@ mod tests {
                     ta: o.ta,
                     tc: o.tc,
                     wall: 0.0,
-            multi_node: true,
+                    multi_node: true,
                 }
             })
             .collect();
@@ -184,8 +186,10 @@ mod tests {
 
     #[test]
     fn needs_p_variation() {
-        let obs: Vec<PtObservation> =
-            [400, 800, 1600, 3200].iter().map(|&n| world(n, 4)).collect();
+        let obs: Vec<PtObservation> = [400, 800, 1600, 3200]
+            .iter()
+            .map(|&n| world(n, 4))
+            .collect();
         // Single P: the Tc design matrix columns P·C and C/P are
         // proportional -> rank deficient.
         assert!(PtModel::fit(reference(), &obs).is_err());

@@ -1,0 +1,379 @@
+//! Model-validity audit: a registry of invariant checks over a fitted
+//! [`ModelBank`].
+//!
+//! The checks encode what a *physically meaningful* execution-time model
+//! must satisfy regardless of the cluster it was fit on:
+//!
+//! * every coefficient is finite (a NaN/∞ coefficient means a fit
+//!   silently went wrong);
+//! * predicted times are non-negative over the paper's problem-size
+//!   range `N ∈ [400, 6400]` (Table 2's grid) and realistic process
+//!   counts;
+//! * every kind listed as composed (§3.5) actually has a P-T model;
+//! * the fitting bases are well-conditioned enough for the QR solver
+//!   (condition blow-ups surface as warnings before coefficients go
+//!   visibly bad).
+//!
+//! `cargo xtask check` runs the registry over a bank fit from the
+//! simulated paper cluster; library consumers can run it over any bank
+//! they load or fit (e.g. after editing a persisted model JSON by hand).
+
+use std::fmt;
+
+use etm_lsq::{condition_estimate, DesignMatrix};
+
+use crate::pipeline::ModelBank;
+
+/// The paper's construction grid (Table 2): the sizes every audit
+/// prediction sweep covers.
+pub const AUDIT_SIZES: [usize; 9] = [400, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400];
+
+/// Process counts the prediction sweep exercises per P-T model.
+const AUDIT_PS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Fraction of a model's dynamic range (its largest-magnitude
+/// prediction over the audit grid) by which a prediction may dip below
+/// zero before it counts as a violation. Unconstrained least squares
+/// legitimately crosses zero at the edge of the fitting range when the
+/// true time there is near zero; dips within this tolerance are
+/// reported as warnings, anything larger is a violation.
+const NEGATIVE_TOLERANCE: f64 = 0.01;
+
+/// Condition-estimate threshold above which a fitting basis is reported.
+/// QR in f64 loses roughly half the mantissa at 1e12; the paper's cubic
+/// basis over `[400, 6400]` sits orders of magnitude below this.
+const CONDITION_WARN: f64 = 1e12;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; reported, does not fail the
+    /// audit.
+    Warning,
+    /// An invariant violation; the audit fails.
+    Violation,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Violation => write!(f, "violation"),
+        }
+    }
+}
+
+/// One audit finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Name of the check that produced this finding.
+    pub check: &'static str,
+    /// Whether the finding fails the audit.
+    pub severity: Severity,
+    /// Human-readable description, including the offending key.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.severity, self.check, self.message)
+    }
+}
+
+/// A registered invariant check.
+pub struct Check {
+    /// Stable identifier, usable for filtering.
+    pub name: &'static str,
+    /// One-line description of the invariant.
+    pub what: &'static str,
+    run: fn(&ModelBank) -> Vec<Finding>,
+}
+
+impl Check {
+    /// Runs the check over a bank.
+    pub fn run(&self, bank: &ModelBank) -> Vec<Finding> {
+        (self.run)(bank)
+    }
+}
+
+/// The full check registry, in the order the audit runs them.
+pub fn registry() -> Vec<Check> {
+    vec![
+        Check {
+            name: "finite_coefficients",
+            what: "every fitted/composed coefficient is a finite number",
+            run: finite_coefficients,
+        },
+        Check {
+            name: "non_negative_predictions",
+            what: "predictions >= 0 for N in [400, 6400] (1%-of-scale edge tolerance)",
+            run: non_negative_predictions,
+        },
+        Check {
+            name: "composed_kinds_have_models",
+            what: "every kind recorded as composed has a P-T model",
+            run: composed_kinds_have_models,
+        },
+        Check {
+            name: "basis_condition",
+            what: "fitting bases are well-conditioned for the QR solver",
+            run: basis_condition,
+        },
+    ]
+}
+
+/// Runs every registered check over `bank` and returns all findings.
+pub fn audit(bank: &ModelBank) -> Vec<Finding> {
+    registry().iter().flat_map(|c| c.run(bank)).collect()
+}
+
+/// True when no finding is a [`Severity::Violation`].
+pub fn passes(findings: &[Finding]) -> bool {
+    findings.iter().all(|f| f.severity != Severity::Violation)
+}
+
+fn violation(check: &'static str, message: String) -> Finding {
+    Finding {
+        check,
+        severity: Severity::Violation,
+        message,
+    }
+}
+
+fn warning(check: &'static str, message: String) -> Finding {
+    Finding {
+        check,
+        severity: Severity::Warning,
+        message,
+    }
+}
+
+fn finite_coefficients(bank: &ModelBank) -> Vec<Finding> {
+    const CHECK: &str = "finite_coefficients";
+    let mut out = Vec::new();
+    for (key, nt) in &bank.nt {
+        let bad = nt.ka.iter().chain(nt.kc.iter()).any(|c| !c.is_finite());
+        if bad {
+            out.push(violation(
+                CHECK,
+                format!(
+                    "N-T model for kind {} pes {} m {} has non-finite coefficients: ka {:?} kc {:?}",
+                    key.kind, key.pes, key.m, nt.ka, nt.kc
+                ),
+            ));
+        }
+    }
+    for ((kind, m), pt) in &bank.pt {
+        let bad = pt
+            .ka
+            .iter()
+            .chain(pt.kc.iter())
+            .chain(pt.reference.ka.iter())
+            .chain(pt.reference.kc.iter())
+            .any(|c| !c.is_finite());
+        if bad {
+            out.push(violation(
+                CHECK,
+                format!("P-T model for kind {kind} M={m} has non-finite coefficients"),
+            ));
+        }
+    }
+    out
+}
+
+/// Classifies one model's prediction sweep: NaNs and negatives beyond
+/// the edge tolerance are violations, small edge dips are warnings.
+fn sweep_negatives(check: &'static str, preds: &[(String, f64)], out: &mut Vec<Finding>) {
+    let scale = preds.iter().map(|(_, t)| t.abs()).fold(0.0_f64, f64::max);
+    let tol = NEGATIVE_TOLERANCE * scale;
+    for (at, t) in preds {
+        if t.is_nan() || *t < -tol {
+            out.push(violation(check, format!("{at} predicts {t} s")));
+        } else if *t < 0.0 {
+            out.push(warning(
+                check,
+                format!("{at} predicts {t} s (within the {NEGATIVE_TOLERANCE:.0e}-of-scale edge tolerance)"),
+            ));
+        }
+    }
+}
+
+fn non_negative_predictions(bank: &ModelBank) -> Vec<Finding> {
+    const CHECK: &str = "non_negative_predictions";
+    let mut out = Vec::new();
+    for (key, nt) in &bank.nt {
+        let preds: Vec<(String, f64)> = AUDIT_SIZES
+            .iter()
+            .map(|&n| {
+                (
+                    format!(
+                        "N-T model for kind {} pes {} m {} at N={n}",
+                        key.kind, key.pes, key.m
+                    ),
+                    nt.total(n),
+                )
+            })
+            .collect();
+        sweep_negatives(CHECK, &preds, &mut out);
+    }
+    for ((kind, m), pt) in &bank.pt {
+        let preds: Vec<(String, f64)> = AUDIT_SIZES
+            .iter()
+            .flat_map(|&n| {
+                AUDIT_PS.iter().map(move |&p| {
+                    (
+                        format!("P-T model for kind {kind} M={m} at N={n}, P={p}"),
+                        pt.total(n, p),
+                    )
+                })
+            })
+            .collect();
+        sweep_negatives(CHECK, &preds, &mut out);
+    }
+    out
+}
+
+fn composed_kinds_have_models(bank: &ModelBank) -> Vec<Finding> {
+    const CHECK: &str = "composed_kinds_have_models";
+    let mut out = Vec::new();
+    for &kind in &bank.composed_kinds {
+        if !bank.pt.keys().any(|(k, _)| *k == kind) {
+            out.push(violation(
+                CHECK,
+                format!("kind {kind} is recorded as composed but has no P-T model at any M"),
+            ));
+        }
+    }
+    out
+}
+
+fn basis_condition(bank: &ModelBank) -> Vec<Finding> {
+    const CHECK: &str = "basis_condition";
+    let mut out = Vec::new();
+    // The N-T cubic basis over the audit sizes — shared by every N-T fit,
+    // so one finding covers them all.
+    let nt_rows: Vec<[f64; 4]> = AUDIT_SIZES
+        .iter()
+        .map(|&n| {
+            let x = n as f64;
+            [x * x * x, x * x, x, 1.0]
+        })
+        .collect();
+    match condition_estimate(DesignMatrix::from_rows(&nt_rows)) {
+        Ok(c) if c > CONDITION_WARN => out.push(warning(
+            CHECK,
+            format!("N-T cubic basis condition estimate {c:.3e} exceeds {CONDITION_WARN:.0e}"),
+        )),
+        Ok(_) => {}
+        Err(e) => out.push(violation(CHECK, format!("N-T basis not factorable: {e}"))),
+    }
+    // The P-T communication basis [P·TcRef, TcRef/P, 1] per model: this
+    // one depends on the reference model's magnitudes, so check each.
+    for ((kind, m), pt) in &bank.pt {
+        let rows: Vec<[f64; 3]> = AUDIT_PS
+            .iter()
+            .flat_map(|&p| {
+                AUDIT_SIZES.iter().map(move |&n| {
+                    let tc = pt.reference.tc(n);
+                    [p as f64 * tc, tc / p as f64, 1.0]
+                })
+            })
+            .collect();
+        match condition_estimate(DesignMatrix::from_rows(&rows)) {
+            Ok(c) if c > CONDITION_WARN => out.push(warning(
+                CHECK,
+                format!(
+                    "P-T basis for kind {kind} M={m} condition estimate {c:.3e} exceeds {CONDITION_WARN:.0e}"
+                ),
+            )),
+            Ok(_) => {}
+            Err(e) => out.push(violation(
+                CHECK,
+                format!("P-T basis for kind {kind} M={m} not factorable: {e}"),
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+    use crate::measurement::SampleKey;
+    use crate::ntmodel::NtModel;
+    use crate::ptmodel::PtModel;
+
+    fn healthy_bank() -> ModelBank {
+        let nt = NtModel {
+            ka: [1e-9, 2e-7, 1e-4, 0.3],
+            kc: [1e-8, 1e-5, 0.05],
+        };
+        let pt = PtModel {
+            ka: [1.0, 0.01],
+            kc: [0.1, 0.4, 0.02],
+            reference: nt,
+        };
+        let mut bank = ModelBank {
+            nt: BTreeMap::new(),
+            pt: BTreeMap::new(),
+            composed_kinds: vec![0],
+        };
+        bank.nt
+            .insert(SampleKey::new(etm_cluster::KindId(0), 1, 1), nt);
+        bank.pt.insert((0, 1), pt);
+        bank
+    }
+
+    #[test]
+    fn healthy_bank_passes_all_checks() {
+        let findings = audit(&healthy_bank());
+        assert!(passes(&findings), "unexpected findings: {findings:?}");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn nan_coefficient_is_a_violation() {
+        let mut bank = healthy_bank();
+        let key = *bank.nt.keys().next().expect("seeded key");
+        bank.nt.get_mut(&key).expect("seeded model").ka[0] = f64::NAN;
+        let findings = audit(&bank);
+        assert!(!passes(&findings));
+        assert!(findings.iter().any(|f| f.check == "finite_coefficients"));
+    }
+
+    #[test]
+    fn negative_prediction_is_a_violation() {
+        let mut bank = healthy_bank();
+        let key = *bank.nt.keys().next().expect("seeded key");
+        // A large negative constant term drives small-N predictions
+        // below zero.
+        bank.nt.get_mut(&key).expect("seeded model").ka[3] = -1e6;
+        let findings = audit(&bank);
+        assert!(!passes(&findings));
+        assert!(findings
+            .iter()
+            .any(|f| f.check == "non_negative_predictions"));
+    }
+
+    #[test]
+    fn composed_kind_without_model_is_a_violation() {
+        let mut bank = healthy_bank();
+        bank.composed_kinds.push(7);
+        let findings = audit(&bank);
+        assert!(!passes(&findings));
+        assert!(findings
+            .iter()
+            .any(|f| f.check == "composed_kinds_have_models" && f.message.contains('7')));
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let reg = registry();
+        let mut names: Vec<_> = reg.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len());
+    }
+}

@@ -158,11 +158,11 @@ fn adjustment_gates_on_multiplicity_and_multi_pe() {
 }
 
 #[test]
-fn bank_serde_roundtrip_preserves_predictions() {
+fn bank_json_roundtrip_preserves_predictions() {
     let bank = ModelBank::fit(&synthetic_db(), 0.85).expect("fit");
     let est = Estimator::unadjusted(bank);
-    let json = serde_json::to_string(&est).expect("serialize");
-    let back: Estimator = serde_json::from_str(&json).expect("deserialize");
+    let json = etm_support::json::to_string(&est);
+    let back: Estimator = etm_support::json::from_str(&json).expect("deserialize");
     let cfg = Configuration::p1m1_p2m2(1, 2, 4, 1);
     assert_eq!(
         est.estimate(&cfg, 4800).unwrap().to_bits(),

@@ -21,9 +21,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use etm_support::sync::Mutex;
 
-use etm_cluster::{ClusterSpec, Configuration, KindId, Placement, PerfModel};
+use etm_cluster::{ClusterSpec, Configuration, KindId, PerfModel, Placement};
 use etm_mpisim::coll::{gather, ring_bcast};
 use etm_mpisim::{Comm, SimComm, SimFabric, SimMsg, SubComm};
 use etm_sim::Simulation;
@@ -83,7 +83,8 @@ struct GridRank<'a> {
 
 impl GridRank<'_> {
     fn gemm(&self, flops: f64) -> f64 {
-        self.pm.gemm_time(self.kind, flops, self.m, self.oc, self.nb)
+        self.pm
+            .gemm_time(self.kind, flops, self.m, self.oc, self.nb)
     }
     fn panel(&self, flops: f64) -> f64 {
         self.pm.panel_time(self.kind, flops, self.m, self.oc)
@@ -122,9 +123,8 @@ fn run_rank_grid(
         let rows_left = n - start;
         let owner_col = col_dist.owner(k);
         let owner_row = row_dist.owner(k); // diagonal block's process row
-        // My shares of the trailing matrix.
-        let my_rows = rows_left / grid.rows
-            + usize::from(rows_left % grid.rows > r_me);
+                                           // My shares of the trailing matrix.
+        let my_rows = rows_left / grid.rows + usize::from(rows_left % grid.rows > r_me);
         let my_tcols = col_dist.trailing_cols_of(c_me, k + 1);
 
         // --- rfact: the owning process column factors the panel
@@ -176,8 +176,7 @@ fn run_rank_grid(
             let local_bytes = 2.0 * (w * my_tcols) as f64 * 8.0;
             comm.compute(cost.memop(local_bytes));
             if grid.rows > 1 {
-                let map_payload =
-                    (col_comm.rank() == 0).then(|| SimMsg::of(8.0 * w as f64));
+                let map_payload = (col_comm.rank() == 0).then(|| SimMsg::of(8.0 * w as f64));
                 let _ = ring_bcast(&col_comm, 0, map_payload);
                 // Remote half of the row exchanges, pipelined through the
                 // column: charge one column transfer of my share.
@@ -298,9 +297,9 @@ pub fn simulate_hpl_grid(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulate::simulate_hpl;
     use etm_cluster::commlib::CommLibProfile;
     use etm_cluster::spec::paper_cluster;
-    use crate::simulate::simulate_hpl;
 
     fn spec() -> ClusterSpec {
         paper_cluster(CommLibProfile::mpich122())
@@ -353,7 +352,12 @@ mod tests {
         let s = spec();
         let cfg = Configuration::p1m1_p2m2(0, 0, 8, 1);
         let result = std::panic::catch_unwind(|| {
-            simulate_hpl_grid(&s, &cfg, &HplParams::order(400), GridShape { rows: 3, cols: 3 })
+            simulate_hpl_grid(
+                &s,
+                &cfg,
+                &HplParams::order(400),
+                GridShape { rows: 3, cols: 3 },
+            )
         });
         assert!(result.is_err(), "3x3 grid on 8 processes must panic");
     }

@@ -31,6 +31,7 @@
 //!   apparatus*, producing the `(N, P, Mᵢ) → (Ta, Tc)` samples the
 //!   estimation models are fit to.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;

@@ -57,8 +57,7 @@ impl Rank {
             .blocks_of(me)
             .into_iter()
             .flat_map(|b| {
-                (dist.block_start(b)..dist.block_start(b) + dist.block_width(b))
-                    .collect::<Vec<_>>()
+                (dist.block_start(b)..dist.block_start(b) + dist.block_width(b)).collect::<Vec<_>>()
             })
             .collect();
         let n = params.n;
@@ -146,8 +145,7 @@ fn run_rank(comm: ThreadComm, params: HplParams) -> (Vec<f64>, PhaseTimes) {
         for (j, &piv) in gpiv.iter().enumerate() {
             let r = start + j;
             if piv != r {
-                st.local
-                    .swap_rows_in_cols(r, piv, tstart, st.gcols.len());
+                st.local.swap_rows_in_cols(r, piv, tstart, st.gcols.len());
                 st.y.swap(r, piv);
             }
         }

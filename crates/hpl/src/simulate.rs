@@ -17,9 +17,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use etm_support::sync::Mutex;
 
-use etm_cluster::{ClusterSpec, Configuration, KindId, Placement, PerfModel};
+use etm_cluster::{ClusterSpec, Configuration, KindId, PerfModel, Placement};
 use etm_mpisim::coll::{binomial_bcast, ring_bcast};
 use etm_mpisim::{Comm, SimComm, SimFabric, SimMsg};
 use etm_sim::Simulation;
@@ -102,7 +102,8 @@ pub(crate) struct RankCost<'a> {
 
 impl RankCost<'_> {
     fn gemm(&self, flops: f64) -> f64 {
-        self.pm.gemm_time(self.kind, flops, self.m, self.oc, self.nb)
+        self.pm
+            .gemm_time(self.kind, flops, self.m, self.oc, self.nb)
     }
     fn panel(&self, flops: f64) -> f64 {
         self.pm.panel_time(self.kind, flops, self.m, self.oc)
@@ -238,15 +239,18 @@ pub(crate) fn run_rank_sim(
 /// Panics if the configuration is invalid for the cluster (use
 /// [`Placement::new`] to pre-validate) or the simulation deadlocks
 /// (which would be a bug in the communication schedule).
-pub fn simulate_hpl(spec: &ClusterSpec, config: &Configuration, params: &HplParams) -> SimulatedRun {
+pub fn simulate_hpl(
+    spec: &ClusterSpec,
+    config: &Configuration,
+    params: &HplParams,
+) -> SimulatedRun {
     let placement = Placement::new(spec, config).expect("invalid configuration");
     let p = placement.len();
     debug_assert!(BlockCyclic::new(params.n, params.nb, p).num_blocks() > 0);
 
     let mut sim = Simulation::new();
     let fabric = SimFabric::build(&mut sim, spec, &placement);
-    let results: Arc<Mutex<Vec<Option<PhaseTimes>>>> =
-        Arc::new(Mutex::new(vec![None; p]));
+    let results: Arc<Mutex<Vec<Option<PhaseTimes>>>> = Arc::new(Mutex::new(vec![None; p]));
 
     for slot in &placement.slots {
         let seed = fabric.seed(slot.rank);
@@ -305,17 +309,30 @@ mod tests {
     #[test]
     fn single_athlon_run_is_reasonable() {
         let s = spec();
-        let run = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 1, 0, 0), &HplParams::order(1600));
+        let run = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 0, 0),
+            &HplParams::order(1600),
+        );
         // ~2.7 Gflop of work at ~0.9 Gflop/s => a few seconds.
         assert!(
             (1.0..10.0).contains(&run.wall_seconds),
             "wall {}",
             run.wall_seconds
         );
-        assert!(run.gflops > 0.3 && run.gflops < 1.4, "gflops {}", run.gflops);
+        assert!(
+            run.gflops > 0.3 && run.gflops < 1.4,
+            "gflops {}",
+            run.gflops
+        );
         // Single PE: no broadcast partners, bcast ~ 0.
         let ph = &run.phases[0];
-        assert!(ph.bcast < 0.01 * ph.ta(), "bcast {} vs ta {}", ph.bcast, ph.ta());
+        assert!(
+            ph.bcast < 0.01 * ph.ta(),
+            "bcast {} vs ta {}",
+            ph.bcast,
+            ph.ta()
+        );
     }
 
     #[test]
@@ -323,16 +340,34 @@ mod tests {
         // Paper: update ≈ 100x rfact and uptrsv at N=9600. Check the
         // ordering (with a softer factor at N=3200).
         let s = spec();
-        let run = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 1, 0, 0), &HplParams::order(3200));
+        let run = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 0, 0),
+            &HplParams::order(3200),
+        );
         let ph = &run.phases[0];
-        assert!(ph.update > 10.0 * ph.rfact(), "update {} rfact {}", ph.update, ph.rfact());
-        assert!(ph.update > 10.0 * ph.uptrsv, "update {} uptrsv {}", ph.update, ph.uptrsv);
+        assert!(
+            ph.update > 10.0 * ph.rfact(),
+            "update {} rfact {}",
+            ph.update,
+            ph.rfact()
+        );
+        assert!(
+            ph.update > 10.0 * ph.uptrsv,
+            "update {} uptrsv {}",
+            ph.update,
+            ph.uptrsv
+        );
     }
 
     #[test]
     fn heterogeneous_run_produces_per_kind_times() {
         let s = spec();
-        let run = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 1, 4, 1), &HplParams::order(1600));
+        let run = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 4, 1),
+            &HplParams::order(1600),
+        );
         assert_eq!(run.phases.len(), 5);
         let ta0 = run.ta_of_kind(KindId(0)).unwrap();
         let ta1 = run.ta_of_kind(KindId(1)).unwrap();
@@ -357,10 +392,18 @@ mod tests {
         // Fig 3(b): at large N, n=2 on the Athlon beats n=1.
         let s = spec();
         let n = 6400;
-        let t1 = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 1, 4, 1), &HplParams::order(n))
-            .wall_seconds;
-        let t2 = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 2, 4, 1), &HplParams::order(n))
-            .wall_seconds;
+        let t1 = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 4, 1),
+            &HplParams::order(n),
+        )
+        .wall_seconds;
+        let t2 = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 2, 4, 1),
+            &HplParams::order(n),
+        )
+        .wall_seconds;
         assert!(t2 < t1, "n=2 ({t2}) should beat n=1 ({t1}) at N={n}");
     }
 
@@ -369,10 +412,18 @@ mod tests {
         // Fig 1(b): on one CPU, more processes only add overhead.
         let s = spec();
         let n = 2400;
-        let t1 = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 1, 0, 0), &HplParams::order(n))
-            .wall_seconds;
-        let t4 = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 4, 0, 0), &HplParams::order(n))
-            .wall_seconds;
+        let t1 = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 0, 0),
+            &HplParams::order(n),
+        )
+        .wall_seconds;
+        let t4 = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 4, 0, 0),
+            &HplParams::order(n),
+        )
+        .wall_seconds;
         assert!(t4 > t1, "4P/CPU ({t4}) must be slower than 1P/CPU ({t1})");
         // At this modest N the scheduler-quantum stalls are significant
         // (paper Fig 1(b): 4P/CPU well below 1P/CPU at small N, gap
@@ -380,10 +431,18 @@ mod tests {
         // under the MPICH-1.2.1 profile.
         assert!(t4 < 3.0 * t1, "but not catastrophically with MPICH-1.2.2");
         let n_large = 6400;
-        let t1l = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 1, 0, 0), &HplParams::order(n_large))
-            .wall_seconds;
-        let t4l = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 4, 0, 0), &HplParams::order(n_large))
-            .wall_seconds;
+        let t1l = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 0, 0),
+            &HplParams::order(n_large),
+        )
+        .wall_seconds;
+        let t4l = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 4, 0, 0),
+            &HplParams::order(n_large),
+        )
+        .wall_seconds;
         assert!(
             (t4l - t1l) / t1l < (t4 - t1) / t1,
             "the multiprocessing gap must narrow with N: small {:.3} vs large {:.3}",
@@ -396,11 +455,18 @@ mod tests {
     fn memory_cliff_at_n10000_single_athlon() {
         // Fig 3(a): the single Athlon degrades at N=10000.
         let s = spec();
-        let g8000 = simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 1, 0, 0), &HplParams::order(8000))
-            .gflops;
-        let g10000 =
-            simulate_hpl(&s, &Configuration::p1m1_p2m2(1, 1, 0, 0), &HplParams::order(10_000))
-                .gflops;
+        let g8000 = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 0, 0),
+            &HplParams::order(8000),
+        )
+        .gflops;
+        let g10000 = simulate_hpl(
+            &s,
+            &Configuration::p1m1_p2m2(1, 1, 0, 0),
+            &HplParams::order(10_000),
+        )
+        .gflops;
         assert!(
             g10000 < 0.85 * g8000,
             "memory cliff: {g8000} -> {g10000} Gflops"

@@ -12,11 +12,11 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use etm_support::sync::Mutex;
 
-use etm_cluster::{ClusterSpec, Configuration, Placement, PerfModel};
-use etm_sim::Simulation;
+use etm_cluster::{ClusterSpec, Configuration, PerfModel, Placement};
 use etm_mpisim::SimFabric;
+use etm_sim::Simulation;
 
 use crate::dist::WeightedDist;
 use crate::params::HplParams;
@@ -152,7 +152,10 @@ mod tests {
         let cyclic = simulate_hpl(&s, &cfg, &n).wall_seconds;
         let weighted = simulate_hpl_weighted(&s, &cfg, &n).wall_seconds;
         let rel = ((weighted - cyclic) / cyclic).abs();
-        assert!(rel < 0.10, "homogeneous: {weighted} vs {cyclic} (rel {rel:.3})");
+        assert!(
+            rel < 0.10,
+            "homogeneous: {weighted} vs {cyclic} (rel {rel:.3})"
+        );
     }
 
     #[test]

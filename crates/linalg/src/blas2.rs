@@ -14,8 +14,8 @@ pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
             *v *= beta;
         }
     }
-    for j in 0..a.cols() {
-        let ax = alpha * x[j];
+    for (j, &xj) in x.iter().enumerate() {
+        let ax = alpha * xj;
         if ax != 0.0 {
             for (yi, &aij) in y.iter_mut().zip(a.col(j)) {
                 *yi += aij * ax;
@@ -31,8 +31,8 @@ pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
 pub fn dger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
     assert_eq!(x.len(), a.rows(), "dger: x length");
     assert_eq!(y.len(), a.cols(), "dger: y length");
-    for j in 0..a.cols() {
-        let ay = alpha * y[j];
+    for (j, &yj) in y.iter().enumerate() {
+        let ay = alpha * yj;
         if ay != 0.0 {
             let col = a.col_mut(j);
             for (aij, &xi) in col.iter_mut().zip(x) {

@@ -3,10 +3,10 @@
 //! `dgemm` dominates HPL's update phase (the paper's `update` item is
 //! ~100× `rfact`/`uptrsv` at N = 9600), so it gets three implementations:
 //! a naive reference used by tests, a cache-blocked sequential kernel, and
-//! a Rayon-parallel kernel that splits the output columns across the
-//! thread pool — the idiomatic `par_chunks_mut` decomposition.
+//! a thread-parallel kernel that splits the output columns across scoped
+//! worker threads — the `etm_support::pool::par_chunks_mut` decomposition.
 
-use rayon::prelude::*;
+use etm_support::pool;
 
 use crate::blas2::{Diagonal, Triangle};
 use crate::Matrix;
@@ -90,8 +90,8 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     gemm_stripe(alpha, a, b, beta, &mut c.as_mut_slice()[..m * n], 0, n);
 }
 
-/// Rayon-parallel `C := alpha·A·B + beta·C`, splitting C's columns over
-/// the global thread pool.
+/// Thread-parallel `C := alpha·A·B + beta·C`, splitting C's columns over
+/// scoped worker threads.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -102,15 +102,13 @@ pub fn par_dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) 
         return;
     }
     // Stripe width balancing parallelism against per-task overhead.
-    let stripe = BLOCK.max(c.cols() / (4 * rayon::current_num_threads()).max(1));
-    c.as_mut_slice()
-        .par_chunks_mut(stripe * m)
-        .enumerate()
-        .for_each(|(idx, chunk)| {
-            let j0 = idx * stripe;
-            let width = chunk.len() / m;
-            gemm_stripe(alpha, a, b, beta, chunk, j0, width);
-        });
+    let stripe = BLOCK.max(c.cols() / (4 * pool::num_threads()).max(1));
+    let (mn, chunk_len) = (m * c.cols(), stripe * m);
+    pool::par_chunks_mut(&mut c.as_mut_slice()[..mn], chunk_len, |idx, chunk| {
+        let j0 = idx * stripe;
+        let width = chunk.len() / m;
+        gemm_stripe(alpha, a, b, beta, chunk, j0, width);
+    });
 }
 
 /// Solves `A·X = alpha·B` in place (left-side dtrsm): `B` is overwritten
@@ -194,7 +192,12 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive() {
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 7, 3), (64, 64, 64), (100, 33, 70)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (64, 64, 64),
+            (100, 33, 70),
+        ] {
             let a = seeded_matrix(m, k, 1);
             let b = seeded_matrix(k, n, 2);
             let mut c1 = seeded_matrix(m, n, 3);

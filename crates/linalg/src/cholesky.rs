@@ -201,10 +201,7 @@ mod tests {
             // Compare lower triangles.
             for j in 0..24 {
                 for i in j..24 {
-                    assert!(
-                        (ub[(i, j)] - bl[(i, j)]).abs() < 1e-10,
-                        "nb={nb} ({i},{j})"
-                    );
+                    assert!((ub[(i, j)] - bl[(i, j)]).abs() < 1e-10, "nb={nb} ({i},{j})");
                 }
             }
         }

@@ -5,22 +5,21 @@
 //! everything is seeded, so distributed generation (each rank building
 //! only its own block-cyclic columns) agrees with monolithic generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use etm_support::rng::Rng64;
 
 use crate::Matrix;
 
 /// Uniform(-0.5, 0.5) matrix from a seed — the HPL test-matrix
 /// distribution.
 pub fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-0.5..0.5))
+    let mut rng = Rng64::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.range_f64(-0.5, 0.5))
 }
 
 /// Uniform(-0.5, 0.5) vector from a seed.
 pub fn seeded_vector(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect()
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..n).map(|_| rng.range_f64(-0.5, 0.5)).collect()
 }
 
 /// Generates a single element `(i, j)` of the virtual `n × n` HPL matrix
@@ -113,10 +112,7 @@ mod tests {
     fn diag_dominant_is_dominant() {
         let m = diag_dominant_matrix(6, 3);
         for i in 0..6 {
-            let off: f64 = (0..6)
-                .filter(|&j| j != i)
-                .map(|j| m[(i, j)].abs())
-                .sum();
+            let off: f64 = (0..6).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
             assert!(m[(i, i)].abs() > off);
         }
     }

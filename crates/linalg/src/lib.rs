@@ -20,6 +20,7 @@
 //! crate, which is how the reproduction validates that the *algorithm*
 //! whose execution time is being modelled is the genuine article.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blas1;

@@ -91,7 +91,10 @@ impl Matrix {
 
     /// Copies out the `nr × nc` submatrix anchored at `(r0, c0)`.
     pub fn submatrix(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Matrix {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "submatrix out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "submatrix out of range"
+        );
         Matrix::from_fn(nr, nc, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -163,8 +166,7 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for j in 0..self.cols {
-            let x = v[j];
+        for (j, &x) in v.iter().enumerate() {
             if x != 0.0 {
                 for (yi, &a) in y.iter_mut().zip(self.col(j)) {
                     *yi += a * x;
@@ -179,7 +181,10 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i + j * self.rows]
     }
 }
@@ -187,7 +192,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i + j * self.rows]
     }
 }

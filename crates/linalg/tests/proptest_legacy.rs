@@ -1,0 +1,126 @@
+//! Legacy proptest suites, kept verbatim behind the off-by-default
+//! `proptest` feature. The hermetic build cannot resolve the registry
+//! `proptest` crate, so enabling this feature also requires restoring
+//! that dependency (see README "Offline / hermetic build").
+#![cfg(feature = "proptest")]
+
+//! Property-based tests for the linear-algebra substrate.
+
+use etm_linalg::blas3::{dgemm, dgemm_naive, par_dgemm};
+use etm_linalg::gen::{hpl_matrix, seeded_matrix, seeded_vector};
+use etm_linalg::lu::{apply_pivots, dgetrf, lu_reconstruct};
+use etm_linalg::solve::dgesv;
+use etm_linalg::verify::residual;
+use etm_linalg::Matrix;
+use proptest::prelude::*;
+
+fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    (0..a.cols()).all(|j| (0..a.rows()).all(|i| (a[(i, j)] - b[(i, j)]).abs() < tol))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Blocked, parallel and naive dgemm agree on arbitrary shapes.
+    #[test]
+    fn gemm_kernels_agree(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1000,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+    ) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed + 1);
+        let c0 = seeded_matrix(m, n, seed + 2);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        let mut c3 = c0.clone();
+        dgemm_naive(alpha, &a, &b, beta, &mut c1);
+        dgemm(alpha, &a, &b, beta, &mut c2);
+        par_dgemm(alpha, &a, &b, beta, &mut c3);
+        prop_assert!(close(&c1, &c2, 1e-10));
+        prop_assert!(close(&c1, &c3, 1e-10));
+    }
+
+    /// dgemm is linear in alpha: C(2α) − C(0) = 2·(C(α) − C(0)).
+    #[test]
+    fn gemm_linear_in_alpha(
+        n in 1usize..12,
+        seed in 0u64..1000,
+        alpha in -1.5f64..1.5,
+    ) {
+        let a = seeded_matrix(n, n, seed);
+        let b = seeded_matrix(n, n, seed + 1);
+        let mut c1 = Matrix::zeros(n, n);
+        let mut c2 = Matrix::zeros(n, n);
+        dgemm(alpha, &a, &b, 0.0, &mut c1);
+        dgemm(2.0 * alpha, &a, &b, 0.0, &mut c2);
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!((2.0 * c1[(i, j)] - c2[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// P·A = L·U for the blocked factorization at any block size.
+    #[test]
+    fn getrf_factors_reconstruct_pa(
+        n in 1usize..40,
+        nb in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let a0 = hpl_matrix(n, seed);
+        let mut f = a0.clone();
+        let piv = dgetrf(&mut f, nb).unwrap();
+        let pa = apply_pivots(&a0, &piv);
+        let lu = lu_reconstruct(&f);
+        prop_assert!(close(&pa, &lu, 1e-8 * (n as f64).max(1.0)));
+    }
+
+    /// The blocked factorization is invariant to the block size.
+    #[test]
+    fn getrf_block_size_invariance(
+        n in 2usize..32,
+        seed in 0u64..10_000,
+        nb1 in 1usize..10,
+        nb2 in 10usize..40,
+    ) {
+        let a0 = hpl_matrix(n, seed);
+        let mut f1 = a0.clone();
+        let mut f2 = a0.clone();
+        let p1 = dgetrf(&mut f1, nb1).unwrap();
+        let p2 = dgetrf(&mut f2, nb2).unwrap();
+        prop_assert_eq!(p1, p2);
+        prop_assert!(close(&f1, &f2, 1e-9));
+    }
+
+    /// dgesv solutions pass the HPL acceptance residual.
+    #[test]
+    fn solver_passes_hpl_residual(
+        n in 1usize..48,
+        seed in 0u64..10_000,
+    ) {
+        let a = hpl_matrix(n, seed);
+        let b = seeded_vector(n, seed + 13);
+        let x = dgesv(&a, &b, 8).unwrap();
+        let r = residual(&a, &x, &b);
+        prop_assert!(r.passes(), "n={n} scaled={}", r.scaled);
+    }
+
+    /// Partial pivoting keeps every multiplier bounded by 1.
+    #[test]
+    fn multipliers_bounded(
+        n in 2usize..32,
+        seed in 0u64..10_000,
+    ) {
+        let mut a = hpl_matrix(n, seed);
+        dgetrf(&mut a, 6).unwrap();
+        for j in 0..n {
+            for i in (j + 1)..n {
+                prop_assert!(a[(i, j)].abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

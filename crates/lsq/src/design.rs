@@ -97,13 +97,7 @@ impl DesignMatrix {
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
         (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect()
     }
 

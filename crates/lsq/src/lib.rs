@@ -22,6 +22,7 @@
 //! assert!((fit.coeffs[2] - 0.05).abs() < 1e-6);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod design;
@@ -34,6 +35,6 @@ mod transform;
 pub use design::DesignMatrix;
 pub use multifit::{multifit_linear, multifit_linear_ridge, LinearFit, LsqError};
 pub use poly::{eval_poly, fit_poly, PolyFit};
-pub use qr::QrFactors;
+pub use qr::{condition_estimate, QrFactors};
 pub use stats::{mean, r_squared, rmse};
 pub use transform::LinearTransform;

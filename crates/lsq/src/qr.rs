@@ -32,7 +32,7 @@ impl QrFactors {
             return Err(LsqError::Underdetermined { rows: m, cols: n });
         }
         let mut tau = vec![0.0; n];
-        for k in 0..n {
+        for (k, tk) in tau.iter_mut().enumerate() {
             // Build the Householder reflector annihilating column k below
             // the diagonal.
             let mut norm2 = 0.0;
@@ -42,7 +42,7 @@ impl QrFactors {
             }
             let norm = norm2.sqrt();
             if norm == 0.0 {
-                tau[k] = 0.0;
+                *tk = 0.0;
                 continue;
             }
             let akk = x.get(k, k);
@@ -53,7 +53,7 @@ impl QrFactors {
                 let v = x.get(i, k) / v0;
                 x.set(i, k, v);
             }
-            tau[k] = -v0 / alpha;
+            *tk = -v0 / alpha;
             x.set(k, k, alpha);
             // Apply the reflector to the remaining columns:
             // A := (I − τ v vᵀ) A.
@@ -62,7 +62,7 @@ impl QrFactors {
                 for i in (k + 1)..m {
                     dot += x.get(i, k) * x.get(i, j);
                 }
-                let scale = tau[k] * dot;
+                let scale = *tk * dot;
                 let new_kj = x.get(k, j) - scale;
                 x.set(k, j, new_kj);
                 for i in (k + 1)..m {
@@ -83,13 +83,13 @@ impl QrFactors {
                 continue;
             }
             let mut dot = y[k];
-            for i in (k + 1)..m {
-                dot += self.a.get(i, k) * y[i];
+            for (i, &yi) in y.iter().enumerate().skip(k + 1) {
+                dot += self.a.get(i, k) * yi;
             }
             let scale = self.tau[k] * dot;
             y[k] -= scale;
-            for i in (k + 1)..m {
-                y[i] -= scale * self.a.get(i, k);
+            for (i, yi) in y.iter_mut().enumerate().skip(k + 1) {
+                *yi -= scale * self.a.get(i, k);
             }
         }
     }
@@ -118,13 +118,46 @@ impl QrFactors {
                 return Err(LsqError::RankDeficient { column: j });
             }
             let mut s = qty[j];
-            for k in (j + 1)..n {
-                s -= self.a.get(j, k) * c[k];
+            for (k, &ck) in c.iter().enumerate().skip(j + 1) {
+                s -= self.a.get(j, k) * ck;
             }
             c[j] = s / rjj;
         }
         Ok(c)
     }
+
+    /// Cheap condition-number estimate of the factored design matrix:
+    /// the ratio `max|r_jj| / min|r_jj|` over the diagonal of `R`.
+    ///
+    /// This lower-bounds the true 2-norm condition number, which is all
+    /// an audit needs: a large ratio already certifies a badly
+    /// conditioned basis. Returns `f64::INFINITY` for a numerically
+    /// singular `R`.
+    pub fn r_condition(&self) -> f64 {
+        let n = self.a.cols();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0_f64;
+        for j in 0..n {
+            let d = self.a.get(j, j).abs();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        if lo == 0.0 {
+            f64::INFINITY
+        } else {
+            hi / lo
+        }
+    }
+}
+
+/// Condition-number estimate of a design matrix (see
+/// [`QrFactors::r_condition`]), used by the model-validity audit to warn
+/// about ill-conditioned fitting bases before coefficients go bad.
+///
+/// # Errors
+/// [`LsqError::Underdetermined`] when there are fewer rows than columns.
+pub fn condition_estimate(x: DesignMatrix) -> Result<f64, LsqError> {
+    Ok(QrFactors::factor(x)?.r_condition())
 }
 
 #[cfg(test)]
@@ -181,6 +214,16 @@ mod tests {
             qr.solve(&[1.0, 2.0, 3.0]),
             Err(LsqError::RankDeficient { .. })
         ));
+    }
+
+    #[test]
+    fn condition_estimate_flags_near_collinear_basis() {
+        let well = DesignMatrix::from_rows(&[[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]);
+        let ill = DesignMatrix::from_rows(&[[1.0, 1.0], [1.0, 1.0 + 1e-12], [1.0, 1.0 - 1e-12]]);
+        let cw = condition_estimate(well).unwrap();
+        let ci = condition_estimate(ill).unwrap();
+        assert!(cw < 10.0, "well-conditioned basis reported {cw}");
+        assert!(ci > 1e10, "near-collinear basis reported {ci}");
     }
 
     #[test]

@@ -1,109 +1,118 @@
-//! Property-based tests for the least-squares machinery.
+//! Property tests for the least-squares machinery, driven by the
+//! deterministic in-tree harness ([`etm_support::prop`]). Every run uses
+//! the same frozen seeds, so failures reproduce exactly.
 
-use etm_lsq::{
-    eval_poly, fit_poly, multifit_linear, DesignMatrix, LinearTransform,
-};
-use proptest::prelude::*;
+use etm_lsq::{eval_poly, fit_poly, multifit_linear, DesignMatrix, LinearTransform};
+use etm_support::prop::{check, gen};
+use etm_support::rng::Rng64;
 
-/// Strategy: a small vector of well-separated abscissae.
-fn separated_xs(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.1f64..10.0, min_len..=max_len).prop_map(|gaps| {
-        let mut x = 1.0;
-        gaps.into_iter()
-            .map(|g| {
-                x += g;
-                x
-            })
-            .collect()
-    })
+/// A small vector of well-separated ascending abscissae.
+fn separated_xs(rng: &mut Rng64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let gaps = gen::vec_f64(rng, min_len, max_len, 0.1, 10.0);
+    let mut x = 1.0;
+    gaps.into_iter()
+        .map(|g| {
+            x += g;
+            x
+        })
+        .collect()
 }
 
-proptest! {
-    /// Fitting noise-free polynomial samples recovers predictions exactly
-    /// (coefficients may trade off only when ill-conditioned; predictions
-    /// must match regardless).
-    #[test]
-    fn polyfit_interpolates_noise_free_samples(
-        xs in separated_xs(5, 10),
-        c0 in -2.0f64..2.0,
-        c1 in -2.0f64..2.0,
-        c2 in -2.0f64..2.0,
-    ) {
-        let truth = [c0, c1, c2];
+/// Fitting noise-free polynomial samples recovers predictions exactly
+/// (coefficients may trade off only when ill-conditioned; predictions
+/// must match regardless).
+#[test]
+fn polyfit_interpolates_noise_free_samples() {
+    check(64, 0x4c53_5131, |rng| {
+        let xs = separated_xs(rng, 5, 10);
+        let truth = [
+            rng.range_f64(-2.0, 2.0),
+            rng.range_f64(-2.0, 2.0),
+            rng.range_f64(-2.0, 2.0),
+        ];
         let ys: Vec<f64> = xs.iter().map(|&x| eval_poly(&truth, x)).collect();
-        let fit = fit_poly(&xs, &ys, 2).unwrap();
+        let fit = fit_poly(&xs, &ys, 2).expect("well-posed fit");
         for (&x, &y) in xs.iter().zip(&ys) {
             let scale = y.abs().max(1.0);
-            prop_assert!((fit.eval(x) - y).abs() < 1e-7 * scale,
-                "at x={x}: fit={} truth={y}", fit.eval(x));
+            assert!(
+                (fit.eval(x) - y).abs() < 1e-7 * scale,
+                "at x={x}: fit={} truth={y}",
+                fit.eval(x)
+            );
         }
-        prop_assert!(fit.fit.r_squared > 1.0 - 1e-6);
-    }
+        assert!(fit.fit.r_squared > 1.0 - 1e-6);
+    });
+}
 
-    /// OLS residuals are orthogonal to every regressor column (the normal
-    /// equations), regardless of the data.
-    #[test]
-    fn residuals_orthogonal_to_design_columns(
-        xs in separated_xs(6, 12),
-        ys in prop::collection::vec(-100.0f64..100.0, 12),
-    ) {
+/// OLS residuals are orthogonal to every regressor column (the normal
+/// equations), regardless of the data.
+#[test]
+fn residuals_orthogonal_to_design_columns() {
+    check(64, 0x4c53_5132, |rng| {
+        let xs = separated_xs(rng, 6, 12);
         let n = xs.len();
-        let ys = &ys[..n];
+        let ys = gen::vec_f64(rng, n, n, -100.0, 100.0);
         let rows: Vec<[f64; 3]> = xs.iter().map(|&x| [x * x, x, 1.0]).collect();
         let design = DesignMatrix::from_rows(&rows);
-        let fit = multifit_linear(&design, ys).unwrap();
+        let fit = multifit_linear(&design, &ys).expect("well-posed fit");
         let pred = design.mul_vec(&fit.coeffs);
         for col in 0..3 {
-            let dot: f64 = (0..n)
-                .map(|r| (ys[r] - pred[r]) * design.get(r, col))
-                .sum();
+            let dot: f64 = (0..n).map(|r| (ys[r] - pred[r]) * design.get(r, col)).sum();
             let scale: f64 = (0..n).map(|r| design.get(r, col).abs()).sum::<f64>()
                 * ys.iter().map(|y| y.abs()).fold(1.0, f64::max);
-            prop_assert!(dot.abs() <= 1e-8 * scale.max(1.0), "column {col}: dot={dot}");
+            assert!(
+                dot.abs() <= 1e-8 * scale.max(1.0),
+                "column {col}: dot={dot}"
+            );
         }
-    }
+    });
+}
 
-    /// The OLS solution minimizes the residual sum of squares: perturbing
-    /// any coefficient can only increase it.
-    #[test]
-    fn ols_is_a_minimum(
-        xs in separated_xs(5, 8),
-        ys in prop::collection::vec(-10.0f64..10.0, 8),
-        delta in -0.5f64..0.5,
-        which in 0usize..2,
-    ) {
+/// The OLS solution minimizes the residual sum of squares: perturbing
+/// any coefficient can only increase it.
+#[test]
+fn ols_is_a_minimum() {
+    check(64, 0x4c53_5133, |rng| {
+        let xs = separated_xs(rng, 5, 8);
         let n = xs.len();
-        let ys = &ys[..n];
+        let ys = gen::vec_f64(rng, n, n, -10.0, 10.0);
+        let delta = rng.range_f64(-0.5, 0.5);
+        let which = rng.range_usize(2);
         let rows: Vec<[f64; 2]> = xs.iter().map(|&x| [x, 1.0]).collect();
         let design = DesignMatrix::from_rows(&rows);
-        let fit = multifit_linear(&design, ys).unwrap();
+        let fit = multifit_linear(&design, &ys).expect("well-posed fit");
         let mut perturbed = fit.coeffs.clone();
         perturbed[which] += delta;
         let pred = design.mul_vec(&perturbed);
-        let ss: f64 = pred.iter().zip(ys).map(|(p, y)| (p - y) * (p - y)).sum();
-        prop_assert!(ss + 1e-9 >= fit.residual_ss,
-            "perturbed SS {ss} < optimal {}", fit.residual_ss);
-    }
+        let ss: f64 = pred.iter().zip(&ys).map(|(p, y)| (p - y) * (p - y)).sum();
+        assert!(
+            ss + 1e-9 >= fit.residual_ss,
+            "perturbed SS {ss} < optimal {}",
+            fit.residual_ss
+        );
+    });
+}
 
-    /// LinearTransform::fit then apply reproduces exact affine data.
-    #[test]
-    fn linear_transform_recovers_affine_maps(
-        xs in separated_xs(2, 6),
-        a in -5.0f64..5.0,
-        b in -5.0f64..5.0,
-    ) {
+/// LinearTransform::fit then apply reproduces exact affine data.
+#[test]
+fn linear_transform_recovers_affine_maps() {
+    check(64, 0x4c53_5134, |rng| {
+        let xs = separated_xs(rng, 2, 6);
+        let a = rng.range_f64(-5.0, 5.0);
+        let b = rng.range_f64(-5.0, 5.0);
         let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
-        let t = LinearTransform::fit(&xs, &ys).unwrap();
-        prop_assert!((t.scale - a).abs() < 1e-8, "scale {} vs {a}", t.scale);
-        prop_assert!((t.offset - b).abs() < 1e-7, "offset {} vs {b}", t.offset);
-    }
+        let t = LinearTransform::fit(&xs, &ys).expect("well-posed fit");
+        assert!((t.scale - a).abs() < 1e-8, "scale {} vs {a}", t.scale);
+        assert!((t.offset - b).abs() < 1e-7, "offset {} vs {b}", t.offset);
+    });
+}
 
-    /// eval_poly agrees with naive power evaluation.
-    #[test]
-    fn horner_equals_naive(
-        coeffs in prop::collection::vec(-3.0f64..3.0, 1..6),
-        x in -4.0f64..4.0,
-    ) {
+/// eval_poly agrees with naive power evaluation.
+#[test]
+fn horner_equals_naive() {
+    check(64, 0x4c53_5135, |rng| {
+        let coeffs = gen::vec_f64(rng, 1, 5, -3.0, 3.0);
+        let x = rng.range_f64(-4.0, 4.0);
         let d = coeffs.len() - 1;
         let naive: f64 = coeffs
             .iter()
@@ -111,6 +120,6 @@ proptest! {
             .map(|(i, c)| c * x.powi((d - i) as i32))
             .sum();
         let h = eval_poly(&coeffs, x);
-        prop_assert!((h - naive).abs() < 1e-9 * naive.abs().max(1.0));
-    }
+        assert!((h - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    });
 }

@@ -33,7 +33,10 @@ pub fn ring_bcast<C: Comm>(comm: &C, root: usize, msg: Option<C::Msg>) -> C::Msg
         comm.send(next, COLL_TAG, m.clone());
         m
     } else {
-        assert!(msg.is_none(), "non-root rank {me} must not supply a message");
+        assert!(
+            msg.is_none(),
+            "non-root rank {me} must not supply a message"
+        );
         let m = comm.recv(prev, COLL_TAG);
         if next != root {
             comm.send(next, COLL_TAG, m.clone());
@@ -55,15 +58,18 @@ pub fn binomial_bcast<C: Comm>(comm: &C, root: usize, msg: Option<C::Msg>) -> C:
     let mut have: Option<C::Msg> = if rel == 0 {
         Some(msg.expect("root must supply the message"))
     } else {
-        assert!(msg.is_none(), "non-root rank {me} must not supply a message");
+        assert!(
+            msg.is_none(),
+            "non-root rank {me} must not supply a message"
+        );
         None
     };
     let mut span = 1;
     while span < p {
-        if have.is_some() {
+        if let Some(m) = &have {
             if rel < span && rel + span < p {
                 let dst = (rel + span + root) % p;
-                comm.send(dst, COLL_TAG + 1, have.as_ref().unwrap().clone());
+                comm.send(dst, COLL_TAG + 1, m.clone());
             }
         } else if rel < 2 * span && rel >= span {
             let src = (rel - span + root) % p;

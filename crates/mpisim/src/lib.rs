@@ -21,6 +21,7 @@
 //! [`netpipe`] is the NetPIPE analogue: a ping-pong throughput sweep over
 //! the simulated fabric, regenerating Fig. 2.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coll;

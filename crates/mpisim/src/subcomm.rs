@@ -93,8 +93,7 @@ mod tests {
                     assert_eq!(sub.rank(), c.rank() % 3);
                     assert_eq!(sub.to_parent(sub.rank()), c.rank());
                     // Row-local broadcast from sub-rank 0.
-                    let payload = (sub.rank() == 0)
-                        .then(|| ThreadMsg::floats(vec![row[0] as f64]));
+                    let payload = (sub.rank() == 0).then(|| ThreadMsg::floats(vec![row[0] as f64]));
                     let got = ring_bcast(&sub, 0, payload);
                     assert_eq!(got.data, vec![row[0] as f64]);
                     barrier(&sub);

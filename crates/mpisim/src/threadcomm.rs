@@ -1,6 +1,6 @@
 //! Thread-backed communicator with real payloads.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use etm_support::channel::{unbounded, Receiver, Sender};
 
 use crate::Comm;
 

@@ -6,6 +6,8 @@
 //!
 //! Text renderings go to stdout; CSV artifacts go to `results/`.
 
+#![deny(unsafe_code)]
+
 use etm_cluster::spec::paper_cluster;
 use etm_cluster::CommLibProfile;
 use etm_core::plan::MeasurementPlan;
@@ -65,8 +67,23 @@ fn main() {
     }
     if !all
         && ![
-            "table1", "plans", "fig1", "fig2", "fig3", "table3", "table6", "fig6_7", "table4",
-            "fig8_11", "table7", "fig12_15", "table9", "timings", "ablations", "models", "baselines",
+            "table1",
+            "plans",
+            "fig1",
+            "fig2",
+            "fig3",
+            "table3",
+            "table6",
+            "fig6_7",
+            "table4",
+            "fig8_11",
+            "table7",
+            "fig12_15",
+            "table9",
+            "timings",
+            "ablations",
+            "models",
+            "baselines",
         ]
         .contains(&which.as_str())
     {
@@ -229,11 +246,19 @@ fn correlation_csv(name: &str, points: &[CorrelationPoint]) {
         .map(|p| {
             format!(
                 "{},{},{:.3},{:.3},{:.3}",
-                p.m1, p.config.total_processes(), p.estimate_raw, p.estimate_adjusted, p.measured
+                p.m1,
+                p.config.total_processes(),
+                p.estimate_raw,
+                p.estimate_adjusted,
+                p.measured
             )
         })
         .collect();
-    write_csv(name, "m1,total_procs,estimate_raw,estimate_adjusted,measured", &rows);
+    write_csv(
+        name,
+        "m1,total_procs,estimate_raw,estimate_adjusted,measured",
+        &rows,
+    );
 }
 
 fn best_table(eval: &CampaignEvaluation, spec_name: &str, csv_name: &str) {
@@ -353,7 +378,11 @@ fn ablations() {
         csv.push(format!("{label},{n},{tf:.3},{tg:.3}"));
     }
     print!("{}", t.render());
-    write_csv("ablation_network", "config,n,fast_ethernet_s,gigabit_s", &csv);
+    write_csv(
+        "ablation_network",
+        "config,n,fast_ethernet_s,gigabit_s",
+        &csv,
+    );
 
     println!("-- HPL block size NB --");
     let mut t = TextTable::new(vec!["N", "NB", "wall [s]"]);

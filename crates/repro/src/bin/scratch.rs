@@ -1,6 +1,8 @@
 //! Calibration scratchpad: quick end-to-end pipeline check (not part of
 //! the published experiment set).
 
+#![deny(unsafe_code)]
+
 use etm_cluster::spec::paper_cluster;
 use etm_cluster::{CommLibProfile, Configuration};
 use etm_core::pipeline::build_estimator;
@@ -50,8 +52,12 @@ fn main() {
             } else {
                 Configuration::p1m1_p2m2(1, m1, 8, 1)
             };
-            let raw = est.estimate_raw(&cfg, n).unwrap();
-            let adj = est.estimate(&cfg, n).unwrap();
+            let raw = est
+                .estimate_raw(&cfg, n)
+                .expect("diagnostic config is estimable");
+            let adj = est
+                .estimate(&cfg, n)
+                .expect("diagnostic config is estimable");
             let meas = simulate_hpl(&spec, &cfg, &HplParams::order(n).with_nb(nb)).wall_seconds;
             println!("   M1={m1}: raw={raw:8.1} adj={adj:8.1} meas={meas:8.1}");
         }
@@ -65,15 +71,23 @@ fn main() {
         for p2 in [3usize, 5, 7, 8] {
             let cfg = Configuration::p1m1_p2m2(1, 3, p2, 1);
             let p_total = cfg.total_processes();
-            let a = est.bank.pt.get(&(0, 3)).unwrap();
-            let b = est.bank.pt.get(&(1, 1)).unwrap();
+            let a = est
+                .bank
+                .pt
+                .get(&(0, 3))
+                .expect("NL plan fits kind 0 at M=3");
+            let b = est
+                .bank
+                .pt
+                .get(&(1, 1))
+                .expect("NL plan fits kind 1 at M=1");
             let run = simulate_hpl(&spec, &cfg, &HplParams::order(n).with_nb(nb));
             println!(
                 "   P2={p2}: est A(ta={:6.1},tc={:6.1}) P2(ta={:6.1},tc={:6.1}) | meas A(ta={:6.1},tc={:6.1}) P2(ta={:6.1},tc={:6.1}) wall={:6.1}",
                 a.ta(n, p_total), a.tc(n, p_total),
                 b.ta(n, p_total), b.tc(n, p_total),
-                run.ta_of_kind(KindId(0)).unwrap(), run.tc_of_kind(KindId(0)).unwrap(),
-                run.ta_of_kind(KindId(1)).unwrap(), run.tc_of_kind(KindId(1)).unwrap(),
+                run.ta_of_kind(KindId(0)).expect("kind 0 in run"), run.tc_of_kind(KindId(0)).expect("kind 0 in run"),
+                run.ta_of_kind(KindId(1)).expect("kind 1 in run"), run.tc_of_kind(KindId(1)).expect("kind 1 in run"),
                 run.wall_seconds,
             );
         }
@@ -86,21 +100,21 @@ fn main() {
         let mut best_est: Option<(usize, f64)> = None;
         for (i, c) in cfgs.iter().enumerate() {
             if let Ok(t) = est.estimate(c, n) {
-                if best_est.is_none() || t < best_est.unwrap().1 {
+                if best_est.is_none_or(|(_, bt)| t < bt) {
                     best_est = Some((i, t));
                 }
             }
         }
-        let (bi, tau) = best_est.unwrap();
+        let (bi, tau) = best_est.expect("some evaluation config is estimable");
         let tau_hat = simulate_hpl(&spec, &cfgs[bi], &HplParams::order(n).with_nb(nb)).wall_seconds;
         let mut best_meas: Option<(usize, f64)> = None;
         for (i, c) in cfgs.iter().enumerate() {
             let t = simulate_hpl(&spec, c, &HplParams::order(n).with_nb(nb)).wall_seconds;
-            if best_meas.is_none() || t < best_meas.unwrap().1 {
+            if best_meas.is_none_or(|(_, bt)| t < bt) {
                 best_meas = Some((i, t));
             }
         }
-        let (mi, t_hat) = best_meas.unwrap();
+        let (mi, t_hat) = best_meas.expect("evaluation grid is non-empty");
         println!(
             "{n:>5}  {} tau={tau:.1} meas={tau_hat:.1} | {} T={t_hat:.1} | (tau-T)/T={:+.3} (tauh-T)/T={:+.3}",
             cfgs[bi].label(&spec),

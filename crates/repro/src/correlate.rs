@@ -33,8 +33,8 @@ pub fn correlation_at(
         .filter_map(|config| {
             let estimate_raw = estimator.estimate_raw(&config, n).ok()?;
             let estimate_adjusted = estimator.estimate(&config, n).ok()?;
-            let measured = simulate_hpl(spec, &config, &HplParams::order(n).with_nb(nb))
-                .wall_seconds;
+            let measured =
+                simulate_hpl(spec, &config, &HplParams::order(n).with_nb(nb)).wall_seconds;
             let m1 = config.procs_per_pe(KindId(estimator.fast_kind));
             Some(CorrelationPoint {
                 config,

@@ -45,7 +45,12 @@ pub struct GflopsSeries {
     pub points: Vec<(usize, f64)>,
 }
 
-fn gflops_series(spec: &ClusterSpec, label: &str, cfg: Configuration, ns: &[usize]) -> GflopsSeries {
+fn gflops_series(
+    spec: &ClusterSpec,
+    label: &str,
+    cfg: Configuration,
+    ns: &[usize],
+) -> GflopsSeries {
     GflopsSeries {
         label: label.to_string(),
         points: ns
@@ -61,9 +66,16 @@ fn gflops_series(spec: &ClusterSpec, label: &str, cfg: Configuration, ns: &[usiz
 /// Fig. 3(a): load imbalance — Athlon×1 vs Ath+P2×4 vs P2×5.
 pub fn fig3a_load_imbalance() -> Vec<GflopsSeries> {
     let spec = paper_cluster(CommLibProfile::mpich122());
-    let ns = [1000usize, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000];
+    let ns = [
+        1000usize, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000,
+    ];
     vec![
-        gflops_series(&spec, "Athlon x 1", Configuration::p1m1_p2m2(1, 1, 0, 0), &ns),
+        gflops_series(
+            &spec,
+            "Athlon x 1",
+            Configuration::p1m1_p2m2(1, 1, 0, 0),
+            &ns,
+        ),
         gflops_series(
             &spec,
             "Ath x 1 + P2 x 4",
@@ -78,7 +90,9 @@ pub fn fig3a_load_imbalance() -> Vec<GflopsSeries> {
 /// `Athlon(nP) + P2×4` for n = 1..4, plus the Athlon-alone reference.
 pub fn fig3b_multiprocess() -> Vec<GflopsSeries> {
     let spec = paper_cluster(CommLibProfile::mpich122());
-    let ns = [1000usize, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000];
+    let ns = [
+        1000usize, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000,
+    ];
     let mut series = vec![gflops_series(
         &spec,
         "Athlon x 1",
@@ -251,7 +265,9 @@ pub fn ablation_bcast() -> Vec<(String, usize, f64, f64)> {
             let binom = simulate_hpl(
                 &spec,
                 &cfg,
-                &HplParams::order(n).with_nb(NB).with_bcast(BcastAlgo::Binomial),
+                &HplParams::order(n)
+                    .with_nb(NB)
+                    .with_bcast(BcastAlgo::Binomial),
             )
             .wall_seconds;
             rows.push((label.to_string(), n, ring, binom));
@@ -273,8 +289,8 @@ pub fn ablation_grid_shape() -> Vec<(String, usize, f64)> {
             GridShape { rows: 2, cols: 4 },
             GridShape { rows: 4, cols: 2 },
         ] {
-            let t = simulate_hpl_grid(&spec, &cfg, &HplParams::order(n).with_nb(NB), grid)
-                .wall_seconds;
+            let t =
+                simulate_hpl_grid(&spec, &cfg, &HplParams::order(n).with_nb(NB), grid).wall_seconds;
             rows.push((format!("{}x{}", grid.rows, grid.cols), n, t));
         }
     }
@@ -292,8 +308,8 @@ pub fn baselines_comparison() -> Vec<(usize, f64, f64, usize, f64)> {
     let mut rows = Vec::new();
     for n in [1600usize, 3200, 4800, 6400, 9600] {
         let params = HplParams::order(n).with_nb(NB);
-        let equal = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params)
-            .wall_seconds;
+        let equal =
+            simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params).wall_seconds;
         let (m1_best, multi) = (1..=6usize)
             .map(|m1| {
                 (
@@ -304,9 +320,8 @@ pub fn baselines_comparison() -> Vec<(usize, f64, f64, usize, f64)> {
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty");
-        let weighted =
-            simulate_hpl_weighted(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params)
-                .wall_seconds;
+        let weighted = simulate_hpl_weighted(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params)
+            .wall_seconds;
         rows.push((n, equal, multi, m1_best, weighted));
     }
     rows

@@ -5,6 +5,7 @@
 //! experiment is a library function returning structured rows so the
 //! Criterion benches in `etm-bench` can measure the same code paths.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod correlate;

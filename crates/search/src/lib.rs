@@ -21,6 +21,7 @@
 //! they work with the model estimator, the simulator itself, or any
 //! other cost function.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use etm_cluster::{ClusterSpec, Configuration, KindId, KindUse};
@@ -338,10 +339,9 @@ pub fn annealing<E>(
     params: AnnealParams,
     mut objective: impl FnMut(&Configuration) -> Result<f64, E>,
 ) -> Option<SearchResult> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use etm_support::rng::Rng64;
 
-    let mut rng = StdRng::seed_from_u64(params.rng_seed);
+    let mut rng = Rng64::seed_from_u64(params.rng_seed);
     let mut evals = 1;
     let seed_cost = objective(&seed).ok()?;
     let mut current = seed.clone();
@@ -357,12 +357,12 @@ pub fn annealing<E>(
         if neighbours.is_empty() {
             break;
         }
-        let candidate = neighbours[rng.gen_range(0..neighbours.len())].clone();
+        let candidate = neighbours[rng.range_usize(neighbours.len())].clone();
         evals += 1;
         if let Ok(cost) = objective(&candidate) {
             let accept = cost <= current_cost || {
                 let delta = cost - current_cost;
-                rng.gen::<f64>() < (-delta / temp).exp()
+                rng.next_f64() < (-delta / temp).exp()
             };
             if accept {
                 current = candidate;
@@ -518,15 +518,28 @@ mod tests {
         let gr = greedy(&s, objective).unwrap();
         let seed = Configuration::p1m1_p2m2(1, 1, 1, 1);
         let an = annealing(&s, seed, AnnealParams::default(), objective).unwrap();
-        assert!(an.time <= gr.time + 1e-12, "annealing {} vs greedy {}", an.time, gr.time);
-        assert!(an.time <= 1.5 * ex.time + 1e-9, "annealing {} vs optimal {}", an.time, ex.time);
+        assert!(
+            an.time <= gr.time + 1e-12,
+            "annealing {} vs greedy {}",
+            an.time,
+            gr.time
+        );
+        assert!(
+            an.time <= 1.5 * ex.time + 1e-9,
+            "annealing {} vs optimal {}",
+            an.time,
+            ex.time
+        );
     }
 
     #[test]
     fn annealing_is_deterministic_per_seed() {
         let s = space();
         let seed = Configuration::p1m1_p2m2(1, 2, 2, 1);
-        let p = AnnealParams { steps: 500, ..AnnealParams::default() };
+        let p = AnnealParams {
+            steps: 500,
+            ..AnnealParams::default()
+        };
         let a = annealing(&s, seed.clone(), p, objective).unwrap();
         let b = annealing(&s, seed.clone(), p, objective).unwrap();
         assert_eq!(a.config, b.config);

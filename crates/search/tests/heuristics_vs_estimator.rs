@@ -41,7 +41,10 @@ fn seeded_heuristics_land_near_the_optimum() {
     let s = space();
     let all = s.enumerate();
     let ex = exhaustive(&all, objective).unwrap();
-    assert!(ex.config.pes(etm_cluster::KindId(1)) >= 6, "optimum is bulk-heterogeneous");
+    assert!(
+        ex.config.pes(etm_cluster::KindId(1)) >= 6,
+        "optimum is bulk-heterogeneous"
+    );
 
     let seed = Configuration::p1m1_p2m2(1, 1, 8, 1);
     let ls = local_search(&s, seed.clone(), objective).unwrap();

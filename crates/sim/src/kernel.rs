@@ -21,8 +21,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use etm_support::channel::{bounded, unbounded, Receiver, Sender};
+use etm_support::sync::Mutex;
 
 use crate::mailbox::{Mailbox, MailboxId, Payload};
 use crate::resource::{ResourceId, SharedResource};
@@ -155,7 +155,10 @@ impl Ctx {
     /// # Panics
     /// Panics if `dt` is negative or NaN.
     pub fn hold(&self, dt: f64) {
-        assert!(dt >= 0.0 && !dt.is_nan(), "hold duration must be >= 0, got {dt}");
+        assert!(
+            dt >= 0.0 && !dt.is_nan(),
+            "hold duration must be >= 0, got {dt}"
+        );
         self.yield_with(Request::Hold(dt));
     }
 
@@ -394,7 +397,11 @@ impl Simulation {
                     let taken = self.mailboxes[mb.0].lock().take_or_wait(pid);
                     match taken {
                         Some(payload) => {
-                            if self.processes[pid.0].go_tx.send(Wake::Delivery(payload)).is_err() {
+                            if self.processes[pid.0]
+                                .go_tx
+                                .send(Wake::Delivery(payload))
+                                .is_err()
+                            {
                                 return;
                             }
                         }
@@ -440,11 +447,7 @@ impl Simulation {
                         continue;
                     }
                     // A wake may complete a pending mailbox delivery.
-                    let wake = match self
-                        .pending_deliveries
-                        .iter()
-                        .position(|(p, _)| *p == pid)
-                    {
+                    let wake = match self.pending_deliveries.iter().position(|(p, _)| *p == pid) {
                         Some(i) => Wake::Delivery(self.pending_deliveries.remove(i).1),
                         None => Wake::Go,
                     };

@@ -189,7 +189,11 @@ fn determinism_same_inputs_same_timings() {
     }
     let a = run_once();
     let b = run_once();
-    assert_eq!(a.to_bits(), b.to_bits(), "simulation must be bit-deterministic");
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "simulation must be bit-deterministic"
+    );
 }
 
 #[test]

@@ -1,24 +1,33 @@
-//! Property-based tests of the discrete-event kernel's conservation and
-//! ordering invariants.
+//! Property tests of the discrete-event kernel's conservation and
+//! ordering invariants, driven by the deterministic in-tree harness
+//! ([`etm_support::prop`]).
 
 use std::sync::{Arc, Mutex};
 
 use etm_sim::Simulation;
-use proptest::prelude::*;
+use etm_support::prop::check;
+use etm_support::rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// `count` pairs of (hold, work) durations in `[0, hi)`.
+fn schedule(rng: &mut Rng64, count: usize, hi: f64) -> Vec<(f64, f64)> {
+    (0..count)
+        .map(|_| (rng.range_f64(0.0, hi), rng.range_f64(0.0, hi)))
+        .collect()
+}
 
-    /// The simulation ends exactly when the last process finishes:
-    /// end = max over processes of its serial (hold + compute-alone)
-    /// schedule when every process has a private CPU.
-    #[test]
-    fn private_cpus_end_time_is_max_schedule(
-        schedules in prop::collection::vec(
-            prop::collection::vec((0.0f64..0.5, 0.0f64..0.5), 1..5),
-            1..6,
-        )
-    ) {
+/// The simulation ends exactly when the last process finishes:
+/// end = max over processes of its serial (hold + compute-alone)
+/// schedule when every process has a private CPU.
+#[test]
+fn private_cpus_end_time_is_max_schedule() {
+    check(24, 0x5349_4d31, |rng| {
+        let nprocs = rng.range_inclusive(1, 5);
+        let schedules: Vec<Vec<(f64, f64)>> = (0..nprocs)
+            .map(|_| {
+                let steps = rng.range_inclusive(1, 4);
+                schedule(rng, steps, 0.5)
+            })
+            .collect();
         let mut sim = Simulation::new();
         let mut expected: f64 = 0.0;
         for (i, sched) in schedules.iter().enumerate() {
@@ -33,17 +42,23 @@ proptest! {
                 }
             });
         }
-        let end = sim.run().unwrap();
-        prop_assert!((end - expected).abs() < 1e-9, "end {end} vs expected {expected}");
-    }
+        let end = sim.run().expect("simulation completes");
+        assert!(
+            (end - expected).abs() < 1e-9,
+            "end {end} vs expected {expected}"
+        );
+    });
+}
 
-    /// Work conservation on a shared CPU: total served work equals the
-    /// sum of submitted work, and the makespan is at least that sum
-    /// (unit-speed resource, no idling because all jobs start at t=0).
-    #[test]
-    fn shared_cpu_makespan_equals_total_work(
-        works in prop::collection::vec(0.01f64..1.0, 1..8)
-    ) {
+/// Work conservation on a shared CPU: total served work equals the sum
+/// of submitted work, and the makespan is at least that sum (unit-speed
+/// resource, no idling because all jobs start at t=0).
+#[test]
+fn shared_cpu_makespan_equals_total_work() {
+    check(24, 0x5349_4d32, |rng| {
+        let works: Vec<f64> = (0..rng.range_inclusive(1, 7))
+            .map(|_| rng.range_f64(0.01, 1.0))
+            .collect();
         let mut sim = Simulation::new();
         let cpu = sim.add_shared_resource("cpu", 1.0);
         let total: f64 = works.iter().sum();
@@ -51,17 +66,22 @@ proptest! {
             let w = *w;
             sim.spawn(format!("w{i}"), move |ctx| ctx.compute(cpu, w));
         }
-        let end = sim.run().unwrap();
-        prop_assert!((end - total).abs() < 1e-6 * total.max(1.0),
-            "makespan {end} vs total work {total}");
-    }
+        let end = sim.run().expect("simulation completes");
+        assert!(
+            (end - total).abs() < 1e-6 * total.max(1.0),
+            "makespan {end} vs total work {total}"
+        );
+    });
+}
 
-    /// Processor sharing preserves completion ORDER by job size when all
-    /// jobs arrive together.
-    #[test]
-    fn shared_cpu_smaller_jobs_finish_first(
-        works in prop::collection::vec(0.01f64..1.0, 2..6)
-    ) {
+/// Processor sharing preserves completion ORDER by job size when all
+/// jobs arrive together.
+#[test]
+fn shared_cpu_smaller_jobs_finish_first() {
+    check(24, 0x5349_4d33, |rng| {
+        let works: Vec<f64> = (0..rng.range_inclusive(2, 5))
+            .map(|_| rng.range_f64(0.01, 1.0))
+            .collect();
         let mut sim = Simulation::new();
         let cpu = sim.add_shared_resource("cpu", 1.0);
         let finish: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -70,24 +90,34 @@ proptest! {
             let finish = Arc::clone(&finish);
             sim.spawn(format!("w{i}"), move |ctx| {
                 ctx.compute(cpu, w);
-                finish.lock().unwrap().push((i, ctx.now()));
+                finish
+                    .lock()
+                    .expect("no poisoned test mutex")
+                    .push((i, ctx.now()));
             });
         }
-        sim.run().unwrap();
-        let finish = finish.lock().unwrap();
+        sim.run().expect("simulation completes");
+        let finish = finish.lock().expect("no poisoned test mutex");
         for (i, ti) in finish.iter() {
             for (j, tj) in finish.iter() {
                 if works[*i] < works[*j] - 1e-12 {
-                    prop_assert!(ti <= tj,
-                        "job {i} ({}) finished after job {j} ({})", works[*i], works[*j]);
+                    assert!(
+                        ti <= tj,
+                        "job {i} ({}) finished after job {j} ({})",
+                        works[*i],
+                        works[*j]
+                    );
                 }
             }
         }
-    }
+    });
+}
 
-    /// FIFO mailboxes deliver in send order regardless of message count.
-    #[test]
-    fn mailbox_order_preserved(count in 1usize..50) {
+/// FIFO mailboxes deliver in send order regardless of message count.
+#[test]
+fn mailbox_order_preserved() {
+    check(24, 0x5349_4d34, |rng| {
+        let count = rng.range_inclusive(1, 49);
         let mut sim = Simulation::new();
         let mb = sim.add_mailbox();
         sim.spawn("sender", move |ctx| {
@@ -101,14 +131,16 @@ proptest! {
                 assert_eq!(got, i);
             }
         });
-        prop_assert!(sim.run().is_ok());
-    }
+        assert!(sim.run().is_ok());
+    });
+}
 
-    /// Bit-for-bit determinism for arbitrary workloads.
-    #[test]
-    fn arbitrary_workloads_are_deterministic(
-        works in prop::collection::vec((0.0f64..0.3, 0.0f64..0.3), 2..6)
-    ) {
+/// Bit-for-bit determinism for arbitrary workloads.
+#[test]
+fn arbitrary_workloads_are_deterministic() {
+    check(24, 0x5349_4d35, |rng| {
+        let count = rng.range_inclusive(2, 5);
+        let works = schedule(rng, count, 0.3);
         let run = |works: Vec<(f64, f64)>| -> f64 {
             let mut sim = Simulation::new();
             let cpu = sim.add_shared_resource("cpu", 1.3);
@@ -126,10 +158,10 @@ proptest! {
                     let _: usize = ctx.recv(mb);
                 }
             });
-            sim.run().unwrap()
+            sim.run().expect("simulation completes")
         };
         let a = run(works.clone());
         let b = run(works);
-        prop_assert_eq!(a.to_bits(), b.to_bits());
-    }
+        assert_eq!(a.to_bits(), b.to_bits());
+    });
 }

@@ -17,9 +17,7 @@ pub struct NumericStencil {
 /// Serial reference: `iters` Jacobi sweeps of the 5-point stencil over an
 /// `n × n` grid with fixed (Dirichlet) boundary.
 pub fn serial_jacobi(n: usize, iters: usize, init: impl Fn(usize, usize) -> f64) -> Vec<f64> {
-    let mut cur: Vec<f64> = (0..n * n)
-        .map(|i| init(i / n, i % n))
-        .collect();
+    let mut cur: Vec<f64> = (0..n * n).map(|i| init(i / n, i % n)).collect();
     let mut next = cur.clone();
     for _ in 0..iters {
         for r in 1..n - 1 {
@@ -95,8 +93,7 @@ fn run_rank(comm: ThreadComm, n: usize, iters: usize) -> Option<Vec<f64>> {
         for lr in 0..rows {
             let g = start + lr;
             if g == 0 || g == n - 1 {
-                next[(lr + 1) * n..(lr + 2) * n]
-                    .copy_from_slice(&cur[(lr + 1) * n..(lr + 2) * n]);
+                next[(lr + 1) * n..(lr + 2) * n].copy_from_slice(&cur[(lr + 1) * n..(lr + 2) * n]);
                 continue;
             }
             let row = (lr + 1) * n;
@@ -120,7 +117,11 @@ fn run_rank(comm: ThreadComm, n: usize, iters: usize) -> Option<Vec<f64>> {
         }
         Some(full)
     } else {
-        comm.send(0, GATHER, ThreadMsg::floats(cur[n..(rows + 1) * n].to_vec()));
+        comm.send(
+            0,
+            GATHER,
+            ThreadMsg::floats(cur[n..(rows + 1) * n].to_vec()),
+        );
         None
     }
 }

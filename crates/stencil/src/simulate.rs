@@ -5,9 +5,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use etm_support::sync::Mutex;
 
-use etm_cluster::{ClusterSpec, Configuration, KindId, Placement, PerfModel};
+use etm_cluster::{ClusterSpec, Configuration, KindId, PerfModel, Placement};
 use etm_mpisim::coll::{gather, ring_bcast};
 use etm_mpisim::{Comm, SimFabric, SimMsg};
 use etm_sim::Simulation;
@@ -86,7 +86,9 @@ impl StencilRun {
             .zip(&self.kinds)
             .filter(|(_, k)| **k == kind)
             .map(|(p, _)| f(p))
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
     }
 }
 

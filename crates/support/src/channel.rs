@@ -1,0 +1,276 @@
+//! Multi-producer channels over `std::sync::{Mutex, Condvar}` — the
+//! crossbeam-channel subset the simulation kernel and the thread-backed
+//! MPI fabric need: cloneable senders, optional capacity, disconnect
+//! detection on both ends.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Creates a channel with unlimited buffering.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a channel holding at most `cap` queued messages; `send`
+/// blocks when full.
+///
+/// # Panics
+/// Panics if `cap == 0` (rendezvous channels are not supported).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "capacity must be at least 1");
+    channel(Some(cap))
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    cap: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A poisoned queue mutex only means some peer thread panicked
+        // while holding it; the queue itself is still consistent (all
+        // mutations are single push/pop calls).
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone;
+/// carries the unsent message back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a closed channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, closed channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// The sending half; clone freely.
+pub struct Sender<T>(Arc<Chan<T>>);
+
+impl<T> Sender<T> {
+    /// Enqueues a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    /// Returns the message if every [`Receiver`] has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.0.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.0.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = match self.0.not_full.wait(st) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake receivers parked in recv so they observe disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half.
+pub struct Receiver<T>(Arc<Chan<T>>);
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    /// Returns [`RecvError`] once the channel is empty and every
+    /// [`Sender`] has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.0.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = match self.0.not_empty.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Dequeues without blocking; `None` when the queue is currently
+    /// empty (regardless of sender liveness).
+    pub fn try_recv(&self) -> Option<T> {
+        let v = self.0.lock().queue.pop_front();
+        if v.is_some() {
+            self.0.not_full.notify_one();
+        }
+        v
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.lock();
+        st.receivers -= 1;
+        let last = st.receivers == 0;
+        drop(st);
+        if last {
+            // Wake senders parked on a full bounded channel.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drops() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2)); // blocks until recv
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn cloned_senders_all_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let txs: Vec<_> = (0..4).map(|_| tx.clone()).collect();
+        drop(tx);
+        let handles: Vec<_> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| thread::spawn(move || t.send(i).unwrap()))
+            .collect();
+        let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Some(9));
+    }
+}

@@ -1,0 +1,22 @@
+//! # etm-support — the workspace's zero-dependency substrate
+//!
+//! Everything here exists so the rest of the workspace can build with an
+//! empty cargo registry and no network: a seedable PRNG ([`rng`]), a
+//! minimal JSON value/parser/writer with derive-free conversion traits
+//! ([`json`]), mpsc-style channels ([`channel`]), a poison-free
+//! [`sync::Mutex`], a scoped thread pool ([`pool`]) and a deterministic
+//! property-test harness ([`prop`]).
+//!
+//! The `cargo xtask check` hermeticity lint enforces that no crate in the
+//! workspace reintroduces a registry dependency; this crate is what they
+//! use instead.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod json;
+pub mod pool;
+pub mod prop;
+pub mod rng;
+pub mod sync;

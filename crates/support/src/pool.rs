@@ -1,0 +1,215 @@
+//! Scoped data-parallelism over `std::thread` — the rayon subset the
+//! linear-algebra kernels need, plus a small job-queue [`ThreadPool`].
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::channel::{unbounded, Sender};
+use crate::sync::Mutex;
+
+/// The number of worker threads parallel helpers use: the machine's
+/// available parallelism, or 1 when that cannot be determined.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to consecutive `chunk_len`-sized chunks of `data` (last
+/// chunk may be shorter), fanning the chunks out over scoped worker
+/// threads. `f` receives the chunk index and the chunk. Equivalent to
+/// `data.chunks_mut(chunk_len).enumerate().for_each(...)` but parallel;
+/// a panic in any chunk propagates to the caller.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`, and re-raises panics from `f`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let nchunks = data.len().div_ceil(chunk_len);
+    let threads = num_threads().min(nchunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let (tx, rx) = unbounded();
+    for pair in data.chunks_mut(chunk_len).enumerate() {
+        // The receiver outlives this loop, so the send cannot fail.
+        let _ = tx.send(pair);
+    }
+    drop(tx);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                while let Ok((i, chunk)) = rx.recv() {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads draining a job queue.
+///
+/// Jobs run in submission order (picked up by whichever worker is
+/// free). [`ThreadPool::join`] waits for every submitted job and
+/// re-raises the first panic any job produced.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    first_panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or the OS refuses to spawn a thread.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let rx = Arc::new(rx);
+        let first_panic: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let first_panic = Arc::clone(&first_panic);
+                std::thread::Builder::new()
+                    .name(format!("etm-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                                let mut slot = first_panic.lock();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            first_panic,
+        }
+    }
+
+    /// Submits a job. Never blocks.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // Workers only exit once the sender is dropped, so the queue
+            // is always open while `tx` exists.
+            let _ = tx.send(Box::new(job));
+        }
+    }
+
+    /// Waits for all submitted jobs to finish and shuts the pool down.
+    ///
+    /// # Panics
+    /// Re-raises the first panic raised by any job.
+    pub fn join(mut self) {
+        self.shutdown();
+        let payload = self.first_panic.lock().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    fn shutdown(&mut self) {
+        drop(self.tx.take()); // closes the queue; workers drain and exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Complete outstanding work even without an explicit join();
+        // panics are swallowed here (Drop must not unwind).
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_matches_serial() {
+        let mut par: Vec<u64> = (0..1000).collect();
+        let mut ser = par.clone();
+        for (i, c) in ser.chunks_mut(64).enumerate() {
+            for v in c.iter_mut() {
+                *v = *v * 3 + i as u64;
+            }
+        }
+        par_chunks_mut(&mut par, 64, |i, c| {
+            for v in c.iter_mut() {
+                *v = *v * 3 + i as u64;
+            }
+        });
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn par_chunks_empty_and_tiny() {
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&mut empty, 8, |_, _| panic!("no chunks expected"));
+        let mut one = vec![7u8];
+        par_chunks_mut(&mut one, 8, |i, c| {
+            assert_eq!(i, 0);
+            c[0] += 1;
+        });
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk blew up")]
+    fn par_chunks_propagates_panics() {
+        let mut data = vec![0u8; 256];
+        par_chunks_mut(&mut data, 16, |i, _| {
+            if i == 7 {
+                panic!("chunk blew up");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_completes_all_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(4);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 13 failed")]
+    fn pool_join_propagates_job_panic() {
+        let pool = ThreadPool::new(2);
+        for i in 0..20 {
+            pool.execute(move || {
+                if i == 13 {
+                    panic!("job 13 failed");
+                }
+            });
+        }
+        pool.join();
+    }
+}

@@ -1,0 +1,56 @@
+//! Pass 4: model-validity audit.
+//!
+//! Builds a measurement database by running the simulated Basic
+//! campaign (Table 2) on the paper's two-kind cluster, fits the full
+//! model bank, and runs every check registered in [`etm_core::validate`]
+//! over it. The Basic plan is the only one whose construction sizes
+//! span the audit's whole [400, 6400] sweep — the reduced NL/NS plans
+//! fit on a sub-range, and a cubic extrapolated outside its fitting
+//! range legitimately goes negative. Violations fail the gate; warnings
+//! are printed but pass.
+
+use std::path::Path;
+
+use etm_cluster::spec::paper_cluster;
+use etm_cluster::CommLibProfile;
+use etm_core::compose::PAPER_TC_SCALE;
+use etm_core::pipeline::{run_construction, ModelBank};
+use etm_core::plan::MeasurementPlan;
+use etm_core::validate::{self, Severity};
+
+/// Runs the pass. Returns one message per violated invariant.
+pub fn run(_root: &Path) -> Result<Vec<String>, String> {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let plan = MeasurementPlan::basic();
+    let db = run_construction(&spec, &plan, 64);
+    let bank =
+        ModelBank::fit(&db, PAPER_TC_SCALE).map_err(|e| format!("model bank fit failed: {e}"))?;
+    println!(
+        "    bank: {} N-T model(s), {} P-T model(s), {} composed kind(s)",
+        bank.nt.len(),
+        bank.pt.len(),
+        bank.composed_kinds.len()
+    );
+
+    let mut violations = Vec::new();
+    for check in validate::registry() {
+        let findings = check.run(&bank);
+        println!(
+            "    {:<28} {:<55} {}",
+            check.name,
+            check.what,
+            if findings.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} finding(s)", findings.len())
+            }
+        );
+        for f in &findings {
+            match f.severity {
+                Severity::Warning => println!("      warn: {}", f.message),
+                Severity::Violation => violations.push(f.to_string()),
+            }
+        }
+    }
+    Ok(violations)
+}

@@ -1,0 +1,133 @@
+//! `cargo xtask check` — the workspace's in-tree static-analysis gate.
+//!
+//! Four passes, all exercised by CI (`scripts/ci.sh`) and runnable
+//! offline with an empty cargo cache:
+//!
+//! 1. **hermetic** — every dependency in every `Cargo.toml` is a path
+//!    (or workspace-inherited path) dependency; no registry or git
+//!    dependencies can sneak in.
+//! 2. **lint** — an in-tree source walker over `src/` trees: bans
+//!    `unwrap()` in non-test library code, `todo!`/`unimplemented!`
+//!    anywhere, `as f32` in the numerics crates, and missing
+//!    `#![deny(unsafe_code)]` / `#![warn(missing_docs)]` crate headers.
+//! 3. **toolchain** — `cargo clippy --workspace --all-targets -- -D
+//!    warnings` and `cargo fmt --all --check`.
+//! 4. **audit** — the model-validity audit (`etm_core::validate`): fits
+//!    a model bank from the simulated paper cluster and runs every
+//!    registered invariant check over it.
+//!
+//! Run a subset with e.g. `cargo xtask check hermetic lint`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod hermetic;
+mod srclint;
+mod toolchain;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A single gate pass: a name for the CLI and a runner returning the
+/// list of violations (empty = pass).
+struct Pass {
+    name: &'static str,
+    what: &'static str,
+    run: fn(&Path) -> Result<Vec<String>, String>,
+}
+
+const PASSES: [Pass; 4] = [
+    Pass {
+        name: "hermetic",
+        what: "all manifest dependencies are path dependencies",
+        run: hermetic::run,
+    },
+    Pass {
+        name: "lint",
+        what: "source lints (unwrap/todo!/as-f32/crate headers)",
+        run: srclint::run,
+    },
+    Pass {
+        name: "toolchain",
+        what: "cargo clippy -D warnings and cargo fmt --check",
+        run: toolchain::run,
+    },
+    Pass {
+        name: "audit",
+        what: "model-validity audit over the paper-cluster bank",
+        run: audit::run,
+    },
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask check [pass...]\n\npasses (default: all, in order):");
+    for p in &PASSES {
+        eprintln!("  {:<10} {}", p.name, p.what);
+    }
+    ExitCode::from(2)
+}
+
+/// The workspace root: `cargo run -p xtask` always starts in it, and
+/// `CARGO_MANIFEST_DIR` points at `crates/xtask` as a fallback when the
+/// binary is invoked from elsewhere.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) if root.join("Cargo.toml").is_file() => root.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    if cmd != "check" {
+        return usage();
+    }
+    let selected: Vec<&Pass> = if rest.is_empty() {
+        PASSES.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for want in rest {
+            match PASSES.iter().find(|p| p.name == want) {
+                Some(p) => sel.push(p),
+                None => {
+                    eprintln!("unknown pass `{want}`");
+                    return usage();
+                }
+            }
+        }
+        sel
+    };
+
+    let root = workspace_root();
+    let mut failed = false;
+    for pass in selected {
+        println!("==> {} ({})", pass.name, pass.what);
+        match (pass.run)(&root) {
+            Ok(violations) if violations.is_empty() => println!("    ok"),
+            Ok(violations) => {
+                failed = true;
+                for v in &violations {
+                    println!("    FAIL: {v}");
+                }
+                println!("    {} violation(s)", violations.len());
+            }
+            Err(e) => {
+                failed = true;
+                println!("    ERROR: {e}");
+            }
+        }
+    }
+    if failed {
+        println!("xtask check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("xtask check: all passes green");
+        ExitCode::SUCCESS
+    }
+}

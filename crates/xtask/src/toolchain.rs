@@ -1,0 +1,38 @@
+//! Pass 3: toolchain gate — clippy with warnings denied and rustfmt in
+//! check mode, both over the whole workspace.
+//!
+//! These shell out to the same `cargo` that invoked the xtask (the
+//! build lock is free again by the time the xtask binary runs). Their
+//! diagnostics stream straight to the user; the pass only records
+//! pass/fail.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs the pass. Returns one message per failed tool.
+pub fn run(root: &Path) -> Result<Vec<String>, String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut violations = Vec::new();
+    let invocations: [&[&str]; 2] = [
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+        &["fmt", "--all", "--check"],
+    ];
+    for args in invocations {
+        let status = Command::new(&cargo)
+            .args(args)
+            .current_dir(root)
+            .status()
+            .map_err(|e| format!("cannot spawn `{cargo} {}`: {e}", args.join(" ")))?;
+        if !status.success() {
+            violations.push(format!("`cargo {}` failed ({status})", args.join(" ")));
+        }
+    }
+    Ok(violations)
+}

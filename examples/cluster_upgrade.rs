@@ -21,7 +21,10 @@ fn main() {
     let spec = paper_cluster(CommLibProfile::mpich122());
 
     println!("== Load imbalance (Fig 3a) ==");
-    println!("{:>8} {:>10} {:>14} {:>8}", "N", "Athlon x1", "Ath+P2x4 (eq)", "P2 x5");
+    println!(
+        "{:>8} {:>10} {:>14} {:>8}",
+        "N", "Athlon x1", "Ath+P2x4 (eq)", "P2 x5"
+    );
     for n in [2000usize, 4000, 6000, 8000, 10000] {
         let athlon = gflops(&spec, &Configuration::p1m1_p2m2(1, 1, 0, 0), n);
         let hetero = gflops(&spec, &Configuration::p1m1_p2m2(1, 1, 4, 1), n);

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example large_cluster_search`
 
 use hetero_etm::cluster::spec::{athlon_1333, pentium2_400, PeKind};
-use hetero_etm::cluster::{ClusterSpec, CommLibProfile, Configuration, KindId, NetworkSpec, NodeSpec};
+use hetero_etm::cluster::{
+    ClusterSpec, CommLibProfile, Configuration, KindId, NetworkSpec, NodeSpec,
+};
 use hetero_etm::search::{exhaustive, greedy, local_search, ConfigSpace};
 
 /// A synthetic "big iron" kind, 2x the Athlon.
@@ -48,7 +50,12 @@ fn big_cluster() -> ClusterSpec {
             memory_bytes: mem,
         });
     }
-    ClusterSpec::new(kinds, nodes, NetworkSpec::fast_ethernet(), CommLibProfile::mpich122())
+    ClusterSpec::new(
+        kinds,
+        nodes,
+        NetworkSpec::fast_ethernet(),
+        CommLibProfile::mpich122(),
+    )
 }
 
 /// A closed-form objective standing in for the fitted estimator: balance
@@ -111,9 +118,21 @@ fn main() {
 
     let seed = Configuration {
         uses: vec![
-            hetero_etm::cluster::KindUse { kind: KindId(0), pes: 4, procs_per_pe: 1 },
-            hetero_etm::cluster::KindUse { kind: KindId(1), pes: 8, procs_per_pe: 1 },
-            hetero_etm::cluster::KindUse { kind: KindId(2), pes: 32, procs_per_pe: 1 },
+            hetero_etm::cluster::KindUse {
+                kind: KindId(0),
+                pes: 4,
+                procs_per_pe: 1,
+            },
+            hetero_etm::cluster::KindUse {
+                kind: KindId(1),
+                pes: 8,
+                procs_per_pe: 1,
+            },
+            hetero_etm::cluster::KindUse {
+                kind: KindId(2),
+                pes: 32,
+                procs_per_pe: 1,
+            },
         ],
     };
     let ls = local_search(&space, seed, |c| objective(&spec, c, n)).unwrap();

@@ -21,7 +21,10 @@ fn main() {
     let eval_ns = [1600usize, 3200, 6400, 9600];
 
     for plan in [MeasurementPlan::nl(), MeasurementPlan::ns()] {
-        println!("\n== {:?} campaign (construction N = {:?}) ==", plan.kind, plan.construction_ns);
+        println!(
+            "\n== {:?} campaign (construction N = {:?}) ==",
+            plan.kind, plan.construction_ns
+        );
         let (estimator, db) = build_estimator(&spec, &plan, 64).expect("fit");
         println!(
             "measurement cost: {:.0} simulated seconds (~{:.0} min)",
@@ -34,8 +37,7 @@ fn main() {
         );
         for &n in &eval_ns {
             let best = exhaustive(&candidates, |c| estimator.estimate(c, n)).expect("estimate");
-            let tau_hat =
-                simulate_hpl(&spec, &best.config, &HplParams::order(n)).wall_seconds;
+            let tau_hat = simulate_hpl(&spec, &best.config, &HplParams::order(n)).wall_seconds;
             // True optimum by brute-force measurement.
             let t_hat = candidates
                 .iter()

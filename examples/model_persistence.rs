@@ -22,7 +22,7 @@ fn main() {
     );
 
     // Persist.
-    let json = serde_json::to_string_pretty(&estimator).expect("serialize");
+    let json = hetero_etm::support::json::to_string_pretty(&estimator);
     let path = std::env::temp_dir().join("hetero-etm-estimator.json");
     std::fs::write(&path, &json).expect("write");
     println!(
@@ -34,7 +34,7 @@ fn main() {
     );
 
     // Reload and use — no cluster access required.
-    let loaded: Estimator = serde_json::from_str(&json).expect("deserialize");
+    let loaded: Estimator = hetero_etm::support::json::from_str(&json).expect("deserialize");
     let cfg = Configuration::p1m1_p2m2(1, 2, 8, 1);
     let n = 3200;
     let a = estimator.estimate(&cfg, n).expect("estimate");

@@ -15,9 +15,18 @@ use hetero_etm::mpisim::netpipe::{fig2_block_sizes, intra_node_sweep};
 
 fn main() {
     println!("== Fig 2 analogue: intra-node throughput (two processes, one Athlon) ==");
-    println!("{:>10} {:>14} {:>14}", "block KiB", "MPICH-1.2.1", "MPICH-1.2.2");
-    let old = intra_node_sweep(&paper_cluster(CommLibProfile::mpich121()), &fig2_block_sizes());
-    let new = intra_node_sweep(&paper_cluster(CommLibProfile::mpich122()), &fig2_block_sizes());
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "block KiB", "MPICH-1.2.1", "MPICH-1.2.2"
+    );
+    let old = intra_node_sweep(
+        &paper_cluster(CommLibProfile::mpich121()),
+        &fig2_block_sizes(),
+    );
+    let new = intra_node_sweep(
+        &paper_cluster(CommLibProfile::mpich122()),
+        &fig2_block_sizes(),
+    );
     for (o, n) in old.iter().zip(&new) {
         println!(
             "{:>10.0} {:>11.2} Gb {:>11.2} Gb",
@@ -36,10 +45,18 @@ fn main() {
         let mut cells = Vec::new();
         for profile in [CommLibProfile::mpich121(), CommLibProfile::mpich122()] {
             let spec = paper_cluster(profile);
-            let g1 = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 1, 0, 0), &HplParams::order(n))
-                .gflops;
-            let g4 = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 4, 0, 0), &HplParams::order(n))
-                .gflops;
+            let g1 = simulate_hpl(
+                &spec,
+                &Configuration::p1m1_p2m2(1, 1, 0, 0),
+                &HplParams::order(n),
+            )
+            .gflops;
+            let g4 = simulate_hpl(
+                &spec,
+                &Configuration::p1m1_p2m2(1, 4, 0, 0),
+                &HplParams::order(n),
+            )
+            .gflops;
             cells.push(format!("{g1:.2} / {g4:.2}"));
         }
         println!("{n:>6} {:>22} {:>22}", cells[0], cells[1]);

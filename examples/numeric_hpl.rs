@@ -20,7 +20,10 @@ fn main() {
         (384, 48, 6, BcastAlgo::Binomial),
         (512, 64, 8, BcastAlgo::Ring),
     ] {
-        let params = HplParams::order(n).with_nb(nb).with_bcast(bcast).with_seed(7);
+        let params = HplParams::order(n)
+            .with_nb(nb)
+            .with_bcast(bcast)
+            .with_seed(7);
         let r = run_numeric(&params, p);
         println!(
             "{n:>6} {nb:>6} {p:>6} {:>10} {:>14.3e} {:>8}",

@@ -18,7 +18,10 @@ fn main() {
     ];
 
     for (name, network) in [
-        ("100base-TX (the paper's network)", NetworkSpec::fast_ethernet()),
+        (
+            "100base-TX (the paper's network)",
+            NetworkSpec::fast_ethernet(),
+        ),
         ("1000base-SX (installed, unused)", NetworkSpec::gigabit()),
     ] {
         let mut spec = paper_cluster(CommLibProfile::mpich122());

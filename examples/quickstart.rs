@@ -42,8 +42,8 @@ fn main() {
     //    for a target problem and pick the minimum.
     let n = 8000;
     let candidates = evaluation_configs();
-    let best = exhaustive(&candidates, |cfg| estimator.estimate(cfg, n))
-        .expect("estimation succeeds");
+    let best =
+        exhaustive(&candidates, |cfg| estimator.estimate(cfg, n)).expect("estimation succeeds");
     println!(
         "\nN = {n}: estimated best configuration = {} (tau = {:.1} s, {} candidates)",
         best.config.label(&spec),

@@ -22,8 +22,8 @@ fn main() {
     );
     for n in [3200usize, 4800, 6400, 9600] {
         let params = HplParams::order(n);
-        let equal = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params)
-            .wall_seconds;
+        let equal =
+            simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params).wall_seconds;
         let (best_m1, multi) = (1..=6usize)
             .map(|m1| {
                 let t = simulate_hpl(&spec, &Configuration::p1m1_p2m2(1, m1, 8, 1), &params)
@@ -32,9 +32,8 @@ fn main() {
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
-        let rewrite =
-            simulate_hpl_weighted(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params)
-                .wall_seconds;
+        let rewrite = simulate_hpl_weighted(&spec, &Configuration::p1m1_p2m2(1, 1, 8, 1), &params)
+            .wall_seconds;
         let captured = 100.0 * (equal - multi) / (equal - rewrite);
         println!(
             "{n:>6} {equal:>11.1}s {multi:>12.1}s (M1={best_m1}) {rewrite:>13.1}s {captured:>9.0}%"

@@ -24,8 +24,7 @@ fn main() {
         .iter()
         .zip(&dist.grid)
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max)
-        ;
+        .fold(0.0f64, f64::max);
     println!("numeric check: distributed vs serial max |diff| = {max_diff:.2e}");
     assert!(max_diff < 1e-12);
 

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable offline with an empty cargo registry cache:
+# tier-1 build + tests, then the in-tree static-analysis gate
+# (hermeticity, source lints, clippy -D warnings + fmt --check, and the
+# model-validity audit).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo xtask check

@@ -22,6 +22,9 @@
 //! See the `examples/` directory for runnable scenarios and `DESIGN.md`
 //! for the system inventory and per-experiment index.
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use etm_cluster as cluster;
 pub use etm_core as core;
 pub use etm_hpl as hpl;
@@ -31,3 +34,4 @@ pub use etm_mpisim as mpisim;
 pub use etm_search as search;
 pub use etm_sim as sim;
 pub use etm_stencil as stencil;
+pub use etm_support as support;

@@ -105,7 +105,10 @@ fn athlon_models_are_composed_not_measured() {
     );
     // Composed models exist for every Athlon multiplicity in the plan.
     for m in 1..=3 {
-        assert!(est.bank.pt.contains_key(&(0, m)), "missing composed (0,{m})");
+        assert!(
+            est.bank.pt.contains_key(&(0, m)),
+            "missing composed (0,{m})"
+        );
     }
 }
 
@@ -127,7 +130,10 @@ fn binning_single_pe_uses_nt_model() {
     let predicted = est.estimate(&cfg, 1200).expect("estimate");
     let rel = ((predicted - sample.wall) / sample.wall).abs();
     // Ta+Tc vs wall differ by scheduling slack only.
-    assert!(rel < 0.05, "NT model should reproduce training point: {rel}");
+    assert!(
+        rel < 0.05,
+        "NT model should reproduce training point: {rel}"
+    );
 }
 
 #[test]
@@ -149,8 +155,7 @@ fn small_n_models_underestimate_large_n() {
     );
     // The same model interpolates its own training range fine.
     let small = est.estimate(&cfg, 1200).expect("estimate");
-    let small_meas =
-        simulate_hpl(&spec, &cfg, &HplParams::order(1200).with_nb(NB)).wall_seconds;
+    let small_meas = simulate_hpl(&spec, &cfg, &HplParams::order(1200).with_nb(NB)).wall_seconds;
     assert!(((small - small_meas) / small_meas).abs() < 0.10);
 }
 

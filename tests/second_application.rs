@@ -10,11 +10,7 @@ use hetero_etm::core::measurement::{MeasurementDb, Sample, SampleKey};
 use hetero_etm::core::pipeline::{Estimator, ModelBank};
 use hetero_etm::stencil::{simulate_stencil, StencilParams};
 
-fn stencil_sample(
-    spec: &hetero_etm::cluster::ClusterSpec,
-    key: SampleKey,
-    n: usize,
-) -> Sample {
+fn stencil_sample(spec: &hetero_etm::cluster::ClusterSpec, key: SampleKey, n: usize) -> Sample {
     let cfg = Configuration {
         uses: vec![KindUse {
             kind: key.kind_id(),
@@ -97,10 +93,18 @@ fn stencil_models_know_communication_is_latency_bound() {
         .unwrap();
     let best_meas = (1..=8usize)
         .min_by(|&a, &b| {
-            let ta = simulate_stencil(&spec, &Configuration::p1m1_p2m2(0, 0, a, 1), &StencilParams::side(n))
-                .wall_seconds;
-            let tb = simulate_stencil(&spec, &Configuration::p1m1_p2m2(0, 0, b, 1), &StencilParams::side(n))
-                .wall_seconds;
+            let ta = simulate_stencil(
+                &spec,
+                &Configuration::p1m1_p2m2(0, 0, a, 1),
+                &StencilParams::side(n),
+            )
+            .wall_seconds;
+            let tb = simulate_stencil(
+                &spec,
+                &Configuration::p1m1_p2m2(0, 0, b, 1),
+                &StencilParams::side(n),
+            )
+            .wall_seconds;
             ta.total_cmp(&tb)
         })
         .unwrap();

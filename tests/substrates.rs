@@ -77,11 +77,7 @@ fn wall_time_bounded_by_phase_accounting() {
         &Configuration::p1m1_p2m2(1, 1, 8, 1),
         &HplParams::order(2400),
     );
-    let slowest_total = run
-        .phases
-        .iter()
-        .map(|p| p.total())
-        .fold(0.0_f64, f64::max);
+    let slowest_total = run.phases.iter().map(|p| p.total()).fold(0.0_f64, f64::max);
     assert!(
         run.wall_seconds >= 0.95 * slowest_total,
         "wall {} vs slowest accounted {}",
