@@ -12,7 +12,10 @@
 //! * every kind listed as composed (§3.5) actually has a P-T model;
 //! * the fitting bases are well-conditioned enough for the QR solver
 //!   (condition blow-ups surface as warnings before coefficients go
-//!   visibly bad).
+//!   visibly bad);
+//! * predictions are monotone in the processing-element count at
+//!   compute-bound sizes — adding PEs must not make the predicted run
+//!   slower where `Ta ∝ N³/P` dominates.
 //!
 //! `cargo xtask check` runs the registry over a bank fit from the
 //! simulated paper cluster; library consumers can run it over any bank
@@ -43,6 +46,28 @@ const NEGATIVE_TOLERANCE: f64 = 0.01;
 /// QR in f64 loses roughly half the mantissa at 1e12; the paper's cubic
 /// basis over `[400, 6400]` sits orders of magnitude below this.
 const CONDITION_WARN: f64 = 1e12;
+
+/// Problem sizes treated as compute-bound for the monotonicity check:
+/// the upper half of the audit grid, where `Ta ∝ N³/P` dominates and
+/// adding PEs must not slow the predicted run down. Small N are
+/// excluded — there the communication term legitimately makes more PEs
+/// slower, which is the very trade-off the paper's optimizer exploits.
+const MONOTONE_SIZES: [usize; 3] = [3200, 4800, 6400];
+
+/// Process counts the monotonicity sweep covers: the campaign's fitted
+/// P range. `AUDIT_PS`'s extrapolation point (P = 16, beyond the paper
+/// cluster's 9 CPUs) is deliberately excluded — out there the fitted
+/// `k9·P·TcRef` communication term dominates and predicted time
+/// *should* rise with P, which is a property of the regime, not a model
+/// defect.
+const MONOTONE_PS: [usize; 4] = [1, 2, 4, 8];
+
+/// Relative increase tolerated between consecutive P (or PE) steps
+/// before a monotonicity finding escalates from warning to violation.
+/// Unconstrained least squares can put a shallow local bump into the
+/// `k9·P·TcRef` term; a few percent of wobble is fit noise, a large
+/// reversal means the model slopes the wrong way.
+const MONOTONE_TOLERANCE: f64 = 0.05;
 
 /// How bad a finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +143,11 @@ pub fn registry() -> Vec<Check> {
             name: "basis_condition",
             what: "fitting bases are well-conditioned for the QR solver",
             run: basis_condition,
+        },
+        Check {
+            name: "monotone_in_p",
+            what: "compute-bound predictions non-increasing in P (5% step tolerance)",
+            run: monotone_in_p,
         },
     ]
 }
@@ -296,6 +326,87 @@ fn basis_condition(bank: &ModelBank) -> Vec<Finding> {
     out
 }
 
+/// Cross-model monotonicity (ROADMAP): at compute-bound sizes, giving a
+/// run more processing elements must not *increase* its predicted time.
+///
+/// Two sweeps:
+/// * within each P-T model, `total(n, p)` over ascending `p`
+///   (the §3.3 form's P-slope must point the right way);
+/// * across N-T models of the same `(kind, m)` at ascending `pes` —
+///   these are independently fitted models, so a reversal means two fits
+///   disagree about which sub-cluster is faster.
+///
+/// Steps that go up by less than [`MONOTONE_TOLERANCE`] are warnings
+/// (fit noise); larger reversals are violations.
+fn monotone_in_p(bank: &ModelBank) -> Vec<Finding> {
+    const CHECK: &str = "monotone_in_p";
+    let mut out = Vec::new();
+    let mut sweep = |label: &str, points: &[(usize, f64)]| {
+        for w in points.windows(2) {
+            let ((p_lo, t_lo), (p_hi, t_hi)) = (w[0], w[1]);
+            // Skip degenerate/negative predictions; the non-negativity
+            // check owns those.
+            if !(t_lo.is_finite() && t_hi.is_finite()) || t_lo <= 0.0 {
+                continue;
+            }
+            let rel = (t_hi - t_lo) / t_lo;
+            if rel > MONOTONE_TOLERANCE {
+                out.push(violation(
+                    CHECK,
+                    format!(
+                        "{label}: predicted time rises {:.1}% from P={p_lo} ({t_lo:.3} s) \
+                         to P={p_hi} ({t_hi:.3} s)",
+                        rel * 100.0
+                    ),
+                ));
+            } else if rel > 0.0 {
+                out.push(warning(
+                    CHECK,
+                    format!(
+                        "{label}: predicted time rises {:.2}% from P={p_lo} to P={p_hi} \
+                         (within the {MONOTONE_TOLERANCE:.0e} step tolerance)",
+                        rel * 100.0
+                    ),
+                ));
+            }
+        }
+    };
+    for ((kind, m), pt) in &bank.pt {
+        for &n in &MONOTONE_SIZES {
+            let points: Vec<(usize, f64)> =
+                MONOTONE_PS.iter().map(|&p| (p, pt.total(n, p))).collect();
+            sweep(
+                &format!("P-T model for kind {kind} M={m} at N={n}"),
+                &points,
+            );
+        }
+    }
+    // Group N-T models by (kind, m) and sweep across their PE counts.
+    let mut groups: std::collections::BTreeMap<(usize, usize), Vec<(usize, &crate::NtModel)>> =
+        std::collections::BTreeMap::new();
+    for (key, nt) in &bank.nt {
+        groups
+            .entry((key.kind, key.m))
+            .or_default()
+            .push((key.pes, nt));
+    }
+    for ((kind, m), mut models) in groups {
+        models.sort_by_key(|(pes, _)| *pes);
+        if models.len() < 2 {
+            continue;
+        }
+        for &n in &MONOTONE_SIZES {
+            let points: Vec<(usize, f64)> =
+                models.iter().map(|&(pes, nt)| (pes, nt.total(n))).collect();
+            sweep(
+                &format!("N-T models for kind {kind} M={m} at N={n} (across PEs)"),
+                &points,
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::BTreeMap;
@@ -366,6 +477,82 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.check == "composed_kinds_have_models" && f.message.contains('7')));
+    }
+
+    #[test]
+    fn healthy_bank_is_monotone() {
+        let findings = monotone_in_p(&healthy_bank());
+        assert!(
+            findings.iter().all(|f| f.severity != Severity::Violation),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn anti_scaling_pt_model_is_a_violation() {
+        let mut bank = healthy_bank();
+        // k7·TaRef/P with negative k7 plus a large constant makes the
+        // prediction *grow* with P at every size.
+        let pt = bank.pt.get_mut(&(0, 1)).expect("seeded model");
+        pt.ka = [-2.0, 500.0];
+        pt.kc = [10.0, 0.0, 0.0];
+        let findings = monotone_in_p(&bank);
+        assert!(!passes(&findings));
+        assert!(findings
+            .iter()
+            .any(|f| f.check == "monotone_in_p" && f.severity == Severity::Violation));
+    }
+
+    #[test]
+    fn nt_models_compared_across_pes() {
+        let mut bank = healthy_bank();
+        // Two N-T models of the same (kind, m): the 4-PE one predicts
+        // *slower* than the 2-PE one at every compute-bound size.
+        let fast = NtModel {
+            ka: [1e-9, 0.0, 0.0, 0.1],
+            kc: [0.0, 0.0, 0.01],
+        };
+        let slow = NtModel {
+            ka: [3e-9, 0.0, 0.0, 0.1],
+            kc: [0.0, 0.0, 0.01],
+        };
+        bank.nt
+            .insert(SampleKey::new(etm_cluster::KindId(1), 2, 1), fast);
+        bank.nt
+            .insert(SampleKey::new(etm_cluster::KindId(1), 4, 1), slow);
+        let findings = monotone_in_p(&bank);
+        assert!(
+            findings.iter().any(|f| f.severity == Severity::Violation
+                && f.message.contains("across PEs")
+                && f.message.contains("kind 1")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn small_wobble_is_only_a_warning() {
+        let mut bank = healthy_bank();
+        // 2% slower at 4 PEs than at 2: inside the step tolerance.
+        let fast = NtModel {
+            ka: [1e-9, 0.0, 0.0, 0.1],
+            kc: [0.0, 0.0, 0.01],
+        };
+        let wobble = NtModel {
+            ka: [1.02e-9, 0.0, 0.0, 0.1],
+            kc: [0.0, 0.0, 0.01],
+        };
+        bank.nt
+            .insert(SampleKey::new(etm_cluster::KindId(1), 2, 1), fast);
+        bank.nt
+            .insert(SampleKey::new(etm_cluster::KindId(1), 4, 1), wobble);
+        let findings = monotone_in_p(&bank);
+        assert!(passes(&findings), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.check == "monotone_in_p"
+                && f.severity == Severity::Warning
+                && f.message.contains("across PEs")),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Integration tests of the parallel measurement campaign and its
+//! content-hashed fingerprint: the campaign must be bit-identical at
+//! every worker count, and the fingerprint must be invariant under JSON
+//! field order but sensitive to every input that changes the campaign.
+
+use etm_cluster::spec::paper_cluster;
+use etm_cluster::CommLibProfile;
+use etm_core::pipeline::{
+    campaign_fingerprint, campaign_fingerprint_hex, run_construction_threads,
+};
+use etm_core::plan::MeasurementPlan;
+use etm_support::json::{self, Json};
+use etm_support::pool;
+
+const NB: usize = 64;
+
+/// The Basic plan cut down to its smallest problem sizes, so a full
+/// campaign runs in well under a second per worker count.
+fn small_plan() -> MeasurementPlan {
+    let mut plan = MeasurementPlan::basic();
+    plan.construction.retain(|p| p.n <= 800);
+    assert!(
+        plan.construction.len() >= 20,
+        "need enough points to exercise the fan-out"
+    );
+    plan
+}
+
+#[test]
+fn campaign_is_bit_identical_at_any_worker_count() {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let plan = small_plan();
+    let serial = json::to_string(&run_construction_threads(&spec, &plan, NB, 1));
+    let widths = [2, pool::num_threads().max(2)];
+    for threads in widths {
+        let parallel = json::to_string(&run_construction_threads(&spec, &plan, NB, threads));
+        assert_eq!(serial, parallel, "campaign diverged at {threads} worker(s)");
+    }
+}
+
+#[test]
+fn fingerprint_survives_json_field_reordering() {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let plan = small_plan();
+    let want = campaign_fingerprint(&spec, &plan, NB);
+
+    // Round-trip the spec through JSON with every object's keys
+    // reversed — a differently-ordered but semantically identical
+    // document, as another tool might emit it.
+    let mut doc = json::parse(&json::to_string(&spec)).expect("spec JSON parses");
+    reverse_keys(&mut doc);
+    let reordered: etm_cluster::ClusterSpec =
+        json::from_str(&json::to_string(&doc)).expect("reordered spec JSON deserializes");
+    assert_eq!(reordered, spec);
+    assert_eq!(campaign_fingerprint(&reordered, &plan, NB), want);
+}
+
+fn reverse_keys(v: &mut Json) {
+    match v {
+        Json::Obj(pairs) => {
+            pairs.reverse();
+            for (_, inner) in pairs {
+                reverse_keys(inner);
+            }
+        }
+        Json::Arr(items) => {
+            for inner in items {
+                reverse_keys(inner);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn fingerprint_misses_on_any_input_mutation() {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let plan = small_plan();
+    let base = campaign_fingerprint(&spec, &plan, NB);
+
+    let mut slower = spec.clone();
+    slower.kinds[0].peak_flops *= 0.5;
+    assert_ne!(campaign_fingerprint(&slower, &plan, NB), base);
+
+    let mut fewer_nodes = spec.clone();
+    fewer_nodes.nodes.pop();
+    assert_ne!(campaign_fingerprint(&fewer_nodes, &plan, NB), base);
+
+    let mut shifted = plan.clone();
+    shifted.construction[0].n += 1;
+    assert_ne!(campaign_fingerprint(&spec, &shifted, NB), base);
+
+    assert_ne!(campaign_fingerprint(&spec, &plan, NB + 1), base);
+
+    // And the hex form used for cache file names tracks the raw hash.
+    assert_eq!(
+        campaign_fingerprint_hex(&spec, &plan, NB),
+        format!("{base:016x}")
+    );
+}

@@ -1,9 +1,10 @@
 //! Estimate-vs-measurement correlation (the scatter plots of Figs. 6–15).
 
 use etm_cluster::{ClusterSpec, Configuration, KindId};
-use etm_core::pipeline::Estimator;
+use etm_core::pipeline::{campaign_threads, Estimator};
 use etm_core::plan::evaluation_configs;
 use etm_hpl::{simulate_hpl, HplParams};
+use etm_support::pool;
 
 /// One point of a correlation plot.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,30 +22,33 @@ pub struct CorrelationPoint {
 }
 
 /// Runs the full 62-configuration correlation at one problem size:
-/// estimate each configuration (raw and adjusted) and measure it.
+/// estimate each configuration (raw and adjusted) and measure it. The
+/// measurement half (a simulated HPL run per configuration) dominates,
+/// so the grid fans out over the campaign worker pool; results come
+/// back in grid order regardless of worker count.
 pub fn correlation_at(
     spec: &ClusterSpec,
     estimator: &Estimator,
     n: usize,
     nb: usize,
 ) -> Vec<CorrelationPoint> {
-    evaluation_configs()
-        .into_iter()
-        .filter_map(|config| {
-            let estimate_raw = estimator.estimate_raw(&config, n).ok()?;
-            let estimate_adjusted = estimator.estimate(&config, n).ok()?;
-            let measured =
-                simulate_hpl(spec, &config, &HplParams::order(n).with_nb(nb)).wall_seconds;
-            let m1 = config.procs_per_pe(KindId(estimator.fast_kind));
-            Some(CorrelationPoint {
-                config,
-                m1,
-                estimate_raw,
-                estimate_adjusted,
-                measured,
-            })
+    let configs = evaluation_configs();
+    pool::par_map(&configs, campaign_threads(), |_, config| {
+        let estimate_raw = estimator.estimate_raw(config, n).ok()?;
+        let estimate_adjusted = estimator.estimate(config, n).ok()?;
+        let measured = simulate_hpl(spec, config, &HplParams::order(n).with_nb(nb)).wall_seconds;
+        let m1 = config.procs_per_pe(KindId(estimator.fast_kind));
+        Some(CorrelationPoint {
+            config: config.clone(),
+            m1,
+            estimate_raw,
+            estimate_adjusted,
+            measured,
         })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Mean absolute relative deviation of a correlation set, using the

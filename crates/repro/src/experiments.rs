@@ -4,11 +4,12 @@
 
 use etm_cluster::spec::paper_cluster;
 use etm_cluster::{ClusterSpec, CommLibProfile, Configuration, KindId};
-use etm_core::pipeline::{build_estimator, run_construction, Estimator};
+use etm_core::pipeline::{build_estimator, campaign_threads, run_construction, Estimator};
 use etm_core::plan::{MeasurementPlan, PlanKind};
 use etm_core::MeasurementDb;
 use etm_hpl::{simulate_hpl, HplParams};
 use etm_mpisim::netpipe::{fig2_block_sizes, intra_node_sweep, ThroughputSample};
+use etm_support::pool;
 
 use crate::correlate::{best_config_row, correlation_at, BestConfigRow, CorrelationPoint};
 
@@ -19,15 +20,18 @@ pub const NB: usize = 64;
 /// CPU, under one communication-library profile.
 pub fn fig1_multiprocessing(profile: CommLibProfile) -> Vec<(usize, usize, f64)> {
     let spec = paper_cluster(profile);
-    let mut rows = Vec::new();
-    for m in 1..=4usize {
-        for n in [1000usize, 2000, 3000, 4000, 5000, 6000, 7000] {
-            let cfg = Configuration::p1m1_p2m2(1, m, 0, 0);
-            let run = simulate_hpl(&spec, &cfg, &HplParams::order(n).with_nb(NB));
-            rows.push((m, n, run.gflops));
-        }
-    }
-    rows
+    let cells: Vec<(usize, usize)> = (1..=4usize)
+        .flat_map(|m| {
+            [1000usize, 2000, 3000, 4000, 5000, 6000, 7000]
+                .into_iter()
+                .map(move |n| (m, n))
+        })
+        .collect();
+    pool::par_map(&cells, campaign_threads(), |_, &(m, n)| {
+        let cfg = Configuration::p1m1_p2m2(1, m, 0, 0);
+        let run = simulate_hpl(&spec, &cfg, &HplParams::order(n).with_nb(NB));
+        (m, n, run.gflops)
+    })
 }
 
 /// Fig. 2: NetPIPE-style intra-node throughput sweep for a profile.
@@ -53,13 +57,10 @@ fn gflops_series(
 ) -> GflopsSeries {
     GflopsSeries {
         label: label.to_string(),
-        points: ns
-            .iter()
-            .map(|&n| {
-                let run = simulate_hpl(spec, &cfg, &HplParams::order(n).with_nb(NB));
-                (n, run.gflops)
-            })
-            .collect(),
+        points: pool::par_map(ns, campaign_threads(), |_, &n| {
+            let run = simulate_hpl(spec, &cfg, &HplParams::order(n).with_nb(NB));
+            (n, run.gflops)
+        }),
     }
 }
 

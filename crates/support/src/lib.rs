@@ -4,8 +4,9 @@
 //! empty cargo registry and no network: a seedable PRNG ([`rng`]), a
 //! minimal JSON value/parser/writer with derive-free conversion traits
 //! ([`json`]), mpsc-style channels ([`channel`]), a poison-free
-//! [`sync::Mutex`], a scoped thread pool ([`pool`]) and a deterministic
-//! property-test harness ([`prop`]).
+//! [`sync::Mutex`], a scoped thread pool with an order-preserving
+//! [`pool::par_map`], stable FNV-1a content hashing ([`hash`]) and a
+//! deterministic property-test harness ([`prop`]).
 //!
 //! The `cargo xtask check` hermeticity lint enforces that no crate in the
 //! workspace reintroduces a registry dependency; this crate is what they
@@ -15,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod prop;

@@ -54,6 +54,76 @@ where
     });
 }
 
+/// Maps `f` over `items` on `threads` scoped worker threads, returning
+/// the results **in item order** regardless of how the workers were
+/// scheduled. Jobs are distributed through the in-tree mpmc channel
+/// (whichever worker is free pulls the next item) and results flow back
+/// tagged with their index, so the output is deterministic: for a pure
+/// `f`, `par_map(items, t, f)` is bit-identical for every `t`.
+///
+/// `f` receives the item index and the item. With `threads == 1` (or a
+/// single item) the map runs inline on the caller's thread.
+///
+/// # Panics
+/// Panics if `threads == 0`, and re-raises panics from `f`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let (job_tx, job_rx) = unbounded();
+    for pair in items.iter().enumerate() {
+        // The receivers live for the whole scope below, so the send
+        // cannot fail.
+        let _ = job_tx.send(pair);
+    }
+    drop(job_tx);
+    let (res_tx, res_rx) = unbounded();
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        let f = &f;
+        let job_rx = &job_rx;
+        let first_panic = &first_panic;
+        for _ in 0..threads {
+            let res_tx = res_tx.clone();
+            s.spawn(move || {
+                while let Ok((i, item)) = job_rx.recv() {
+                    match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                        Ok(r) => {
+                            let _ = res_tx.send((i, r));
+                        }
+                        Err(payload) => {
+                            let mut slot = first_panic.lock();
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        drop(res_tx); // the workers' clones keep the channel open
+    });
+    if let Some(payload) = first_panic.lock().take() {
+        resume_unwind(payload);
+    }
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    while let Some((i, r)) = res_rx.try_recv() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job sent exactly one result"))
+        .collect()
+}
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed-size pool of worker threads draining a job queue.
@@ -182,6 +252,35 @@ mod tests {
             if i == 7 {
                 panic!("chunk blew up");
             }
+        });
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * v + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = par_map(&items, threads, |_, &v| v * v + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let none: Vec<u8> = par_map(&[] as &[u8], 4, |_, &v| v);
+        assert!(none.is_empty());
+        assert_eq!(par_map(&[9u8], 4, |i, &v| (i, v)), vec![(0, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "item 11 exploded")]
+    fn par_map_propagates_panics() {
+        let items: Vec<usize> = (0..64).collect();
+        par_map(&items, 4, |_, &v| {
+            if v == 11 {
+                panic!("item 11 exploded");
+            }
+            v
         });
     }
 

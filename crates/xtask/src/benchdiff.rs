@@ -1,0 +1,177 @@
+//! `cargo xtask bench-diff <old> <new>` — the regression gate over the
+//! std-harness bench baselines.
+//!
+//! Both inputs are `BENCH_<suite>.json` files written by `etm-bench`
+//! runs with `ETM_BENCH_OUT` set. The diff compares per-benchmark
+//! **median** ns/iter (the most noise-robust of the reported stats) and
+//! fails when any benchmark regresses by more than the threshold
+//! (default 25%, override with `--threshold <percent>`). Benchmarks
+//! present only in the new baseline are listed as informational;
+//! benchmarks that *disappeared* fail the gate — a silently dropped
+//! timing is how perf coverage rots.
+
+use std::fs;
+use std::path::Path;
+
+use etm_support::json::{parse, Json};
+
+/// Default allowed median regression, in percent. Generous because the
+/// suites time whole simulated campaigns on shared CI machines; a real
+/// algorithmic regression shows up far above this.
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// One benchmark's stats pulled out of a baseline document.
+struct Entry {
+    name: String,
+    median_ns: f64,
+}
+
+fn load(path: &str) -> Result<(String, Vec<Entry>), String> {
+    let text = fs::read_to_string(Path::new(path))
+        .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let suite: String = doc.field("suite").map_err(|e| format!("{path}: {e}"))?;
+    let rows: Vec<Json> = doc.field("rows").map_err(|e| format!("{path}: {e}"))?;
+    let mut entries = Vec::new();
+    for row in &rows {
+        entries.push(Entry {
+            name: row.field("name").map_err(|e| format!("{path}: {e}"))?,
+            median_ns: row.field("median_ns").map_err(|e| format!("{path}: {e}"))?,
+        });
+    }
+    Ok((suite, entries))
+}
+
+/// Runs the diff. Returns one message per regression (empty = pass).
+pub fn run(
+    old_path: &str,
+    new_path: &str,
+    threshold_pct: Option<f64>,
+) -> Result<Vec<String>, String> {
+    let threshold = threshold_pct.unwrap_or(DEFAULT_THRESHOLD_PCT);
+    if !threshold.is_finite() || threshold <= 0.0 {
+        return Err(format!(
+            "threshold must be a positive percentage, got {threshold}"
+        ));
+    }
+    let (old_suite, old) = load(old_path)?;
+    let (new_suite, new) = load(new_path)?;
+    if old_suite != new_suite {
+        return Err(format!(
+            "baselines are from different suites: '{old_suite}' vs '{new_suite}'"
+        ));
+    }
+
+    let mut failures = Vec::new();
+    for o in &old {
+        match new.iter().find(|n| n.name == o.name) {
+            None => failures.push(format!(
+                "{}: benchmark disappeared from the new baseline",
+                o.name
+            )),
+            Some(n) if o.median_ns > 0.0 => {
+                let delta_pct = (n.median_ns - o.median_ns) / o.median_ns * 100.0;
+                let verdict = if delta_pct > threshold {
+                    failures.push(format!(
+                        "{}: median regressed {:+.1}% ({:.0} ns -> {:.0} ns, threshold {:.0}%)",
+                        o.name, delta_pct, o.median_ns, n.median_ns, threshold
+                    ));
+                    "REGRESSED"
+                } else if delta_pct < -threshold {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "    {:<50} {:>12.0} -> {:>12.0} ns  {:+7.1}%  {}",
+                    o.name, o.median_ns, n.median_ns, delta_pct, verdict
+                );
+            }
+            Some(_) => println!("    {:<50} old median is 0 ns; skipped", o.name),
+        }
+    }
+    for n in &new {
+        if !old.iter().any(|o| o.name == n.name) {
+            println!("    {:<50} new benchmark ({:.0} ns)", n.name, n.median_ns);
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_baseline(dir: &Path, file: &str, suite: &str, rows: &[(&str, f64)]) -> String {
+        let rows_json: Vec<String> = rows
+            .iter()
+            .map(|(name, median)| {
+                format!(
+                    "{{\"name\": \"{name}\", \"iters\": 1, \"samples\": 2, \
+                     \"min_ns\": {median}, \"median_ns\": {median}, \
+                     \"mean_ns\": {median}, \"max_ns\": {median}}}"
+                )
+            })
+            .collect();
+        let text = format!(
+            "{{\"suite\": \"{suite}\", \"rows\": [{}]}}",
+            rows_json.join(", ")
+        );
+        let path = dir.join(file);
+        fs::write(&path, text).expect("tempdir is writable");
+        path.display().to_string()
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("etm-benchdiff-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("tempdir is creatable");
+        dir
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let dir = tempdir("pass");
+        let old = write_baseline(&dir, "old.json", "s", &[("a", 100.0), ("b", 200.0)]);
+        let new = write_baseline(&dir, "new.json", "s", &[("a", 110.0), ("b", 150.0)]);
+        let failures = run(&old, &new, None).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails() {
+        let dir = tempdir("fail");
+        let old = write_baseline(&dir, "old.json", "s", &[("a", 100.0)]);
+        let new = write_baseline(&dir, "new.json", "s", &[("a", 180.0)]);
+        let failures = run(&old, &new, None).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+        // A custom threshold wide enough lets the same delta through.
+        assert!(run(&old, &new, Some(90.0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disappeared_benchmark_fails() {
+        let dir = tempdir("gone");
+        let old = write_baseline(&dir, "old.json", "s", &[("a", 100.0), ("b", 50.0)]);
+        let new = write_baseline(&dir, "new.json", "s", &[("a", 100.0), ("c", 10.0)]);
+        let failures = run(&old, &new, None).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("disappeared"), "{failures:?}");
+    }
+
+    #[test]
+    fn mismatched_suites_error() {
+        let dir = tempdir("suites");
+        let old = write_baseline(&dir, "old.json", "alpha", &[("a", 1.0)]);
+        let new = write_baseline(&dir, "new.json", "beta", &[("a", 1.0)]);
+        assert!(run(&old, &new, None).is_err());
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let dir = tempdir("thresh");
+        let old = write_baseline(&dir, "old.json", "s", &[("a", 1.0)]);
+        assert!(run(&old, &old, Some(0.0)).is_err());
+        assert!(run(&old, &old, Some(-5.0)).is_err());
+    }
+}

@@ -17,11 +17,16 @@
 //!    registered invariant check over it.
 //!
 //! Run a subset with e.g. `cargo xtask check hermetic lint`.
+//!
+//! A second subcommand, `cargo xtask bench-diff <old> <new>
+//! [--threshold PCT]`, compares two `BENCH_<suite>.json` baselines
+//! written by the `etm-bench` harness and fails on median regressions.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod audit;
+mod benchdiff;
 mod hermetic;
 mod srclint;
 mod toolchain;
@@ -61,11 +66,56 @@ const PASSES: [Pass; 4] = [
 ];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask check [pass...]\n\npasses (default: all, in order):");
+    eprintln!(
+        "usage: cargo xtask check [pass...]\n       \
+         cargo xtask bench-diff <old.json> <new.json> [--threshold PCT]\n\n\
+         check passes (default: all, in order):"
+    );
     for p in &PASSES {
         eprintln!("  {:<10} {}", p.name, p.what);
     }
     ExitCode::from(2)
+}
+
+/// `bench-diff` argument parsing + execution.
+fn run_bench_diff(rest: &[String]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold: Option<f64> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            threshold = match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => Some(v),
+                _ => {
+                    eprintln!("--threshold needs a numeric percentage");
+                    return usage();
+                }
+            };
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [old, new] = paths[..] else {
+        return usage();
+    };
+    println!("==> bench-diff {old} -> {new}");
+    match benchdiff::run(old, new, threshold) {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench-diff: no median regressions");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                println!("    FAIL: {f}");
+            }
+            println!("bench-diff: {} regression(s)", failures.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-diff: ERROR: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The workspace root: `cargo run -p xtask` always starts in it, and
@@ -85,6 +135,9 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
+    if cmd == "bench-diff" {
+        return run_bench_diff(rest);
+    }
     if cmd != "check" {
         return usage();
     }

@@ -5,8 +5,11 @@
 //!
 //! * `unwrap()` is banned in non-test library/binary code — fitting and
 //!   simulation paths must propagate errors or `expect` with a message
-//!   explaining why the value exists. Per-crate allowlists cover code
-//!   where an unwrap is load-bearing and documented.
+//!   explaining why the value exists. The only escape hatch is a
+//!   per-file entry in [`UNWRAP_ALLOWANCES`], and even then every call
+//!   site needs an adjacent `// unwrap-ok: <reason>` comment; stale
+//!   entries (file gone, or no justified unwraps left) fail the gate so
+//!   the list can only shrink.
 //! * `todo!` / `unimplemented!` are banned everywhere, tests included:
 //!   the tree never ships placeholders.
 //! * `as f32` is banned in the numerics crates (`etm-lsq`, `etm-core`):
@@ -19,20 +22,27 @@
 //! out the banned patterns, and the crate is covered by the hermeticity
 //! and toolchain passes.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Crates (by directory name under `crates/`) allowed to keep
-/// `unwrap()` in library code. Add an entry only with a comment saying
-/// why; the gate prints the allowance so it stays visible.
-const UNWRAP_ALLOWLIST: &[&str] = &[];
+/// Files (workspace-relative path → reason) allowed to contain
+/// `unwrap()` in library code. An entry only relaxes the rule from
+/// "never" to "with a call-site justification": each allowed unwrap
+/// must carry `// unwrap-ok: <reason>` on the same line or the line
+/// above. Empty on purpose — the whole tree currently propagates errors
+/// or uses `expect`.
+const UNWRAP_ALLOWANCES: &[(&str, &str)] = &[];
 
 /// Crate directories where `as f32` narrowing is banned.
 const NO_F32_CRATES: &[&str] = &["lsq", "core"];
 
+/// The comment marker that justifies an allowed unwrap call site.
+const UNWRAP_OK: &str = "unwrap-ok:";
+
 /// Runs the pass. Returns one message per violation.
 pub fn run(root: &Path) -> Result<Vec<String>, String> {
-    let mut src_trees: Vec<(String, PathBuf)> = vec![("hetero-etm".to_string(), root.join("src"))];
+    let mut src_trees: Vec<PathBuf> = vec![root.join("src")];
     let crates = root.join("crates");
     let entries =
         fs::read_dir(&crates).map_err(|e| format!("cannot list {}: {e}", crates.display()))?;
@@ -44,27 +54,53 @@ pub fn run(root: &Path) -> Result<Vec<String>, String> {
         }
         let src = entry.path().join("src");
         if src.is_dir() {
-            src_trees.push((name, src));
+            src_trees.push(src);
         }
     }
 
     let mut violations = Vec::new();
-    for (crate_name, src) in &src_trees {
+    let mut justified: BTreeMap<String, usize> = BTreeMap::new();
+    for src in &src_trees {
         let mut files = Vec::new();
         collect_rs_files(src, &mut files)?;
         for file in files {
             let text = fs::read_to_string(&file)
                 .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            lint_file(
-                crate_name,
-                &rel.display().to_string(),
-                &text,
-                &mut violations,
-            );
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            let allowed = UNWRAP_ALLOWANCES.iter().any(|(f, _)| *f == rel);
+            let n = lint_file(&rel, &text, allowed, &mut violations);
+            justified.insert(rel, n);
         }
     }
+    violations.extend(stale_allowances(UNWRAP_ALLOWANCES, &justified));
     Ok(violations)
+}
+
+/// Allowance-list hygiene: every entry must point at a file the walker
+/// visited that still contains at least one justified unwrap.
+fn stale_allowances(
+    allowances: &[(&str, &str)],
+    justified: &BTreeMap<String, usize>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (file, reason) in allowances {
+        match justified.get(*file) {
+            None => out.push(format!(
+                "UNWRAP_ALLOWANCES entry `{file}` ({reason}) names a file the lint walker \
+                 never visited — remove or fix the path"
+            )),
+            Some(0) => out.push(format!(
+                "UNWRAP_ALLOWANCES entry `{file}` ({reason}) has no justified unwraps left \
+                 — remove the entry"
+            )),
+            Some(_) => {}
+        }
+    }
+    out
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -88,31 +124,47 @@ fn is_crate_root(file: &str) -> bool {
     file.ends_with("src/lib.rs") || file.ends_with("src/main.rs") || file.contains("src/bin/")
 }
 
-fn lint_file(crate_name: &str, file: &str, text: &str, out: &mut Vec<String>) {
+/// Lints one file. `allowed` marks files in [`UNWRAP_ALLOWANCES`].
+/// Returns the number of justified unwrap call sites (for allowance
+/// hygiene); violations accumulate in `out`.
+fn lint_file(file: &str, text: &str, allowed: bool, out: &mut Vec<String>) -> usize {
+    let lines: Vec<&str> = text.lines().collect();
     // Everything from the first `#[cfg(test)]` on is test code: the
     // workspace convention keeps the tests module last in the file.
-    let test_start = text
-        .lines()
+    let test_start = lines
+        .iter()
         .position(|l| l.contains("#[cfg(test)]"))
         .unwrap_or(usize::MAX);
 
-    let allow_unwrap = UNWRAP_ALLOWLIST.contains(&crate_name);
     let ban_f32 = NO_F32_CRATES
         .iter()
         .any(|c| file.starts_with(&format!("crates/{c}/")));
 
-    for (idx, raw) in text.lines().enumerate() {
+    let mut justified = 0usize;
+    for (idx, raw) in lines.iter().enumerate() {
         let line = raw.trim();
         let lineno = idx + 1;
         if line.starts_with("//") {
             continue;
         }
         let in_tests = idx >= test_start;
-        if !in_tests && !allow_unwrap && line.contains(".unwrap()") {
-            out.push(format!(
-                "{file}:{lineno}: `unwrap()` in library code — return a Result or use \
-                 `expect(\"why this cannot fail\")`"
-            ));
+        if !in_tests && line.contains(".unwrap()") {
+            let here = line.contains(UNWRAP_OK);
+            let above = idx > 0
+                && lines[idx - 1].trim_start().starts_with("//")
+                && lines[idx - 1].contains(UNWRAP_OK);
+            match (allowed, here || above) {
+                (true, true) => justified += 1,
+                (true, false) => out.push(format!(
+                    "{file}:{lineno}: `unwrap()` in an allowance-listed file still needs an \
+                     adjacent `// {UNWRAP_OK} <reason>` comment"
+                )),
+                (false, _) => out.push(format!(
+                    "{file}:{lineno}: `unwrap()` in library code — return a Result, use \
+                     `expect(\"why this cannot fail\")`, or add an UNWRAP_ALLOWANCES entry \
+                     plus a `// {UNWRAP_OK}` comment"
+                )),
+            }
         }
         if line.contains("todo!(") || line.contains("unimplemented!(") {
             out.push(format!(
@@ -138,6 +190,7 @@ fn lint_file(crate_name: &str, file: &str, text: &str, out: &mut Vec<String>) {
             ));
         }
     }
+    justified
 }
 
 #[cfg(test)]
@@ -146,8 +199,14 @@ mod tests {
 
     fn lint(file: &str, text: &str) -> Vec<String> {
         let mut out = Vec::new();
-        lint_file("etm-demo", file, text, &mut out);
+        lint_file(file, text, false, &mut out);
         out
+    }
+
+    fn lint_allowed(file: &str, text: &str) -> (Vec<String>, usize) {
+        let mut out = Vec::new();
+        let n = lint_file(file, text, true, &mut out);
+        (out, n)
     }
 
     #[test]
@@ -164,6 +223,49 @@ mod tests {
                     mod tests {\n    fn g() { x().unwrap(); }\n}\n";
         let v = lint("crates/demo/src/a.rs", text);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allowance_requires_adjacent_justification() {
+        // Justified on the line above.
+        let above = "fn f() {\n    // unwrap-ok: slot filled two lines up\n    x().unwrap();\n}\n";
+        let (v, n) = lint_allowed("crates/demo/src/a.rs", above);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(n, 1);
+        // Justified on the same line.
+        let inline = "fn f() { x().unwrap(); } // unwrap-ok: infallible here\n";
+        let (v, n) = lint_allowed("crates/demo/src/a.rs", inline);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(n, 1);
+        // Allowance-listed file, but no justification comment: flagged.
+        let bare = "fn f() { x().unwrap(); }\n";
+        let (v, n) = lint_allowed("crates/demo/src/a.rs", bare);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("unwrap-ok"), "{v:?}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn justification_comment_does_not_help_unallowed_files() {
+        let text = "// unwrap-ok: not listed, so this does nothing\nfn f() { x().unwrap(); }\n";
+        let v = lint("crates/demo/src/a.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn stale_allowance_entries_flagged() {
+        let allowances: &[(&str, &str)] = &[
+            ("crates/demo/src/live.rs", "load-bearing"),
+            ("crates/demo/src/clean.rs", "no longer true"),
+            ("crates/demo/src/gone.rs", "deleted file"),
+        ];
+        let mut justified = BTreeMap::new();
+        justified.insert("crates/demo/src/live.rs".to_string(), 2);
+        justified.insert("crates/demo/src/clean.rs".to_string(), 0);
+        let v = stale_allowances(allowances, &justified);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("clean.rs")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("gone.rs")), "{v:?}");
     }
 
     #[test]

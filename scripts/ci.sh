@@ -1,11 +1,90 @@
 #!/usr/bin/env bash
-# The full CI gate, runnable offline with an empty cargo registry cache:
-# tier-1 build + tests, then the in-tree static-analysis gate
-# (hermeticity, source lints, clippy -D warnings + fmt --check, and the
-# model-validity audit).
+# Tiered CI gate, runnable offline with an empty cargo registry cache.
+#
+#   scripts/ci.sh --quick   fail-fast inner loop: fmt + source lints +
+#                           hermeticity, then the tier-1 build + tests.
+#   scripts/ci.sh           everything in --quick, plus clippy, the
+#                           model-validity audit (warm-cached under
+#                           target/etm-cache/), and a bench smoke run
+#                           that writes a BENCH_substrates.json baseline
+#                           and diffs it against the previous one via
+#                           `cargo xtask bench-diff`.
+#
+# Stages run in cheapest-first order so a formatting slip fails in
+# seconds, not after a full build. Per-stage wall times are printed in a
+# summary at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q --workspace
-cargo xtask check
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: scripts/ci.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+STAGE_NAMES=()
+STAGE_TIMES=()
+
+stage() {
+  local name="$1"; shift
+  echo
+  echo "=== stage: $name ==="
+  local t0 t1
+  t0=$(date +%s)
+  "$@"
+  t1=$(date +%s)
+  STAGE_NAMES+=("$name")
+  STAGE_TIMES+=($((t1 - t0)))
+}
+
+summary() {
+  echo
+  echo "=== stage timing ==="
+  local i
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-22s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
+  done
+}
+trap summary EXIT
+
+bench_smoke() {
+  # Time the substrate microbenches (the only suite fast enough for
+  # every CI run), keep the machine-readable baseline, and gate on the
+  # previous run's baseline when one exists.
+  local out_dir="$PWD/target/etm-bench"
+  local baseline="$out_dir/BENCH_substrates.json"
+  local previous="$out_dir/BENCH_substrates.prev.json"
+  mkdir -p "$out_dir"
+  if [ -f "$baseline" ]; then
+    cp "$baseline" "$previous"
+  fi
+  ETM_BENCH_OUT="$out_dir" ETM_BENCH_SAMPLES=5 \
+    cargo bench -q -p etm-bench --bench substrates
+  if [ -f "$previous" ]; then
+    cargo xtask bench-diff "$previous" "$baseline"
+  else
+    echo "no previous baseline; recorded $baseline for the next run"
+  fi
+}
+
+# --- quick tier: cheap static checks first, then tier-1 -------------
+stage "fmt"        cargo fmt --all --check
+stage "lint"       cargo xtask check hermetic lint
+stage "build"      cargo build --release
+stage "test"       cargo test -q --workspace
+
+if [ "$QUICK" = 1 ]; then
+  echo
+  echo "ci.sh --quick: green"
+  exit 0
+fi
+
+# --- full tier ------------------------------------------------------
+stage "clippy"     cargo clippy --workspace --all-targets -q -- -D warnings
+stage "audit"      cargo xtask check audit
+stage "bench"      bench_smoke
+
+echo
+echo "ci.sh: green"
