@@ -92,6 +92,36 @@ fn estimation_speed_62_configs(r: &mut Runner) {
     });
 }
 
+/// The engine's headline trade: a full-bank refit vs an incremental
+/// ingest that dirties a single `(kind, m)` group of the Basic-sized
+/// grid. The ISSUE's acceptance bar is a ≥3× median win for ingest.
+fn engine_refit_speed(r: &mut Runner) {
+    use etm_core::backend::PolyLsqBackend;
+    use etm_core::engine::Engine;
+
+    let sizes = [400usize, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400];
+    let p2s = [1usize, 2, 3, 4, 5, 6, 7, 8];
+    let db = synthetic_db(&sizes, &p2s);
+    let key = SampleKey::new(etm_cluster::KindId(1), 4, 2);
+    let base = db.samples(&key)[0];
+
+    let engine = Engine::new(Box::new(PolyLsqBackend::paper()), db.clone(), None).expect("fit");
+    r.bench("engine_refit/full_bank", || {
+        black_box(engine.refit_full().expect("refit"))
+    });
+
+    let engine = Engine::new(Box::new(PolyLsqBackend::paper()), db, None).expect("fit");
+    let mut round = 0u64;
+    r.bench("engine_refit/ingest_single_group", || {
+        // Nudge the sample every call so the group fingerprint always
+        // changes and every iteration pays for a real refit.
+        round += 1;
+        let mut s = base;
+        s.ta *= 1.0 + 1e-9 * round as f64;
+        black_box(engine.ingest(&[(key, s)]).expect("refit"))
+    });
+}
+
 fn lsq_kernels(r: &mut Runner) {
     // The N-T fit: 9 observations, 4 coefficients.
     let ns: Vec<f64> = [
@@ -154,6 +184,7 @@ fn main() {
     let mut r = Runner::new("model_speed");
     model_construction_speed(&mut r);
     estimation_speed_62_configs(&mut r);
+    engine_refit_speed(&mut r);
     lsq_kernels(&mut r);
     single_prediction_speed(&mut r);
     r.finish();

@@ -1,0 +1,629 @@
+//! Pluggable fitting backends: the seam between *what* the estimator
+//! serves (a [`ModelBank`]) and *how* the models are fit.
+//!
+//! [`ModelBackend`] abstracts the §3 fitting pipeline so the strategy is
+//! swappable without touching any consumer (related work treats the
+//! fitter itself as a design choice — factorized ML models,
+//! arXiv:2003.04287; self-adaptable function models, arXiv:1109.3074):
+//!
+//! * [`PolyLsqBackend`] — the paper's pipeline verbatim: ordinary least
+//!   squares on the §3.2/§3.3 polynomial forms, §3.4 communication-regime
+//!   binning, §3.5 composition. Bit-identical to the historical
+//!   `ModelBank::fit`, which now delegates here (the
+//!   `backend_golden` integration test pins this against a seed capture).
+//! * [`RobustPolyBackend`] — the same polynomial forms fit under
+//!   *relative-error* weighting: each residual is divided by the measured
+//!   time, so a 10% miss on a 0.1 s point costs as much as a 10% miss on
+//!   a 100 s point. Ordinary LSQ is dominated by the largest-N samples
+//!   and may dip negative at small N; the relative fit trades a little
+//!   large-N accuracy for proportional accuracy across the whole range.
+//!
+//! Both backends share the group-wise machinery below, which is what
+//! makes [`ModelBackend::refit_groups`] possible: a refit of only the
+//! dirty `(kind, m)` groups — reusing every clean group's fitted models
+//! and re-running the (cheap) §3.5 composition pass — produces a bank
+//! bit-identical to a full [`ModelBackend::fit`] over the same database.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use etm_cluster::Configuration;
+use etm_lsq::LsqError;
+
+use crate::compose::{compose_fitted, PAPER_TC_SCALE};
+use crate::measurement::{MeasurementDb, Sample, SampleKey};
+use crate::ntmodel::NtModel;
+use crate::pipeline::{raw_estimate, ModelBank, PipelineError};
+use crate::ptmodel::{PtModel, PtObservation};
+
+/// Smallest measured time (seconds) a relative weight divides by; keeps
+/// near-zero communication samples from dominating a weighted fit.
+pub const RELATIVE_FLOOR: f64 = 1e-6;
+
+/// How fitting residuals are weighted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Weighting {
+    /// Ordinary least squares: every residual counts absolutely.
+    Uniform,
+    /// Relative-error least squares: each design row and target is
+    /// scaled by `1 / max(|t|, RELATIVE_FLOOR)` for its measured time
+    /// `t`, so the solve minimizes relative residuals.
+    Relative,
+}
+
+impl Weighting {
+    /// The row weight for a measurement of `measured` seconds.
+    fn weight(self, measured: f64) -> f64 {
+        match self {
+            Weighting::Uniform => 1.0,
+            Weighting::Relative => 1.0 / measured.abs().max(RELATIVE_FLOOR),
+        }
+    }
+}
+
+/// A fitting strategy turning a [`MeasurementDb`] into a [`ModelBank`].
+///
+/// Implementations must be deterministic: `fit` twice over the same
+/// database yields bit-identical banks, and `refit_groups` over a bank
+/// the same backend fit yields exactly what a full `fit` of the updated
+/// database would.
+pub trait ModelBackend: Send + Sync {
+    /// Stable identifier, used for cache keys and reporting.
+    fn name(&self) -> &'static str;
+
+    /// Fits every model the database supports (the batch path).
+    ///
+    /// # Errors
+    /// [`PipelineError::Fit`] if a well-posed fit fails numerically;
+    /// [`PipelineError::NoDonor`] if §3.5 composition is impossible.
+    fn fit(&self, db: &MeasurementDb) -> Result<ModelBank, PipelineError>;
+
+    /// Refits only the `(kind, m)` groups in `dirty`, reusing
+    /// `previous`'s models for every clean group and re-running the
+    /// §3.5 composition pass (composed models depend on their donors, so
+    /// they are always rebuilt). `dirty` must contain every group whose
+    /// measurements changed since `previous` was fit; given that, the
+    /// result is bit-identical to `self.fit(db)`.
+    ///
+    /// # Errors
+    /// Same contract as [`ModelBackend::fit`].
+    fn refit_groups(
+        &self,
+        db: &MeasurementDb,
+        previous: &ModelBank,
+        dirty: &BTreeSet<(usize, usize)>,
+    ) -> Result<ModelBank, PipelineError>;
+
+    /// Estimates `config` at problem size `n` from a bank this backend
+    /// fit — the §3.4 binning rule over the bank's models.
+    ///
+    /// # Errors
+    /// See [`raw_estimate`].
+    fn predict(
+        &self,
+        bank: &ModelBank,
+        config: &Configuration,
+        n: usize,
+    ) -> Result<f64, PipelineError> {
+        raw_estimate(bank, config, n)
+    }
+}
+
+/// The paper's §3 pipeline: ordinary least squares on the polynomial
+/// forms, with the §3.5 communication scale `tc_scale`.
+#[derive(Clone, Copy, Debug)]
+pub struct PolyLsqBackend {
+    /// §3.5 composition communication scale (the paper's 0.85).
+    pub tc_scale: f64,
+}
+
+impl PolyLsqBackend {
+    /// The backend with the paper's composition constants.
+    pub fn paper() -> Self {
+        PolyLsqBackend {
+            tc_scale: PAPER_TC_SCALE,
+        }
+    }
+}
+
+impl Default for PolyLsqBackend {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ModelBackend for PolyLsqBackend {
+    fn name(&self) -> &'static str {
+        "poly_lsq"
+    }
+
+    fn fit(&self, db: &MeasurementDb) -> Result<ModelBank, PipelineError> {
+        fit_bank(db, self.tc_scale, Weighting::Uniform)
+    }
+
+    fn refit_groups(
+        &self,
+        db: &MeasurementDb,
+        previous: &ModelBank,
+        dirty: &BTreeSet<(usize, usize)>,
+    ) -> Result<ModelBank, PipelineError> {
+        refit_bank(db, previous, dirty, self.tc_scale, Weighting::Uniform)
+    }
+}
+
+/// The same polynomial forms fit under relative-error weighting.
+#[derive(Clone, Copy, Debug)]
+pub struct RobustPolyBackend {
+    /// §3.5 composition communication scale (the paper's 0.85).
+    pub tc_scale: f64,
+}
+
+impl RobustPolyBackend {
+    /// The backend with the paper's composition constants.
+    pub fn paper() -> Self {
+        RobustPolyBackend {
+            tc_scale: PAPER_TC_SCALE,
+        }
+    }
+}
+
+impl Default for RobustPolyBackend {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ModelBackend for RobustPolyBackend {
+    fn name(&self) -> &'static str {
+        "robust_poly"
+    }
+
+    fn fit(&self, db: &MeasurementDb) -> Result<ModelBank, PipelineError> {
+        fit_bank(db, self.tc_scale, Weighting::Relative)
+    }
+
+    fn refit_groups(
+        &self,
+        db: &MeasurementDb,
+        previous: &ModelBank,
+        dirty: &BTreeSet<(usize, usize)>,
+    ) -> Result<ModelBank, PipelineError> {
+        refit_bank(db, previous, dirty, self.tc_scale, Weighting::Relative)
+    }
+}
+
+/// Fits one key's N-T model under the weighting.
+fn fit_nt(samples: &[Sample], weighting: Weighting) -> Result<NtModel, LsqError> {
+    match weighting {
+        Weighting::Uniform => NtModel::fit(samples),
+        Weighting::Relative => {
+            let wa: Vec<f64> = samples.iter().map(|s| weighting.weight(s.ta)).collect();
+            let wc: Vec<f64> = samples.iter().map(|s| weighting.weight(s.tc)).collect();
+            NtModel::fit_weighted(samples, &wa, &wc)
+        }
+    }
+}
+
+/// Fits one `(kind, m)` group's measured P-T model. `Ok(None)` means the
+/// group is unfittable (too few distinct PE counts, or no reference N-T
+/// model) and must go through §3.5 composition.
+fn fit_pt_group(
+    db: &MeasurementDb,
+    nt: &BTreeMap<SampleKey, NtModel>,
+    keys: &[SampleKey],
+    weighting: Weighting,
+) -> Result<Option<PtModel>, PipelineError> {
+    let mut distinct_pes: Vec<usize> = keys.iter().map(|k| k.pes).collect();
+    distinct_pes.sort_unstable();
+    distinct_pes.dedup();
+    if distinct_pes.len() < 2 {
+        return Ok(None);
+    }
+    // Reference N-T model: the *largest* measured P of the group. The
+    // smallest (often P = 1) has no inter-PE communication at all, so its
+    // Tc curve is a degenerate basis for the P-T communication model.
+    let reference_key = keys
+        .iter()
+        .max_by_key(|k| k.total_p())
+        .expect("group is non-empty");
+    let reference = match nt.get(reference_key) {
+        Some(r) => *r,
+        None => return Ok(None),
+    };
+    let obs: Vec<PtObservation> = keys
+        .iter()
+        .flat_map(|k| {
+            db.samples(k).iter().map(move |s| PtObservation {
+                n: s.n,
+                p: k.total_p(),
+                ta: s.ta,
+                tc: s.tc,
+            })
+        })
+        .collect();
+    // §3.4 binning by communication regime: the Tc model is fit only on
+    // samples with real inter-node communication — the single-node
+    // trials (P = 1, or both processes on one dual node) sit in a
+    // different regime whose near-zero Tc would distort the P-slope of
+    // the fit.
+    let obs_tc: Vec<PtObservation> = keys
+        .iter()
+        .flat_map(|k| {
+            db.samples(k)
+                .iter()
+                .filter(|s| s.multi_node)
+                .map(move |s| PtObservation {
+                    n: s.n,
+                    p: k.total_p(),
+                    ta: s.ta,
+                    tc: s.tc,
+                })
+        })
+        .collect();
+    let distinct_tc_p = {
+        let mut ps: Vec<usize> = obs_tc.iter().map(|o| o.p).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps.len()
+    };
+    let model = match weighting {
+        Weighting::Uniform => {
+            if distinct_tc_p >= 2 {
+                PtModel::fit_split(reference, &obs, &obs_tc)?
+            } else {
+                PtModel::fit(reference, &obs)?
+            }
+        }
+        Weighting::Relative => {
+            let tc_obs: &[PtObservation] = if distinct_tc_p >= 2 { &obs_tc } else { &obs };
+            let wa: Vec<f64> = obs.iter().map(|o| weighting.weight(o.ta)).collect();
+            let wc: Vec<f64> = tc_obs.iter().map(|o| weighting.weight(o.tc)).collect();
+            PtModel::fit_split_weighted(reference, &obs, tc_obs, &wa, &wc)?
+        }
+    };
+    Ok(Some(model))
+}
+
+/// All problem sizes seen anywhere in the database, ascending — the
+/// §3.5 Ta-scale fitting grid.
+fn all_ns(db: &MeasurementDb) -> Vec<usize> {
+    let mut ns: Vec<usize> = db
+        .keys()
+        .flat_map(|k| db.samples(k).iter().map(|s| s.n))
+        .collect();
+    ns.sort_unstable();
+    ns.dedup();
+    ns
+}
+
+/// Composition output: the composed `(kind, m)` groups, then the kinds
+/// they span.
+type ComposedLists = (Vec<(usize, usize)>, Vec<usize>);
+
+/// The §3.5 composition pass: derives a P-T model for every group in
+/// `unfittable` (ascending order) from a donor kind's model at the same
+/// multiplicity, inserting into `pt` as it goes — a group composed early
+/// can donate to a later one. Returns the composed group and kind lists.
+fn compose_unfittable(
+    nt: &BTreeMap<SampleKey, NtModel>,
+    pt: &mut BTreeMap<(usize, usize), PtModel>,
+    unfittable: &[(usize, usize)],
+    construction_ns: &[usize],
+    tc_scale: f64,
+) -> Result<ComposedLists, PipelineError> {
+    let mut composed_groups = Vec::new();
+    let mut composed_kinds = Vec::new();
+    for &(kind, m) in unfittable {
+        // Donor: any other kind with a P-T model at this m.
+        let donor = pt
+            .iter()
+            .find(|(&(dk, dm), _)| dk != kind && dm == m)
+            .map(|(&(dk, _), model)| (dk, *model));
+        let (donor_kind, donor_pt) = match donor {
+            Some(d) => d,
+            None => return Err(PipelineError::NoDonor { kind, m }),
+        };
+        // Single-PE N-T models of both kinds at this m drive the Ta
+        // scale; fall back to m=1 curves if needed.
+        let target_nt = nt
+            .get(&SampleKey { kind, pes: 1, m })
+            .or_else(|| nt.get(&SampleKey { kind, pes: 1, m: 1 }));
+        let donor_nt = nt
+            .get(&SampleKey {
+                kind: donor_kind,
+                pes: 1,
+                m,
+            })
+            .or_else(|| {
+                nt.get(&SampleKey {
+                    kind: donor_kind,
+                    pes: 1,
+                    m: 1,
+                })
+            });
+        let (target_nt, donor_nt) = match (target_nt, donor_nt) {
+            (Some(t), Some(d)) => (t, d),
+            _ => return Err(PipelineError::NoDonor { kind, m }),
+        };
+        let composed = compose_fitted(&donor_pt, target_nt, donor_nt, construction_ns, tc_scale);
+        pt.insert((kind, m), composed);
+        composed_groups.push((kind, m));
+        if !composed_kinds.contains(&kind) {
+            composed_kinds.push(kind);
+        }
+    }
+    Ok((composed_groups, composed_kinds))
+}
+
+/// The full batch fit both backends share; see `ModelBank::fit` for the
+/// model-selection rules.
+pub(crate) fn fit_bank(
+    db: &MeasurementDb,
+    tc_scale: f64,
+    weighting: Weighting,
+) -> Result<ModelBank, PipelineError> {
+    let mut nt = BTreeMap::new();
+    for key in db.keys() {
+        let samples = db.samples(key);
+        if samples.len() >= 4 {
+            nt.insert(*key, fit_nt(samples, weighting)?);
+        }
+    }
+    let mut pt = BTreeMap::new();
+    let mut unfittable: Vec<(usize, usize)> = Vec::new();
+    for (&group, keys) in &db.groups() {
+        match fit_pt_group(db, &nt, keys, weighting)? {
+            Some(model) => {
+                pt.insert(group, model);
+            }
+            None => unfittable.push(group),
+        }
+    }
+    let (composed_groups, composed_kinds) =
+        compose_unfittable(&nt, &mut pt, &unfittable, &all_ns(db), tc_scale)?;
+    Ok(ModelBank {
+        nt,
+        pt,
+        composed_kinds,
+        composed_groups,
+    })
+}
+
+/// The incremental path: refit the dirty groups' N-T and measured P-T
+/// models from `db`, carry every clean group's models over from
+/// `previous`, and re-run the composition pass from scratch (composed
+/// models depend on donors and N-T scale curves in *other* groups, so
+/// reuse would be unsound).
+fn refit_bank(
+    db: &MeasurementDb,
+    previous: &ModelBank,
+    dirty: &BTreeSet<(usize, usize)>,
+    tc_scale: f64,
+    weighting: Weighting,
+) -> Result<ModelBank, PipelineError> {
+    let groups = db.groups();
+    // N-T: keep clean groups' models (their samples are unchanged by the
+    // dirty contract), refit dirty groups' keys from the database.
+    let mut nt: BTreeMap<SampleKey, NtModel> = previous
+        .nt
+        .iter()
+        .filter(|(k, _)| !dirty.contains(&(k.kind, k.m)))
+        .map(|(k, v)| (*k, *v))
+        .collect();
+    for group in dirty {
+        let Some(keys) = groups.get(group) else {
+            continue;
+        };
+        for key in keys {
+            let samples = db.samples(key);
+            if samples.len() >= 4 {
+                nt.insert(*key, fit_nt(samples, weighting)?);
+            }
+        }
+    }
+    // Measured P-T models: carry clean ones over, refit dirty ones. A
+    // clean group that was *composed* before stays on the composition
+    // path — its donors may have moved.
+    let composed_prev: BTreeSet<(usize, usize)> =
+        previous.composed_groups.iter().copied().collect();
+    let mut pt = BTreeMap::new();
+    let mut unfittable: Vec<(usize, usize)> = Vec::new();
+    for (&group, keys) in &groups {
+        if dirty.contains(&group) {
+            match fit_pt_group(db, &nt, keys, weighting)? {
+                Some(model) => {
+                    pt.insert(group, model);
+                }
+                None => unfittable.push(group),
+            }
+        } else if composed_prev.contains(&group) || !previous.pt.contains_key(&group) {
+            unfittable.push(group);
+        } else {
+            pt.insert(group, previous.pt[&group]);
+        }
+    }
+    let (composed_groups, composed_kinds) =
+        compose_unfittable(&nt, &mut pt, &unfittable, &all_ns(db), tc_scale)?;
+    Ok(ModelBank {
+        nt,
+        pt,
+        composed_kinds,
+        composed_groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two kinds: kind 0 is a single fast PE (every group unfittable →
+    /// composed), kind 1 spans three PE counts (measured P-T models).
+    fn synth_db() -> MeasurementDb {
+        let sizes = [400usize, 800, 1600, 2400, 3200];
+        let mut db = MeasurementDb::new();
+        for kind in 0..2usize {
+            let pes_list: &[usize] = if kind == 0 { &[1] } else { &[1, 2, 4] };
+            for &pes in pes_list {
+                for m in 1..=2usize {
+                    for &n in &sizes {
+                        db.record(SampleKey { kind, pes, m }, synth_sample(kind, pes, m, n));
+                    }
+                }
+            }
+        }
+        db
+    }
+
+    fn synth_sample(kind: usize, pes: usize, m: usize, n: usize) -> Sample {
+        let x = n as f64;
+        let p = (pes * m) as f64;
+        let speed = if kind == 0 { 2.0 } else { 1.0 };
+        let ta = (2e-9 * x * x * x / p + 1e-5 * x) / speed + 0.05;
+        let tc = 1e-7 * x * x * (0.3 * p + 0.7 / p) + 0.01;
+        Sample {
+            n,
+            ta,
+            tc,
+            wall: ta + tc,
+            multi_node: pes > 1,
+        }
+    }
+
+    fn assert_banks_bit_equal(a: &ModelBank, b: &ModelBank) {
+        assert_eq!(a.nt.len(), b.nt.len());
+        for (key, ma) in &a.nt {
+            let mb = b.nt.get(key).expect("key in both banks");
+            for i in 0..4 {
+                assert_eq!(ma.ka[i].to_bits(), mb.ka[i].to_bits(), "{key:?} ka[{i}]");
+            }
+            for i in 0..3 {
+                assert_eq!(ma.kc[i].to_bits(), mb.kc[i].to_bits(), "{key:?} kc[{i}]");
+            }
+        }
+        assert_eq!(a.pt.len(), b.pt.len());
+        for (key, ma) in &a.pt {
+            let mb = b.pt.get(key).expect("group in both banks");
+            for i in 0..2 {
+                assert_eq!(ma.ka[i].to_bits(), mb.ka[i].to_bits(), "{key:?} ka[{i}]");
+            }
+            for i in 0..3 {
+                assert_eq!(ma.kc[i].to_bits(), mb.kc[i].to_bits(), "{key:?} kc[{i}]");
+            }
+        }
+        assert_eq!(a.composed_kinds, b.composed_kinds);
+        assert_eq!(a.composed_groups, b.composed_groups);
+    }
+
+    #[test]
+    fn poly_backend_matches_legacy_fit() {
+        let db = synth_db();
+        let via_backend = PolyLsqBackend::paper().fit(&db).unwrap();
+        let via_legacy = ModelBank::fit(&db, PAPER_TC_SCALE).unwrap();
+        assert_banks_bit_equal(&via_backend, &via_legacy);
+    }
+
+    #[test]
+    fn refit_of_measured_group_matches_full_fit_bit_for_bit() {
+        let backend = PolyLsqBackend::paper();
+        let mut db = synth_db();
+        let old_bank = backend.fit(&db).unwrap();
+        // Perturb one sample and add a brand-new size to the group.
+        let key = SampleKey {
+            kind: 1,
+            pes: 2,
+            m: 1,
+        };
+        let mut s = db.samples(&key)[0];
+        s.ta *= 1.1;
+        db.upsert(key, s);
+        db.upsert(key, synth_sample(1, 2, 1, 4000));
+        let dirty: BTreeSet<(usize, usize)> = [(1, 1)].into_iter().collect();
+        let incremental = backend.refit_groups(&db, &old_bank, &dirty).unwrap();
+        let full = backend.fit(&db).unwrap();
+        assert_banks_bit_equal(&incremental, &full);
+        // The untouched measured group (1, 2) was carried over, not
+        // refit: still bitwise equal to the old bank's model.
+        assert_eq!(
+            incremental.pt[&(1, 2)].ka[0].to_bits(),
+            old_bank.pt[&(1, 2)].ka[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn refit_of_composed_groups_donor_recomposes_it() {
+        for backend in [
+            &PolyLsqBackend::paper() as &dyn ModelBackend,
+            &RobustPolyBackend::paper(),
+        ] {
+            let mut db = synth_db();
+            let old_bank = backend.fit(&db).unwrap();
+            assert_eq!(old_bank.composed_groups, vec![(0, 1), (0, 2)]);
+            // Dirty the donor group (1, 1): the composed (0, 1) model
+            // must move with it even though (0, 1) itself is clean.
+            let key = SampleKey {
+                kind: 1,
+                pes: 4,
+                m: 1,
+            };
+            let mut s = db.samples(&key)[2];
+            s.tc *= 1.25;
+            db.upsert(key, s);
+            let dirty: BTreeSet<(usize, usize)> = [(1, 1)].into_iter().collect();
+            let incremental = backend.refit_groups(&db, &old_bank, &dirty).unwrap();
+            let full = backend.fit(&db).unwrap();
+            assert_banks_bit_equal(&incremental, &full);
+            assert_ne!(
+                incremental.pt[&(0, 1)].kc[0].to_bits(),
+                old_bank.pt[&(0, 1)].kc[0].to_bits(),
+                "composed model must track its donor"
+            );
+        }
+    }
+
+    #[test]
+    fn new_group_appears_through_refit() {
+        let backend = PolyLsqBackend::paper();
+        let mut db = synth_db();
+        let old_bank = backend.fit(&db).unwrap();
+        // A whole new multiplicity group for kind 1, spanning three PE
+        // counts so it gets a measured P-T model of its own.
+        for pes in [1usize, 2, 4] {
+            for n in [400usize, 800, 1600, 2400, 3200] {
+                db.upsert(SampleKey { kind: 1, pes, m: 3 }, synth_sample(1, pes, 3, n));
+            }
+        }
+        let dirty: BTreeSet<(usize, usize)> = [(1, 3)].into_iter().collect();
+        let incremental = backend.refit_groups(&db, &old_bank, &dirty).unwrap();
+        let full = backend.fit(&db).unwrap();
+        assert_banks_bit_equal(&incremental, &full);
+        assert!(incremental.pt.contains_key(&(1, 3)));
+        assert!(incremental.nt.contains_key(&SampleKey {
+            kind: 1,
+            pes: 1,
+            m: 3,
+        }));
+    }
+
+    #[test]
+    fn robust_backend_differs_but_stays_finite_and_predicts() {
+        let db = synth_db();
+        let poly = PolyLsqBackend::paper().fit(&db).unwrap();
+        let robust = RobustPolyBackend::paper().fit(&db).unwrap();
+        assert_eq!(poly.pt.len(), robust.pt.len());
+        let differs = poly.pt.iter().any(|(g, m)| {
+            let r = &robust.pt[g];
+            (0..3).any(|i| m.kc[i].to_bits() != r.kc[i].to_bits())
+        });
+        assert!(differs, "relative weighting must change some coefficient");
+        for (g, m) in &robust.pt {
+            assert!(
+                m.ka.iter().chain(m.kc.iter()).all(|c| c.is_finite()),
+                "non-finite robust coefficients for {g:?}"
+            );
+        }
+        // The provided predict() hook serves estimates from either bank.
+        let cfg = Configuration::p1m1_p2m2(1, 1, 4, 2);
+        let backend = RobustPolyBackend::paper();
+        let t = backend.predict(&robust, &cfg, 1600).unwrap();
+        assert!(t.is_finite() && t > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Campaign-cache helpers: fingerprint-keyed JSON files under
+//! `target/etm-cache/`, shared by `xtask audit` and the repro binaries.
+//!
+//! Cache keys come from [`campaign_fingerprint_hex`](crate::pipeline::campaign_fingerprint_hex),
+//! which folds in [`CAMPAIGN_CACHE_VERSION`](crate::pipeline::CAMPAIGN_CACHE_VERSION)
+//! — stale entries from older schemas simply miss. Everything here is
+//! best-effort: a cold, unwritable, or corrupt cache degrades to
+//! recomputation, never to an error.
+
+use std::fs;
+use std::path::Path;
+
+use etm_cluster::ClusterSpec;
+use etm_support::json::{from_str, to_string, FromJson, ToJson};
+
+use crate::measurement::MeasurementDb;
+use crate::pipeline::{campaign_fingerprint_hex, run_construction};
+use crate::plan::MeasurementPlan;
+
+/// The workspace-relative cache directory every consumer shares.
+pub const CACHE_DIR: &str = "target/etm-cache";
+
+/// Cache file name for a campaign's measurement database.
+pub fn db_cache_name(hex: &str) -> String {
+    format!("db-{hex}.json")
+}
+
+/// Cache file name for a model bank fit by `backend` from a campaign.
+pub fn bank_cache_name(hex: &str, backend: &str) -> String {
+    format!("bank-{hex}-{backend}.json")
+}
+
+/// Loads a JSON value from `path`; `None` on any miss or parse failure.
+pub fn load_json<T: FromJson>(path: &Path) -> Option<T> {
+    let text = fs::read_to_string(path).ok()?;
+    from_str(&text).ok()
+}
+
+/// Stores a JSON value at `path`, creating the parent directory.
+/// Best-effort: returns whether the write landed.
+pub fn store_json<T: ToJson>(path: &Path, value: &T) -> bool {
+    if let Some(parent) = path.parent() {
+        if fs::create_dir_all(parent).is_err() {
+            return false;
+        }
+    }
+    fs::write(path, to_string(value)).is_ok()
+}
+
+/// Runs a measurement campaign through the cache: returns the stored
+/// database when the campaign fingerprint hits, otherwise simulates the
+/// construction trials and stores the result under `cache_dir`.
+pub fn cached_construction(
+    spec: &ClusterSpec,
+    plan: &MeasurementPlan,
+    nb: usize,
+    cache_dir: &Path,
+) -> MeasurementDb {
+    let hex = campaign_fingerprint_hex(spec, plan, nb);
+    let path = cache_dir.join(db_cache_name(&hex));
+    if let Some(db) = load_json::<MeasurementDb>(&path) {
+        return db;
+    }
+    let db = run_construction(spec, plan, nb);
+    store_json(&path, &db);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+
+    use super::*;
+    use crate::measurement::{Sample, SampleKey};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("etm-cache-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("tempdir is creatable");
+        dir
+    }
+
+    #[test]
+    fn roundtrips_a_database_through_the_cache() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join(db_cache_name("deadbeef"));
+        let mut db = MeasurementDb::new();
+        db.record(
+            SampleKey {
+                kind: 1,
+                pes: 2,
+                m: 1,
+            },
+            Sample {
+                n: 800,
+                ta: 1.5,
+                tc: 0.25,
+                wall: 1.75,
+                multi_node: true,
+            },
+        );
+        assert!(store_json(&path, &db));
+        let back: MeasurementDb = load_json(&path).expect("cache hit");
+        assert_eq!(back.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_misses_are_none_not_errors() {
+        let missing = Path::new("/nonexistent/etm-cache/db-0.json");
+        assert!(load_json::<MeasurementDb>(missing).is_none());
+        let dir = tempdir("corrupt");
+        let path = dir.join("bad.json");
+        fs::write(&path, "{not json").expect("tempdir is writable");
+        assert!(load_json::<MeasurementDb>(&path).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_names_separate_backends() {
+        assert_eq!(db_cache_name("ab"), "db-ab.json");
+        assert_ne!(
+            bank_cache_name("ab", "poly_lsq"),
+            bank_cache_name("ab", "robust_poly")
+        );
+    }
+}

@@ -1,0 +1,485 @@
+//! The estimator engine: immutable model snapshots over a streaming
+//! measurement database, with incremental group-level refits.
+//!
+//! The paper's workflow is batch-shaped — campaign, fit, estimate — but
+//! the ROADMAP's north star is a serving system answering many
+//! concurrent estimation queries while measurements stream in. The
+//! [`Engine`] provides exactly that seam:
+//!
+//! * **Snapshot reads.** [`Engine::snapshot`] hands out an
+//!   `Arc<EngineSnapshot>` — an immutable, fully fitted estimator.
+//!   Every estimate served from a snapshot touches no lock at all; the
+//!   only synchronized step is cloning the `Arc` out of the publication
+//!   slot, a pointer copy under a momentary mutex (the workspace's
+//!   `#![deny(unsafe_code)]` rules out a homemade atomic-pointer swap;
+//!   readers holding a snapshot are entirely unaffected by it).
+//! * **Atomic swap.** A refit builds the *next* snapshot off to the
+//!   side and publishes it by swapping the slot's `Arc`. Readers never
+//!   observe a half-fitted bank: they hold either the old snapshot or
+//!   the new one, both complete, and an old snapshot stays valid (and
+//!   bit-stable) for as long as anyone holds it.
+//! * **Incremental ingestion.** [`Engine::ingest`] upserts samples into
+//!   the database, diffs the affected `(kind, m)` groups via their FNV
+//!   content fingerprints, and asks the backend to refit *only* the
+//!   dirty groups ([`ModelBackend::refit_groups`]) — plus the composed
+//!   models and the §4.1 adjustment, which depend on other groups and
+//!   are always rebuilt. A no-op ingest (fingerprints unchanged) swaps
+//!   nothing.
+//!
+//! Writers (`ingest`, `refit_full`) serialize on the engine's state
+//! lock; the read path never takes it.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use etm_cluster::{ClusterSpec, Configuration};
+use etm_support::sync::Mutex;
+
+use crate::adjust::AdjustmentRule;
+use crate::backend::ModelBackend;
+use crate::measurement::{MeasurementDb, Sample, SampleKey};
+use crate::pipeline::{
+    paper_adjustment_policy, AdjustmentPolicy, Estimator, ModelBank, PipelineError,
+};
+use crate::plan::MeasurementPlan;
+
+/// One immutable, fully fitted generation of the engine's models.
+///
+/// Snapshots are plain data behind an `Arc`: queries on them are pure
+/// reads with no synchronization whatsoever, and a snapshot taken before
+/// a refit keeps answering bit-identically after the swap.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    estimator: Estimator,
+    generation: u64,
+    backend: &'static str,
+    refit: Vec<(usize, usize)>,
+}
+
+impl EngineSnapshot {
+    /// The snapshot's estimator (bank + §4.1 adjustment).
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// The fitted model bank.
+    pub fn bank(&self) -> &ModelBank {
+        &self.estimator.bank
+    }
+
+    /// The §4.1 adjustment rule in effect.
+    pub fn adjustment(&self) -> &AdjustmentRule {
+        &self.estimator.adjustment
+    }
+
+    /// The kind whose multiplicity gates the adjustment.
+    pub fn fast_kind(&self) -> usize {
+        self.estimator.fast_kind
+    }
+
+    /// Monotone generation counter: 0 for the initial fit, +1 per swap.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Name of the backend that fit this snapshot.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// The dirty `(kind, m)` groups this generation refit incrementally;
+    /// empty for a full fit.
+    pub fn refit_groups(&self) -> &[(usize, usize)] {
+        &self.refit
+    }
+
+    /// Raw (unadjusted) estimate; see `Estimator::estimate_raw`.
+    ///
+    /// # Errors
+    /// See `Estimator::estimate_raw`.
+    pub fn estimate_raw(&self, config: &Configuration, n: usize) -> Result<f64, PipelineError> {
+        self.estimator.estimate_raw(config, n)
+    }
+
+    /// Adjusted estimate; see `Estimator::estimate`.
+    ///
+    /// # Errors
+    /// See `Estimator::estimate`.
+    pub fn estimate(&self, config: &Configuration, n: usize) -> Result<f64, PipelineError> {
+        self.estimator.estimate(config, n)
+    }
+}
+
+/// Writer-side state: the measurement database and the per-group content
+/// fingerprints of the last *published* bank.
+struct EngineState {
+    db: MeasurementDb,
+    fingerprints: std::collections::BTreeMap<(usize, usize), u64>,
+}
+
+impl EngineState {
+    fn fingerprints_of(db: &MeasurementDb) -> std::collections::BTreeMap<(usize, usize), u64> {
+        db.groups()
+            .keys()
+            .map(|&(kind, m)| ((kind, m), db.group_fingerprint(kind, m)))
+            .collect()
+    }
+}
+
+/// The estimator engine; see the module docs for the architecture.
+pub struct Engine {
+    backend: Box<dyn ModelBackend>,
+    policy: Option<AdjustmentPolicy>,
+    state: Mutex<EngineState>,
+    /// The publication slot. Locked only long enough to clone or replace
+    /// the `Arc` — never across a fit, and never on the estimate path.
+    current: Mutex<Arc<EngineSnapshot>>,
+}
+
+impl Engine {
+    /// Builds an engine over an existing database with an optional §4.1
+    /// adjustment policy, fitting the initial snapshot (generation 0).
+    ///
+    /// # Errors
+    /// Any fitting failure.
+    pub fn new(
+        backend: Box<dyn ModelBackend>,
+        db: MeasurementDb,
+        policy: Option<AdjustmentPolicy>,
+    ) -> Result<Self, PipelineError> {
+        let bank = backend.fit(&db)?;
+        Self::with_bank(backend, db, policy, bank)
+    }
+
+    /// Builds an engine from a completed measurement campaign: fits the
+    /// bank, measures the paper's §4.1 reference walls on the simulated
+    /// cluster, and publishes generation 0. This is what
+    /// `build_estimator` runs under the hood.
+    ///
+    /// # Errors
+    /// Any fitting failure.
+    pub fn from_campaign(
+        spec: &ClusterSpec,
+        plan: &MeasurementPlan,
+        nb: usize,
+        db: MeasurementDb,
+        backend: Box<dyn ModelBackend>,
+    ) -> Result<Self, PipelineError> {
+        let bank = backend.fit(&db)?;
+        let policy = paper_adjustment_policy(spec, &bank, plan, nb);
+        Self::with_bank(backend, db, Some(policy), bank)
+    }
+
+    fn with_bank(
+        backend: Box<dyn ModelBackend>,
+        db: MeasurementDb,
+        policy: Option<AdjustmentPolicy>,
+        bank: ModelBank,
+    ) -> Result<Self, PipelineError> {
+        let fingerprints = EngineState::fingerprints_of(&db);
+        let estimator = assemble_estimator(bank, policy.as_ref())?;
+        let snapshot = Arc::new(EngineSnapshot {
+            estimator,
+            generation: 0,
+            backend: backend.name(),
+            refit: Vec::new(),
+        });
+        Ok(Engine {
+            backend,
+            policy,
+            state: Mutex::new(EngineState { db, fingerprints }),
+            current: Mutex::new(snapshot),
+        })
+    }
+
+    /// The current snapshot. A pointer clone under a momentary lock;
+    /// all queries on the returned snapshot are lock-free.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.current.lock().clone()
+    }
+
+    /// Name of the engine's fitting backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// A copy of the measurement database as of the last write.
+    pub fn db(&self) -> MeasurementDb {
+        self.state.lock().db.clone()
+    }
+
+    /// Ingests measurements and refits incrementally: samples are
+    /// upserted into the database, the touched `(kind, m)` groups are
+    /// diffed by content fingerprint, and only the changed groups are
+    /// refit (plus composed models and the adjustment rule, which span
+    /// groups). Publishes and returns the new snapshot; if every
+    /// fingerprint is unchanged (or `samples` is empty) nothing is refit
+    /// and the current snapshot is returned.
+    ///
+    /// On a fitting error the database keeps the new samples but no
+    /// snapshot is published, and the stored fingerprints still describe
+    /// the *published* bank — so a later ingest retries the refit of
+    /// everything still dirty.
+    ///
+    /// # Errors
+    /// Any fitting failure.
+    pub fn ingest(
+        &self,
+        samples: &[(SampleKey, Sample)],
+    ) -> Result<Arc<EngineSnapshot>, PipelineError> {
+        let mut state = self.state.lock();
+        let mut touched: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (key, sample) in samples {
+            state.db.upsert(*key, *sample);
+            touched.insert((key.kind, key.m));
+        }
+        let mut dirty: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for &(kind, m) in &touched {
+            let fp = state.db.group_fingerprint(kind, m);
+            if state.fingerprints.get(&(kind, m)) != Some(&fp) {
+                dirty.insert((kind, m));
+            }
+        }
+        if dirty.is_empty() {
+            return Ok(self.snapshot());
+        }
+        let previous = self.snapshot();
+        let bank = self
+            .backend
+            .refit_groups(&state.db, previous.bank(), &dirty)?;
+        let estimator = assemble_estimator(bank, self.policy.as_ref())?;
+        // Commit: fingerprints now describe the bank being published.
+        for &(kind, m) in &dirty {
+            let fp = state.db.group_fingerprint(kind, m);
+            state.fingerprints.insert((kind, m), fp);
+        }
+        let snapshot = Arc::new(EngineSnapshot {
+            estimator,
+            generation: previous.generation + 1,
+            backend: self.backend.name(),
+            refit: dirty.into_iter().collect(),
+        });
+        *self.current.lock() = Arc::clone(&snapshot);
+        Ok(snapshot)
+    }
+
+    /// Refits the whole bank from the current database and publishes the
+    /// result, regardless of fingerprints. The batch escape hatch.
+    ///
+    /// # Errors
+    /// Any fitting failure.
+    pub fn refit_full(&self) -> Result<Arc<EngineSnapshot>, PipelineError> {
+        let mut state = self.state.lock();
+        let bank = self.backend.fit(&state.db)?;
+        let estimator = assemble_estimator(bank, self.policy.as_ref())?;
+        state.fingerprints = EngineState::fingerprints_of(&state.db);
+        let generation = self.snapshot().generation + 1;
+        let snapshot = Arc::new(EngineSnapshot {
+            estimator,
+            generation,
+            backend: self.backend.name(),
+            refit: Vec::new(),
+        });
+        *self.current.lock() = Arc::clone(&snapshot);
+        Ok(snapshot)
+    }
+}
+
+/// Assembles the estimator for a freshly fitted bank: refit the §4.1
+/// rule from the policy's stored reference measurements, or identity
+/// when the engine runs unadjusted.
+fn assemble_estimator(
+    bank: ModelBank,
+    policy: Option<&AdjustmentPolicy>,
+) -> Result<Estimator, PipelineError> {
+    let (adjustment, fast_kind) = match policy {
+        Some(p) => (p.fit_rule(&bank)?, p.fast_kind),
+        None => (AdjustmentRule::identity(), 0),
+    };
+    Ok(Estimator {
+        bank,
+        adjustment,
+        fast_kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{PolyLsqBackend, RobustPolyBackend};
+
+    fn synth_sample(kind: usize, pes: usize, m: usize, n: usize) -> Sample {
+        let x = n as f64;
+        let p = (pes * m) as f64;
+        let speed = if kind == 0 { 2.0 } else { 1.0 };
+        let ta = (2e-9 * x * x * x / p + 1e-5 * x) / speed + 0.05;
+        let tc = 1e-7 * x * x * (0.3 * p + 0.7 / p) + 0.01;
+        Sample {
+            n,
+            ta,
+            tc,
+            wall: ta + tc,
+            multi_node: pes > 1,
+        }
+    }
+
+    fn synth_db() -> MeasurementDb {
+        let mut db = MeasurementDb::new();
+        for kind in 0..2usize {
+            let pes_list: &[usize] = if kind == 0 { &[1] } else { &[1, 2, 4] };
+            for &pes in pes_list {
+                for m in 1..=2usize {
+                    for n in [400usize, 800, 1600, 2400, 3200] {
+                        db.record(SampleKey { kind, pes, m }, synth_sample(kind, pes, m, n));
+                    }
+                }
+            }
+        }
+        db
+    }
+
+    fn engine() -> Engine {
+        Engine::new(Box::new(PolyLsqBackend::paper()), synth_db(), None).expect("synth db fits")
+    }
+
+    #[test]
+    fn initial_snapshot_is_generation_zero_and_estimates() {
+        let e = engine();
+        let snap = e.snapshot();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(snap.backend(), "poly_lsq");
+        assert!(snap.refit_groups().is_empty());
+        let cfg = Configuration::p1m1_p2m2(1, 1, 4, 2);
+        assert!(snap.estimate_raw(&cfg, 1600).expect("estimable") > 0.0);
+    }
+
+    #[test]
+    fn noop_ingest_swaps_nothing() {
+        let e = engine();
+        let before = e.snapshot();
+        // Re-ingest a sample identical to what the db already holds.
+        let key = SampleKey {
+            kind: 1,
+            pes: 2,
+            m: 1,
+        };
+        let after = e
+            .ingest(&[(key, synth_sample(1, 2, 1, 800))])
+            .expect("refit ok");
+        assert_eq!(after.generation(), 0);
+        assert!(Arc::ptr_eq(&before, &after), "unchanged data must not swap");
+    }
+
+    #[test]
+    fn ingest_refits_only_dirty_groups_and_matches_full_fit() {
+        let e = engine();
+        let old = e.snapshot();
+        let key = SampleKey {
+            kind: 1,
+            pes: 2,
+            m: 1,
+        };
+        let mut s = synth_sample(1, 2, 1, 800);
+        s.ta *= 1.2;
+        let snap = e.ingest(&[(key, s)]).expect("refit ok");
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.refit_groups(), &[(1, 1)]);
+        // The held old snapshot is untouched by the swap.
+        assert_eq!(old.generation(), 0);
+        // The incremental result equals a from-scratch fit of the same db.
+        let full = PolyLsqBackend::paper().fit(&e.db()).expect("full fit ok");
+        for (g, m) in &full.pt {
+            let got = &snap.bank().pt[g];
+            for i in 0..3 {
+                assert_eq!(m.kc[i].to_bits(), got.kc[i].to_bits(), "{g:?} kc[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn refit_full_bumps_generation_with_same_models() {
+        let e = engine();
+        let snap = e.refit_full().expect("refit ok");
+        assert_eq!(snap.generation(), 1);
+        let first = e.snapshot();
+        assert!(Arc::ptr_eq(&snap, &first));
+        // Deterministic backend: same db, bit-identical models.
+        let cfg = Configuration::p1m1_p2m2(1, 2, 4, 1);
+        let e0 = engine()
+            .snapshot()
+            .estimate_raw(&cfg, 2400)
+            .expect("estimable");
+        let e1 = snap.estimate_raw(&cfg, 2400).expect("estimable");
+        assert_eq!(e0.to_bits(), e1.to_bits());
+    }
+
+    #[test]
+    fn robust_backend_engine_serves_too() {
+        let e = Engine::new(Box::new(RobustPolyBackend::paper()), synth_db(), None)
+            .expect("synth db fits");
+        assert_eq!(e.backend_name(), "robust_poly");
+        let cfg = Configuration::p1m1_p2m2(1, 1, 4, 1);
+        let t = e.snapshot().estimate(&cfg, 1600).expect("estimable");
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    /// The concurrency contract: readers holding snapshots keep getting
+    /// bit-identical answers while a writer swaps generations under
+    /// them, and every observed generation is a complete bank.
+    #[test]
+    fn readers_survive_concurrent_refit_swaps() {
+        let e = std::sync::Arc::new(engine());
+        let cfg = Configuration::p1m1_p2m2(1, 1, 4, 2);
+        let n = 1600usize;
+        let rounds = 40usize;
+        std::thread::scope(|scope| {
+            // Writer: keep perturbing one group, swapping snapshots.
+            let we = Arc::clone(&e);
+            scope.spawn(move || {
+                let key = SampleKey {
+                    kind: 1,
+                    pes: 2,
+                    m: 1,
+                };
+                for i in 0..rounds {
+                    let mut s = synth_sample(1, 2, 1, 800);
+                    s.ta *= 1.0 + 0.01 * (i + 1) as f64;
+                    we.ingest(&[(key, s)]).expect("refit ok");
+                }
+            });
+            // Readers: pin a snapshot, re-query it, and check stability
+            // against the swap storm; also check generations only grow.
+            for _ in 0..4 {
+                let re = Arc::clone(&e);
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let mut last_gen = 0u64;
+                    for _ in 0..rounds {
+                        let pinned = re.snapshot();
+                        let first = pinned.estimate_raw(&cfg, n).expect("estimable");
+                        // A held snapshot must answer bit-identically no
+                        // matter what the writer publishes meanwhile.
+                        for _ in 0..50 {
+                            let again = pinned.estimate_raw(&cfg, n).expect("estimable");
+                            assert_eq!(first.to_bits(), again.to_bits());
+                        }
+                        let generation = pinned.generation();
+                        assert!(generation >= last_gen, "generations must not rewind");
+                        last_gen = generation;
+                    }
+                });
+            }
+        });
+        // After the storm: the final snapshot equals a full fit of the
+        // final database — no torn or stale group slipped through.
+        let full = PolyLsqBackend::paper().fit(&e.db()).expect("full fit ok");
+        let snap = e.snapshot();
+        assert_eq!(snap.generation(), rounds as u64);
+        for (g, m) in &full.pt {
+            let got = &snap.bank().pt[g];
+            for i in 0..2 {
+                assert_eq!(m.ka[i].to_bits(), got.ka[i].to_bits(), "{g:?} ka[{i}]");
+            }
+        }
+    }
+}

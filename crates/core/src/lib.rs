@@ -23,6 +23,12 @@
 //!   NL, NS) and the 62-configuration evaluation grid.
 //! * [`pipeline`] — end-to-end: run the simulated measurements, fit every
 //!   model, build the [`Estimator`], pick the best configuration.
+//! * [`backend`] — the pluggable fitting seam: [`ModelBackend`] with the
+//!   paper's pipeline as [`PolyLsqBackend`] and a relative-error
+//!   [`RobustPolyBackend`] proving the trait boundary.
+//! * [`engine`] — the serving layer: immutable [`EngineSnapshot`]s behind
+//!   `Arc`s, atomically swapped on refit, with fingerprint-diffed
+//!   incremental ingestion ([`Engine::ingest`]).
 //! * [`validate`] — the model-validity audit: registered invariant
 //!   checks (finite coefficients, non-negative predictions, basis
 //!   conditioning) that `cargo xtask check` runs over a fitted bank.
@@ -31,7 +37,10 @@
 #![warn(missing_docs)]
 
 pub mod adjust;
+pub mod backend;
+pub mod cache;
 pub mod compose;
+pub mod engine;
 pub mod measurement;
 pub mod ntmodel;
 pub mod pipeline;
@@ -41,8 +50,10 @@ pub mod report;
 pub mod validate;
 
 pub use adjust::AdjustmentRule;
+pub use backend::{ModelBackend, PolyLsqBackend, RobustPolyBackend};
+pub use engine::{Engine, EngineSnapshot};
 pub use measurement::{MeasurementDb, Sample, SampleKey};
 pub use ntmodel::{MemoryBinnedNt, NtModel};
-pub use pipeline::{Estimator, ModelBank, PipelineError};
+pub use pipeline::{AdjustmentPolicy, Estimator, ModelBank, PipelineError};
 pub use plan::{EvalPoint, MeasurementPlan, PlanKind};
 pub use ptmodel::PtModel;

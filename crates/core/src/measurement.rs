@@ -5,7 +5,8 @@
 use std::collections::BTreeMap;
 
 use etm_cluster::KindId;
-use etm_support::json::{FromJson, Json, JsonError, ToJson};
+use etm_support::hash::Fnv1a;
+use etm_support::json::{to_canonical_string, FromJson, Json, JsonError, ToJson};
 use etm_support::json_struct;
 
 /// Identifies a measured configuration of a *homogeneous* trial: `pes`
@@ -127,6 +128,52 @@ impl MeasurementDb {
         entry.sort_by_key(|s| s.n);
     }
 
+    /// Records a trial, replacing any existing sample of the same key
+    /// and problem size (streaming ingestion re-measures configurations;
+    /// [`MeasurementDb::record`] asserts that never happens).
+    pub fn upsert(&mut self, key: SampleKey, sample: Sample) {
+        let entry = self.samples.entry(key).or_default();
+        match entry.iter_mut().find(|s| s.n == sample.n) {
+            Some(slot) => *slot = sample,
+            None => {
+                entry.push(sample);
+                entry.sort_by_key(|s| s.n);
+            }
+        }
+    }
+
+    /// Keys grouped by `(kind, m)` — the paper's P-T fitting groups,
+    /// ascending. Within a group, keys ascend by `pes`.
+    pub fn groups(&self) -> BTreeMap<(usize, usize), Vec<SampleKey>> {
+        let mut groups: BTreeMap<(usize, usize), Vec<SampleKey>> = BTreeMap::new();
+        for key in self.samples.keys() {
+            groups.entry((key.kind, key.m)).or_default().push(*key);
+        }
+        groups
+    }
+
+    /// Content fingerprint of one `(kind, m)` group: 64-bit FNV-1a over
+    /// the canonical JSON of the group's `(key, samples)` entries, in key
+    /// order. Two databases whose group contents are value-equal
+    /// fingerprint identically; any added, removed, or changed sample in
+    /// the group changes the hash. The empty group hashes to the FNV
+    /// offset basis, so "group appeared" and "group vanished" both show
+    /// up as fingerprint changes.
+    pub fn group_fingerprint(&self, kind: usize, m: usize) -> u64 {
+        let mut h = Fnv1a::new();
+        for (key, samples) in &self.samples {
+            if key.kind != kind || key.m != m {
+                continue;
+            }
+            h.update(to_canonical_string(key).as_bytes());
+            // NUL separators keep entry boundaries unambiguous.
+            h.update(&[0]);
+            h.update(to_canonical_string(samples).as_bytes());
+            h.update(&[0]);
+        }
+        h.finish()
+    }
+
     /// Samples for a configuration (ascending N), empty if none.
     pub fn samples(&self, key: &SampleKey) -> &[Sample] {
         self.samples.get(key).map(Vec::as_slice).unwrap_or(&[])
@@ -239,6 +286,54 @@ mod tests {
         assert_eq!(by_n, vec![(400, 3.0), (800, 4.0)]);
         assert_eq!(db.total_cost(), 15.0);
         assert_eq!(db.len(), 4);
+    }
+
+    #[test]
+    fn upsert_replaces_same_n_and_inserts_sorted() {
+        let mut db = MeasurementDb::new();
+        db.record(key(1, 1), sample(800, 2.0));
+        db.upsert(key(1, 1), sample(400, 1.0));
+        db.upsert(key(1, 1), sample(800, 3.0));
+        let s = db.samples(&key(1, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].n, 400);
+        assert_eq!(s[1].wall, 3.0);
+    }
+
+    #[test]
+    fn groups_partition_keys_by_kind_and_m() {
+        let mut db = MeasurementDb::new();
+        db.record(key(1, 1), sample(400, 1.0));
+        db.record(key(2, 1), sample(400, 1.5));
+        db.record(key(2, 3), sample(400, 1.5));
+        let groups = db.groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&(1, 1)], vec![key(1, 1), key(2, 1)]);
+        assert_eq!(groups[&(1, 3)], vec![key(2, 3)]);
+    }
+
+    #[test]
+    fn group_fingerprint_tracks_group_content_only() {
+        let mut db = MeasurementDb::new();
+        db.record(key(1, 1), sample(400, 1.0));
+        db.record(key(1, 2), sample(400, 2.0));
+        let fp = db.group_fingerprint(1, 1);
+        // Changing another group leaves this one's fingerprint alone.
+        db.upsert(key(1, 2), sample(400, 9.0));
+        assert_eq!(db.group_fingerprint(1, 1), fp);
+        // Changing a sample value, or adding one, changes it.
+        db.upsert(key(1, 1), sample(400, 1.5));
+        let fp_changed = db.group_fingerprint(1, 1);
+        assert_ne!(fp_changed, fp);
+        db.upsert(key(2, 1), sample(400, 0.5));
+        assert_ne!(db.group_fingerprint(1, 1), fp_changed);
+        // An absent group hashes like an empty one — stable, and distinct
+        // from any populated group.
+        assert_eq!(
+            db.group_fingerprint(9, 9),
+            MeasurementDb::new().group_fingerprint(9, 9)
+        );
+        assert_ne!(db.group_fingerprint(9, 9), db.group_fingerprint(1, 1));
     }
 
     #[test]

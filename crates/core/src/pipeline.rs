@@ -14,11 +14,12 @@ use etm_support::json_struct;
 use etm_support::pool;
 
 use crate::adjust::AdjustmentRule;
-use crate::compose::{compose_fitted, PAPER_TC_SCALE};
+use crate::backend::{ModelBackend, PolyLsqBackend};
+use crate::engine::Engine;
 use crate::measurement::{MeasurementDb, Sample, SampleKey};
 use crate::ntmodel::NtModel;
 use crate::plan::MeasurementPlan;
-use crate::ptmodel::{PtModel, PtObservation};
+use crate::ptmodel::PtModel;
 
 /// Errors from model fitting or estimation.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +87,9 @@ pub struct ModelBank {
     pub pt: BTreeMap<(usize, usize), PtModel>,
     /// Kinds whose P-T models were composed (§3.5) rather than measured.
     pub composed_kinds: Vec<usize>,
+    /// The `(kind, m)` groups whose P-T entry is composed rather than
+    /// measured — what an incremental refit must always rebuild.
+    pub composed_groups: Vec<(usize, usize)>,
 }
 
 impl ToJson for ModelBank {
@@ -94,6 +98,10 @@ impl ToJson for ModelBank {
             ("nt".to_string(), self.nt.to_json()),
             ("pt".to_string(), self.pt.to_json()),
             ("composed_kinds".to_string(), self.composed_kinds.to_json()),
+            (
+                "composed_groups".to_string(),
+                self.composed_groups.to_json(),
+            ),
         ])
     }
 }
@@ -104,6 +112,11 @@ impl FromJson for ModelBank {
             nt: v.field("nt")?,
             pt: v.field("pt")?,
             composed_kinds: v.field("composed_kinds")?,
+            // Banks persisted before the backend-engine refactor lack
+            // this list; default to empty (refits then recompose from
+            // the composed-kind markers' groups being absent from `pt`'s
+            // measured set — i.e. conservatively on first full fit).
+            composed_groups: v.field_or_default("composed_groups")?,
         })
     }
 }
@@ -124,147 +137,51 @@ impl ModelBank {
     /// [`PipelineError::Fit`] if a well-posed fit fails numerically;
     /// [`PipelineError::NoDonor`] if composition is impossible.
     pub fn fit(db: &MeasurementDb, tc_scale: f64) -> Result<ModelBank, PipelineError> {
-        let mut nt = BTreeMap::new();
-        for key in db.keys() {
-            let samples = db.samples(key);
-            if samples.len() >= 4 {
-                nt.insert(*key, NtModel::fit(samples)?);
-            }
-        }
-
-        // Group keys by (kind, m) for P-T fitting.
-        let mut groups: BTreeMap<(usize, usize), Vec<SampleKey>> = BTreeMap::new();
-        for key in db.keys() {
-            groups.entry((key.kind, key.m)).or_default().push(*key);
-        }
-
-        let mut pt = BTreeMap::new();
-        let mut unfittable: Vec<(usize, usize)> = Vec::new();
-        for (&(kind, m), keys) in &groups {
-            let mut distinct_pes: Vec<usize> = keys.iter().map(|k| k.pes).collect();
-            distinct_pes.sort_unstable();
-            distinct_pes.dedup();
-            if distinct_pes.len() < 2 {
-                unfittable.push((kind, m));
-                continue;
-            }
-            // Reference N-T model: the *largest* measured P of the group.
-            // The smallest (often P = 1) has no inter-PE communication at
-            // all, so its Tc curve is a degenerate basis for the P-T
-            // communication model.
-            let reference_key = keys
-                .iter()
-                .max_by_key(|k| k.total_p())
-                .expect("group is non-empty");
-            let reference = match nt.get(reference_key) {
-                Some(r) => *r,
-                None => {
-                    unfittable.push((kind, m));
-                    continue;
-                }
-            };
-            let obs: Vec<PtObservation> = keys
-                .iter()
-                .flat_map(|k| {
-                    db.samples(k).iter().map(move |s| PtObservation {
-                        n: s.n,
-                        p: k.total_p(),
-                        ta: s.ta,
-                        tc: s.tc,
-                    })
-                })
-                .collect();
-            // §3.4 binning by communication regime: the Tc model is fit
-            // only on samples with real inter-node communication — the
-            // single-node trials (P = 1, or both processes on one dual
-            // node) sit in a different regime whose near-zero Tc would
-            // distort the P-slope of the fit.
-            let obs_tc: Vec<PtObservation> = keys
-                .iter()
-                .flat_map(|k| {
-                    db.samples(k)
-                        .iter()
-                        .filter(|s| s.multi_node)
-                        .map(move |s| PtObservation {
-                            n: s.n,
-                            p: k.total_p(),
-                            ta: s.ta,
-                            tc: s.tc,
-                        })
-                })
-                .collect();
-            let distinct_tc_p = {
-                let mut ps: Vec<usize> = obs_tc.iter().map(|o| o.p).collect();
-                ps.sort_unstable();
-                ps.dedup();
-                ps.len()
-            };
-            let model = if distinct_tc_p >= 2 {
-                PtModel::fit_split(reference, &obs, &obs_tc)?
-            } else {
-                PtModel::fit(reference, &obs)?
-            };
-            pt.insert((kind, m), model);
-        }
-
-        // Compose models for the unfittable groups.
-        let mut composed_kinds = Vec::new();
-        let construction_ns: Vec<usize> = {
-            // All problem sizes seen anywhere (for the Ta-scale fit grid).
-            let mut ns: Vec<usize> = db
-                .keys()
-                .flat_map(|k| db.samples(k).iter().map(|s| s.n))
-                .collect();
-            ns.sort_unstable();
-            ns.dedup();
-            ns
-        };
-        for (kind, m) in unfittable {
-            // Donor: any other kind with a measured P-T model at this m.
-            let donor = pt
-                .iter()
-                .find(|(&(dk, dm), _)| dk != kind && dm == m)
-                .map(|(&(dk, _), model)| (dk, *model));
-            let (donor_kind, donor_pt) = match donor {
-                Some(d) => d,
-                None => return Err(PipelineError::NoDonor { kind, m }),
-            };
-            // Single-PE N-T models of both kinds at this m drive the Ta
-            // scale; fall back to m=1 curves if needed.
-            let target_nt = nt
-                .get(&SampleKey { kind, pes: 1, m })
-                .or_else(|| nt.get(&SampleKey { kind, pes: 1, m: 1 }));
-            let donor_nt = nt
-                .get(&SampleKey {
-                    kind: donor_kind,
-                    pes: 1,
-                    m,
-                })
-                .or_else(|| {
-                    nt.get(&SampleKey {
-                        kind: donor_kind,
-                        pes: 1,
-                        m: 1,
-                    })
-                });
-            let (target_nt, donor_nt) = match (target_nt, donor_nt) {
-                (Some(t), Some(d)) => (t, d),
-                _ => return Err(PipelineError::NoDonor { kind, m }),
-            };
-            let composed =
-                compose_fitted(&donor_pt, target_nt, donor_nt, &construction_ns, tc_scale);
-            pt.insert((kind, m), composed);
-            if !composed_kinds.contains(&kind) {
-                composed_kinds.push(kind);
-            }
-        }
-
-        Ok(ModelBank {
-            nt,
-            pt,
-            composed_kinds,
-        })
+        PolyLsqBackend { tc_scale }.fit(db)
     }
+}
+
+/// Estimates `config` at problem size `n` straight from a bank's models
+/// — the §3.4 binning rule, shared by every backend and estimator.
+///
+/// A single-PE configuration (`P = Mᵢ`) uses its N-T model — there is no
+/// inter-PE communication and the P-T form would be "illogical and
+/// imprecise"; anything else uses the P-T models at the run's total
+/// process count. The estimate is the slowest kind's `Ta + Tc`.
+///
+/// # Errors
+/// [`PipelineError::MissingNt`] / [`PipelineError::MissingPt`] if the
+/// campaign never measured the needed configuration family;
+/// [`PipelineError::EmptyConfiguration`] if no PEs are used.
+pub fn raw_estimate(
+    bank: &ModelBank,
+    config: &Configuration,
+    n: usize,
+) -> Result<f64, PipelineError> {
+    let p_total = config.total_processes();
+    if p_total == 0 {
+        return Err(PipelineError::EmptyConfiguration);
+    }
+    let single = config.is_single_pe();
+    let mut worst: f64 = 0.0;
+    for u in config.uses.iter().filter(|u| u.pes > 0) {
+        let t = if single {
+            let key = SampleKey::new(u.kind, 1, u.procs_per_pe);
+            let nt = bank.nt.get(&key).ok_or(PipelineError::MissingNt(key))?;
+            nt.total(n)
+        } else {
+            let pt = bank
+                .pt
+                .get(&(u.kind.0, u.procs_per_pe))
+                .ok_or(PipelineError::MissingPt {
+                    kind: u.kind.0,
+                    m: u.procs_per_pe,
+                })?;
+            pt.total(n, p_total)
+        };
+        worst = worst.max(t);
+    }
+    Ok(worst)
 }
 
 /// The complete estimator: model bank + binning rule + adjustment.
@@ -308,33 +225,7 @@ impl Estimator {
     /// [`PipelineError::MissingNt`] / [`PipelineError::MissingPt`] if the
     /// campaign never measured the needed configuration family.
     pub fn estimate_raw(&self, config: &Configuration, n: usize) -> Result<f64, PipelineError> {
-        let p_total = config.total_processes();
-        if p_total == 0 {
-            return Err(PipelineError::EmptyConfiguration);
-        }
-        let single = config.is_single_pe();
-        let mut worst: f64 = 0.0;
-        for u in config.uses.iter().filter(|u| u.pes > 0) {
-            let t = if single {
-                let key = SampleKey::new(u.kind, 1, u.procs_per_pe);
-                let nt = self
-                    .bank
-                    .nt
-                    .get(&key)
-                    .ok_or(PipelineError::MissingNt(key))?;
-                nt.total(n)
-            } else {
-                let pt = self.bank.pt.get(&(u.kind.0, u.procs_per_pe)).ok_or(
-                    PipelineError::MissingPt {
-                        kind: u.kind.0,
-                        m: u.procs_per_pe,
-                    },
-                )?;
-                pt.total(n, p_total)
-            };
-            worst = worst.max(t);
-        }
-        Ok(worst)
+        raw_estimate(&self.bank, config, n)
     }
 
     /// Estimates with the adjustment applied (the paper's operating mode
@@ -428,7 +319,11 @@ pub fn run_construction_threads(
 /// whenever the simulator's cost models or the fitting pipeline change
 /// what a cached [`ModelBank`] means, so stale cache entries miss
 /// instead of resurrecting banks fit by older code.
-pub const CAMPAIGN_CACHE_VERSION: u32 = 1;
+///
+/// Version history: 1 = original bank schema; 2 = backend-engine
+/// refactor (banks carry `composed_groups`, caches are keyed per
+/// backend).
+pub const CAMPAIGN_CACHE_VERSION: u32 = 2;
 
 /// Stable content fingerprint of a measurement campaign: 64-bit FNV-1a
 /// over the canonical JSON of the cluster spec, the plan, and the block
@@ -467,9 +362,121 @@ pub fn sample_from_run(run: &SimulatedRun, kind: KindId, n: usize) -> Sample {
     }
 }
 
-/// Fits the §4.1 adjustment: estimate-vs-measurement at the reference
-/// configurations `P1 = 1, M1 = min_m1..=6, P2 = ref_p2` and `N = ref_n`
-/// (the paper uses `N = 6400, P2 = 8, M1 ≥ 3`).
+/// The §4.1 adjustment *policy*: the reference point, the gate, and the
+/// measured reference wall times — everything needed to refit the
+/// [`AdjustmentRule`] against a new bank *without* touching the
+/// simulator again. The engine stores one of these so incremental refits
+/// stay pure model math.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdjustmentPolicy {
+    /// Fast-kind multiplicity gate (the paper's `M1 ≥ 3`).
+    pub min_m1: usize,
+    /// Reference problem size (the paper's `N = 6400`).
+    pub ref_n: usize,
+    /// Slow-kind PE count of the reference configurations (the paper's
+    /// `P2 = 8`).
+    pub ref_p2: usize,
+    /// The kind whose multiplicity gates the adjustment (the paper's
+    /// Athlon, kind 0).
+    pub fast_kind: usize,
+    /// Measured reference wall times, `(m1, seconds)` ascending in `m1`.
+    pub walls: Vec<(usize, f64)>,
+}
+
+json_struct!(AdjustmentPolicy {
+    min_m1,
+    ref_n,
+    ref_p2,
+    fast_kind,
+    walls
+});
+
+impl AdjustmentPolicy {
+    /// Reference multiplicities the bank supports: every `m ≥ min_m1`
+    /// the fast kind has a P-T model for (the paper's M1 = 3..6; a
+    /// trimmed campaign may have fewer), ascending.
+    fn available_m1s(bank: &ModelBank, fast_kind: usize, min_m1: usize) -> Vec<usize> {
+        bank.pt
+            .keys()
+            .filter(|(kind, m)| *kind == fast_kind && *m >= min_m1)
+            .map(|(_, m)| *m)
+            .collect()
+    }
+
+    /// Measures the reference wall times on the simulated cluster and
+    /// captures the policy. With fewer than two supported reference
+    /// multiplicities nothing is measured — [`AdjustmentPolicy::fit_rule`]
+    /// then yields the identity rule.
+    pub fn measure(
+        spec: &ClusterSpec,
+        bank: &ModelBank,
+        fast_kind: usize,
+        ref_n: usize,
+        ref_p2: usize,
+        min_m1: usize,
+        nb: usize,
+    ) -> Self {
+        let available = Self::available_m1s(bank, fast_kind, min_m1);
+        let walls = if available.len() < 2 {
+            Vec::new()
+        } else {
+            // The reference measurements are independent simulated runs —
+            // fan them out like the construction campaign.
+            let walls = pool::par_map(&available, campaign_threads(), |_, &m1| {
+                let cfg = Configuration::p1m1_p2m2(1, m1, ref_p2, 1);
+                simulate_hpl(spec, &cfg, &HplParams::order(ref_n).with_nb(nb)).wall_seconds
+            });
+            available.iter().copied().zip(walls).collect()
+        };
+        AdjustmentPolicy {
+            min_m1,
+            ref_n,
+            ref_p2,
+            fast_kind,
+            walls,
+        }
+    }
+
+    /// Fits the §4.1 rule against `bank` from the stored reference
+    /// measurements: estimate-vs-measurement at the reference
+    /// configurations `P1 = 1, M1 = min_m1.., P2 = ref_p2`, `N = ref_n`
+    /// (the paper uses `N = 6400, P2 = 8, M1 ≥ 3`). With fewer than two
+    /// usable reference points the identity rule is returned rather than
+    /// fitting noise.
+    ///
+    /// # Errors
+    /// Propagates estimation and regression failures.
+    pub fn fit_rule(&self, bank: &ModelBank) -> Result<AdjustmentRule, PipelineError> {
+        let baseline_cfg = Configuration::p1m1_p2m2(1, 1, self.ref_p2, 1);
+        let baseline = raw_estimate(bank, &baseline_cfg, self.ref_n)?;
+        let mut estimates = Vec::new();
+        let mut baselines = Vec::new();
+        let mut measurements = Vec::new();
+        for &(m1, wall) in &self.walls {
+            if !bank.pt.contains_key(&(self.fast_kind, m1)) {
+                // The bank lost this reference model (e.g. a refit over
+                // a shrunken group); skip the stale measurement.
+                continue;
+            }
+            let cfg = Configuration::p1m1_p2m2(1, m1, self.ref_p2, 1);
+            estimates.push(raw_estimate(bank, &cfg, self.ref_n)?);
+            baselines.push(baseline);
+            measurements.push(wall);
+        }
+        if estimates.len() < 2 {
+            return Ok(AdjustmentRule::identity());
+        }
+        Ok(AdjustmentRule::fit(
+            self.min_m1,
+            &estimates,
+            &baselines,
+            &measurements,
+        )?)
+    }
+}
+
+/// Fits the §4.1 adjustment in one shot: measure the reference walls,
+/// then fit the rule (see [`AdjustmentPolicy`] for the two halves).
 ///
 /// # Errors
 /// Propagates estimation and regression failures.
@@ -481,48 +488,41 @@ pub fn fit_adjustment(
     min_m1: usize,
     nb: usize,
 ) -> Result<AdjustmentRule, PipelineError> {
-    let mut estimates = Vec::new();
-    let mut baselines = Vec::new();
-    let mut measurements = Vec::new();
-    let baseline_cfg = Configuration::p1m1_p2m2(1, 1, ref_p2, 1);
-    let baseline = estimator.estimate_raw(&baseline_cfg, ref_n)?;
-    // Use every multiplicity >= min_m1 the bank actually has a model for
-    // (the paper's M1 = 3..6; a trimmed campaign may have fewer).
-    let available: Vec<usize> = estimator
-        .bank
-        .pt
-        .keys()
-        .filter(|(kind, m)| *kind == estimator.fast_kind && *m >= min_m1)
-        .map(|(_, m)| *m)
-        .collect();
-    if available.len() < 2 {
-        // Not enough reference points for a two-coefficient fit: leave
-        // the estimates unadjusted rather than fitting noise.
-        return Ok(AdjustmentRule::identity());
-    }
-    // The reference measurements are independent simulated runs — fan
-    // them out like the construction campaign; estimates stay on the
-    // caller's thread (they are microseconds each).
-    let walls = pool::par_map(&available, campaign_threads(), |_, &m1| {
-        let cfg = Configuration::p1m1_p2m2(1, m1, ref_p2, 1);
-        simulate_hpl(spec, &cfg, &HplParams::order(ref_n).with_nb(nb)).wall_seconds
-    });
-    for (&m1, wall) in available.iter().zip(walls) {
-        let cfg = Configuration::p1m1_p2m2(1, m1, ref_p2, 1);
-        estimates.push(estimator.estimate_raw(&cfg, ref_n)?);
-        baselines.push(baseline);
-        measurements.push(wall);
-    }
-    Ok(AdjustmentRule::fit(
+    let policy = AdjustmentPolicy::measure(
+        spec,
+        &estimator.bank,
+        estimator.fast_kind,
+        ref_n,
+        ref_p2,
         min_m1,
-        &estimates,
-        &baselines,
-        &measurements,
-    )?)
+        nb,
+    );
+    policy.fit_rule(&estimator.bank)
+}
+
+/// The §4.1 policy [`build_estimator`] uses: reference walls at the
+/// plan's largest construction size with every slow-kind CPU, gated on
+/// the paper's `M1 ≥ 3`.
+pub fn paper_adjustment_policy(
+    spec: &ClusterSpec,
+    bank: &ModelBank,
+    plan: &MeasurementPlan,
+    nb: usize,
+) -> AdjustmentPolicy {
+    let ref_n = *plan
+        .construction_ns
+        .last()
+        .expect("plans have construction sizes");
+    let ref_p2 = spec.cpus_of_kind(KindId(1));
+    AdjustmentPolicy::measure(spec, bank, 0, ref_n, ref_p2, 3, nb)
 }
 
 /// The full pipeline: measure, fit, adjust. Returns the estimator and the
 /// measurement database (whose costs populate Tables 3/6).
+///
+/// Internally this stands up an [`Engine`] on the paper's
+/// [`PolyLsqBackend`] and returns its first snapshot's estimator — the
+/// batch path and the serving path are the same code.
 ///
 /// # Errors
 /// Any fitting failure.
@@ -532,13 +532,12 @@ pub fn build_estimator(
     nb: usize,
 ) -> Result<(Estimator, MeasurementDb), PipelineError> {
     let db = run_construction(spec, plan, nb);
-    let bank = ModelBank::fit(&db, PAPER_TC_SCALE)?;
-    let mut estimator = Estimator::unadjusted(bank);
-    let ref_n = *plan
-        .construction_ns
-        .last()
-        .expect("plans have construction sizes");
-    let ref_p2 = spec.cpus_of_kind(KindId(1));
-    estimator.adjustment = fit_adjustment(spec, &estimator, ref_n, ref_p2, 3, nb)?;
-    Ok((estimator, db))
+    let engine = Engine::from_campaign(
+        spec,
+        plan,
+        nb,
+        db.clone(),
+        Box::new(PolyLsqBackend::paper()),
+    )?;
+    Ok((engine.snapshot().estimator().clone(), db))
 }

@@ -430,6 +430,7 @@ mod tests {
             nt: BTreeMap::new(),
             pt: BTreeMap::new(),
             composed_kinds: vec![0],
+            composed_groups: vec![(0, 1)],
         };
         bank.nt
             .insert(SampleKey::new(etm_cluster::KindId(0), 1, 1), nt);

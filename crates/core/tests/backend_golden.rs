@@ -1,0 +1,178 @@
+//! Backend-equivalence golden test: the `PolyLsqBackend` extraction must
+//! reproduce the seed pipeline's fitted coefficients and estimates
+//! bit-for-bit.
+//!
+//! The golden file `tests/golden/backend_seed.json` was captured from the
+//! pre-refactor monolithic `ModelBank::fit` path on a trimmed campaign.
+//! Regenerate it (only when the *simulator* legitimately changes, never
+//! to paper over a fitting regression) with:
+//!
+//! ```text
+//! ETM_REGEN_GOLDEN=1 cargo test -p etm-core --test backend_golden
+//! ```
+
+use etm_cluster::spec::paper_cluster;
+use etm_cluster::{CommLibProfile, Configuration, KindId};
+use etm_core::measurement::SampleKey;
+use etm_core::pipeline::{build_estimator, Estimator};
+use etm_core::plan::{ConstructionPoint, EvalPoint, MeasurementPlan, PlanKind};
+use etm_support::json::{self, Json, ToJson};
+
+const NB: usize = 64;
+
+/// A trimmed campaign: Athlon m ∈ 1..4 (so the §4.1 adjustment has two
+/// reference multiplicities ≥ 3 and fits a real rule), P-II pes ∈
+/// {1, 2, 4, 8} with matching m ∈ 1..4 (composition needs donors at the
+/// same multiplicity).
+fn mini_plan() -> MeasurementPlan {
+    let ns = [400usize, 800, 1600, 2400, 3200];
+    let mut construction = Vec::new();
+    for &n in &ns {
+        for m1 in 1..=4 {
+            construction.push(ConstructionPoint {
+                key: SampleKey::new(KindId(0), 1, m1),
+                n,
+            });
+        }
+        for &p2 in &[1usize, 2, 4, 8] {
+            for m2 in 1..=4 {
+                construction.push(ConstructionPoint {
+                    key: SampleKey::new(KindId(1), p2, m2),
+                    n,
+                });
+            }
+        }
+    }
+    MeasurementPlan {
+        kind: PlanKind::NL,
+        construction,
+        construction_ns: ns.to_vec(),
+        evaluation: Vec::<EvalPoint>::new(),
+        evaluation_ns: vec![],
+    }
+}
+
+/// The configurations and sizes whose estimates the golden file pins.
+fn probe_points() -> Vec<(Configuration, usize)> {
+    let cfgs = [
+        Configuration::p1m1_p2m2(1, 1, 0, 0),
+        Configuration::p1m1_p2m2(0, 0, 4, 1),
+        Configuration::p1m1_p2m2(0, 0, 8, 2),
+        Configuration::p1m1_p2m2(1, 1, 8, 3),
+        Configuration::p1m1_p2m2(1, 2, 4, 2),
+        Configuration::p1m1_p2m2(1, 3, 8, 1),
+        Configuration::p1m1_p2m2(1, 4, 8, 1),
+    ];
+    cfgs.iter()
+        .flat_map(|c| [1600usize, 3200].map(|n| (c.clone(), n)))
+        .collect()
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("backend_seed.json")
+}
+
+fn golden_doc(est: &Estimator) -> Json {
+    let estimates: Vec<Json> = probe_points()
+        .iter()
+        .map(|(cfg, n)| {
+            Json::Obj(vec![
+                ("n".to_string(), n.to_json()),
+                ("config".to_string(), cfg.to_json()),
+                (
+                    "raw".to_string(),
+                    est.estimate_raw(cfg, *n)
+                        .expect("probe estimable")
+                        .to_json(),
+                ),
+                (
+                    "adjusted".to_string(),
+                    est.estimate(cfg, *n).expect("probe estimable").to_json(),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("estimator".to_string(), est.to_json()),
+        ("estimates".to_string(), Json::Arr(estimates)),
+    ])
+}
+
+/// Builds the estimator under test through the *current* pipeline entry
+/// point (post-refactor: the engine's `PolyLsqBackend` path).
+fn fit_current() -> Estimator {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    build_estimator(&spec, &mini_plan(), NB)
+        .expect("pipeline fits")
+        .0
+}
+
+#[test]
+fn poly_lsq_backend_matches_seed_golden() {
+    let est = fit_current();
+    if std::env::var("ETM_REGEN_GOLDEN").is_ok() {
+        let path = golden_path();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, json::to_string_pretty(&golden_doc(&est))).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(golden_path()).expect("golden file exists");
+    let doc = json::parse(&text).expect("golden parses");
+    let golden: Estimator = doc.field("estimator").expect("golden estimator");
+
+    // Coefficients bit-for-bit: every N-T and P-T model the seed fit.
+    assert_eq!(golden.bank.nt.len(), est.bank.nt.len(), "N-T model count");
+    for (key, want) in &golden.bank.nt {
+        let got = est.bank.nt.get(key).expect("golden N-T key refit");
+        for i in 0..4 {
+            assert_eq!(want.ka[i].to_bits(), got.ka[i].to_bits(), "{key:?} ka[{i}]");
+        }
+        for i in 0..3 {
+            assert_eq!(want.kc[i].to_bits(), got.kc[i].to_bits(), "{key:?} kc[{i}]");
+        }
+    }
+    assert_eq!(golden.bank.pt.len(), est.bank.pt.len(), "P-T model count");
+    for (key, want) in &golden.bank.pt {
+        let got = est.bank.pt.get(key).expect("golden P-T key refit");
+        for i in 0..2 {
+            assert_eq!(want.ka[i].to_bits(), got.ka[i].to_bits(), "{key:?} ka[{i}]");
+        }
+        for i in 0..3 {
+            assert_eq!(want.kc[i].to_bits(), got.kc[i].to_bits(), "{key:?} kc[{i}]");
+        }
+    }
+    assert_eq!(golden.bank.composed_kinds, est.bank.composed_kinds);
+
+    // The §4.1 adjustment rule.
+    assert_eq!(golden.adjustment.min_m1, est.adjustment.min_m1);
+    assert_eq!(
+        golden.adjustment.scale.to_bits(),
+        est.adjustment.scale.to_bits()
+    );
+    assert_eq!(
+        golden.adjustment.base_coeff.to_bits(),
+        est.adjustment.base_coeff.to_bits()
+    );
+
+    // Table estimates at the probe points.
+    let rows: Vec<Json> = doc.field("estimates").expect("golden estimates");
+    assert_eq!(rows.len(), probe_points().len());
+    for (row, (cfg, n)) in rows.iter().zip(probe_points()) {
+        assert_eq!(row.field::<usize>("n").expect("n"), n);
+        let raw: f64 = row.field("raw").expect("raw");
+        let adjusted: f64 = row.field("adjusted").expect("adjusted");
+        let got_raw = est.estimate_raw(&cfg, n).expect("probe estimable");
+        let got_adj = est.estimate(&cfg, n).expect("probe estimable");
+        assert_eq!(raw.to_bits(), got_raw.to_bits(), "raw estimate at N={n}");
+        assert_eq!(
+            adjusted.to_bits(),
+            got_adj.to_bits(),
+            "adjusted estimate at N={n}"
+        );
+    }
+}

@@ -1,7 +1,8 @@
 //! Estimate-vs-measurement correlation (the scatter plots of Figs. 6–15).
 
 use etm_cluster::{ClusterSpec, Configuration, KindId};
-use etm_core::pipeline::{campaign_threads, Estimator};
+use etm_core::engine::EngineSnapshot;
+use etm_core::pipeline::campaign_threads;
 use etm_core::plan::evaluation_configs;
 use etm_hpl::{simulate_hpl, HplParams};
 use etm_support::pool;
@@ -25,19 +26,20 @@ pub struct CorrelationPoint {
 /// estimate each configuration (raw and adjusted) and measure it. The
 /// measurement half (a simulated HPL run per configuration) dominates,
 /// so the grid fans out over the campaign worker pool; results come
-/// back in grid order regardless of worker count.
+/// back in grid order regardless of worker count. Estimates are served
+/// from an engine snapshot, so the workers share it lock-free.
 pub fn correlation_at(
     spec: &ClusterSpec,
-    estimator: &Estimator,
+    snapshot: &EngineSnapshot,
     n: usize,
     nb: usize,
 ) -> Vec<CorrelationPoint> {
     let configs = evaluation_configs();
     pool::par_map(&configs, campaign_threads(), |_, config| {
-        let estimate_raw = estimator.estimate_raw(config, n).ok()?;
-        let estimate_adjusted = estimator.estimate(config, n).ok()?;
+        let estimate_raw = snapshot.estimate_raw(config, n).ok()?;
+        let estimate_adjusted = snapshot.estimate(config, n).ok()?;
         let measured = simulate_hpl(spec, config, &HplParams::order(n).with_nb(nb)).wall_seconds;
-        let m1 = config.procs_per_pe(KindId(estimator.fast_kind));
+        let m1 = config.procs_per_pe(KindId(snapshot.fast_kind()));
         Some(CorrelationPoint {
             config: config.clone(),
             m1,

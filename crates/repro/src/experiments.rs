@@ -4,7 +4,10 @@
 
 use etm_cluster::spec::paper_cluster;
 use etm_cluster::{ClusterSpec, CommLibProfile, Configuration, KindId};
-use etm_core::pipeline::{build_estimator, campaign_threads, run_construction, Estimator};
+use etm_core::backend::{ModelBackend, PolyLsqBackend};
+use etm_core::cache::{cached_construction, CACHE_DIR};
+use etm_core::engine::Engine;
+use etm_core::pipeline::{campaign_threads, Estimator};
 use etm_core::plan::{MeasurementPlan, PlanKind};
 use etm_core::MeasurementDb;
 use etm_hpl::{simulate_hpl, HplParams};
@@ -123,10 +126,18 @@ pub struct CampaignCost {
     pub total: f64,
 }
 
+/// Runs (or replays) a plan's construction campaign on the paper
+/// cluster. Basic, NL and NS all route through the same
+/// campaign-fingerprint-keyed cache under `target/etm-cache/`, so the
+/// expensive simulated measurements run once per campaign schema.
+pub fn campaign_db(plan: &MeasurementPlan) -> MeasurementDb {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    cached_construction(&spec, plan, NB, std::path::Path::new(CACHE_DIR))
+}
+
 /// Runs a plan's construction campaign and accounts its cost.
 pub fn campaign_cost(plan: &MeasurementPlan) -> (MeasurementDb, CampaignCost) {
-    let spec = paper_cluster(CommLibProfile::mpich122());
-    let db = run_construction(&spec, plan, NB);
+    let db = campaign_db(plan);
     let a = db.cost_by_n(KindId(0));
     let p = db.cost_by_n(KindId(1));
     let mut rows = Vec::new();
@@ -146,10 +157,20 @@ pub fn campaign_cost(plan: &MeasurementPlan) -> (MeasurementDb, CampaignCost) {
     (db, cost)
 }
 
+/// Builds the serving engine for a campaign on the paper cluster:
+/// cached construction measurements, the paper's polynomial-LSQ
+/// backend, and the §4.1 adjustment measured at the paper's reference
+/// configuration.
+pub fn engine_for(plan: &MeasurementPlan) -> Engine {
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let db = campaign_db(plan);
+    Engine::from_campaign(&spec, plan, NB, db, Box::new(PolyLsqBackend::paper()))
+        .expect("pipeline fits")
+}
+
 /// Builds the estimator for a campaign on the paper cluster.
 pub fn estimator_for(plan: &MeasurementPlan) -> Estimator {
-    let spec = paper_cluster(CommLibProfile::mpich122());
-    build_estimator(&spec, plan, NB).expect("pipeline fits").0
+    engine_for(plan).snapshot().estimator().clone()
 }
 
 /// The full evaluation of one campaign: correlations at every evaluation
@@ -168,11 +189,11 @@ pub struct CampaignEvaluation {
 /// configurations at every evaluation size.
 pub fn evaluate_campaign(plan: &MeasurementPlan) -> CampaignEvaluation {
     let spec = paper_cluster(CommLibProfile::mpich122());
-    let estimator = estimator_for(plan);
+    let snapshot = engine_for(plan).snapshot();
     let mut correlations = Vec::new();
     let mut best_rows = Vec::new();
     for &n in &plan.evaluation_ns {
-        let points = correlation_at(&spec, &estimator, n, NB);
+        let points = correlation_at(&spec, &snapshot, n, NB);
         best_rows.push(best_config_row(&points, n));
         correlations.push((n, points));
     }
@@ -185,20 +206,23 @@ pub fn evaluate_campaign(plan: &MeasurementPlan) -> CampaignEvaluation {
 
 /// §4 timing claims: how long model construction and the 62-config
 /// estimation take (the paper: 0.69 ms / 0.52 ms and 35 ms / 26.4 ms on
-/// an AthlonXP 2600+).
+/// an AthlonXP 2600+). Fitting is timed through the backend trait and
+/// estimation through a lock-free engine snapshot — the same paths every
+/// serving query takes.
 pub fn timing_claims(plan: &MeasurementPlan) -> (f64, f64) {
-    use etm_core::pipeline::ModelBank;
-    let spec = paper_cluster(CommLibProfile::mpich122());
-    let db = run_construction(&spec, plan, NB);
+    let db = campaign_db(plan);
+    let backend = PolyLsqBackend::paper();
     let t0 = std::time::Instant::now();
-    let bank = ModelBank::fit(&db, etm_core::compose::PAPER_TC_SCALE).expect("fit");
+    let bank = backend.fit(&db).expect("fit");
     let fit_seconds = t0.elapsed().as_secs_f64();
-    let estimator = Estimator::unadjusted(bank);
+    assert!(!bank.nt.is_empty());
+    let engine = Engine::new(Box::new(backend), db, None).expect("pipeline fits");
+    let snapshot = engine.snapshot();
     let configs = etm_core::plan::evaluation_configs();
     let t1 = std::time::Instant::now();
     let mut acc = 0.0;
     for c in &configs {
-        if let Ok(t) = estimator.estimate(c, 6400) {
+        if let Ok(t) = snapshot.estimate(c, 6400) {
             acc += t;
         }
     }

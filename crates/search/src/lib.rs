@@ -19,10 +19,17 @@
 //!
 //! All optimizers are generic over the objective `f(config) → time`, so
 //! they work with the model estimator, the simulator itself, or any
-//! other cost function.
+//! other cost function. The [`engine`] module supplies the canonical
+//! objective: a lock-free query closure over an estimator-engine
+//! snapshot ([`snapshot_objective`]), plus the paper's exhaustive §4
+//! selection served from it ([`best_config`]).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{best_config, snapshot_objective};
 
 use etm_cluster::{ClusterSpec, Configuration, KindId, KindUse};
 

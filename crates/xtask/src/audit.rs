@@ -1,128 +1,111 @@
 //! Pass 4: model-validity audit.
 //!
 //! Builds a measurement database by running the simulated Basic
-//! campaign (Table 2) on the paper's two-kind cluster, fits the full
-//! model bank, and runs every check registered in [`etm_core::validate`]
-//! over it. The Basic plan is the only one whose construction sizes
-//! span the audit's whole [400, 6400] sweep — the reduced NL/NS plans
-//! fit on a sub-range, and a cubic extrapolated outside its fitting
-//! range legitimately goes negative. Violations fail the gate; warnings
-//! are printed but pass.
+//! campaign (Table 2) on the paper's two-kind cluster, fits a full
+//! model bank with **every registered fitting backend** (the paper's
+//! `poly_lsq` and the relative-error `robust_poly`), and runs every
+//! check registered in [`etm_core::validate`] over each bank. The Basic
+//! plan is the only one whose construction sizes span the audit's whole
+//! [400, 6400] sweep — the reduced NL/NS plans fit on a sub-range, and
+//! a cubic extrapolated outside its fitting range legitimately goes
+//! negative. Violations fail the gate; warnings are printed but pass.
 //!
-//! The campaign + fit is the slowest part of the gate, so the fitted
-//! bank is cached under `target/etm-cache/<fingerprint>.json`, keyed on
+//! The campaign + fit is the slowest part of the gate, so both the
+//! measurement database and the fitted banks are cached under
+//! `target/etm-cache/` via [`etm_core::cache`], keyed on
 //! [`etm_core::pipeline::campaign_fingerprint`] (a stable FNV-1a content
-//! hash of the cluster spec, the plan, and NB). A warm cache skips the
-//! campaign entirely; a miss — or a cache file that fails to parse —
-//! falls back to a fresh campaign, fanned out over
-//! [`etm_core::pipeline::campaign_threads`] workers, and repopulates the
-//! cache. Delete `target/etm-cache/` (or bump
+//! hash of the cluster spec, the plan, and NB) plus the backend name for
+//! banks. A warm cache skips the campaign entirely; a miss — or a cache
+//! file that fails to parse — falls back to a fresh campaign, fanned out
+//! over [`etm_core::pipeline::campaign_threads`] workers, and
+//! repopulates the cache. Delete `target/etm-cache/` (or bump
 //! `CAMPAIGN_CACHE_VERSION`) to force a refit.
 
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::time::Instant;
 
 use etm_cluster::spec::paper_cluster;
 use etm_cluster::CommLibProfile;
-use etm_core::compose::PAPER_TC_SCALE;
-use etm_core::pipeline::{campaign_fingerprint_hex, run_construction, ModelBank};
+use etm_core::backend::{ModelBackend, PolyLsqBackend, RobustPolyBackend};
+use etm_core::cache::{bank_cache_name, cached_construction, load_json, store_json};
+use etm_core::pipeline::{campaign_fingerprint_hex, ModelBank};
 use etm_core::plan::MeasurementPlan;
 use etm_core::validate::{self, Severity};
-use etm_support::json;
+use etm_core::MeasurementDb;
 
 /// HPL block size the audit campaign uses (the repro's NB).
 const NB: usize = 64;
 
-/// The audited bank, plus where it came from (for the gate's log line).
-fn audited_bank(root: &Path) -> Result<(ModelBank, String), String> {
+/// Runs the pass. Returns one message per violated invariant, across
+/// the banks of every backend.
+pub fn run(root: &Path) -> Result<Vec<String>, String> {
     let spec = paper_cluster(CommLibProfile::mpich122());
     let plan = MeasurementPlan::basic();
-    let cache = cache_path(root, campaign_fingerprint_hex(&spec, &plan, NB));
-
-    if let Some(bank) = load_cached(&cache) {
-        return Ok((bank, format!("cache hit ({})", cache.display())));
-    }
-
-    let t0 = Instant::now();
-    let db = run_construction(&spec, &plan, NB);
-    let bank =
-        ModelBank::fit(&db, PAPER_TC_SCALE).map_err(|e| format!("model bank fit failed: {e}"))?;
-    let elapsed = t0.elapsed();
-    store_cached(&cache, &bank);
-    Ok((
-        bank,
-        format!(
-            "cache miss; campaign + fit took {:.2} s -> {}",
-            elapsed.as_secs_f64(),
-            cache.display()
-        ),
-    ))
-}
-
-fn cache_path(root: &Path, fingerprint: String) -> PathBuf {
-    root.join("target")
-        .join("etm-cache")
-        .join(format!("{fingerprint}.json"))
-}
-
-/// Loads a cached bank; any miss or parse failure means "refit".
-fn load_cached(path: &Path) -> Option<ModelBank> {
-    let text = fs::read_to_string(path).ok()?;
-    match json::from_str::<ModelBank>(&text) {
-        Ok(bank) => Some(bank),
-        Err(e) => {
-            println!(
-                "    cache entry {} is unreadable ({e}); refitting",
-                path.display()
-            );
-            None
-        }
-    }
-}
-
-/// Best-effort cache write: a read-only target/ dir must not fail the
-/// audit, only cost the next run a refit.
-fn store_cached(path: &Path, bank: &ModelBank) {
-    let write = || -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir)?;
-        }
-        fs::write(path, json::to_string_pretty(bank))
-    };
-    if let Err(e) = write() {
-        println!("    warn: could not persist audit cache: {e}");
-    }
-}
-
-/// Runs the pass. Returns one message per violated invariant.
-pub fn run(root: &Path) -> Result<Vec<String>, String> {
-    let (bank, provenance) = audited_bank(root)?;
-    println!("    {provenance}");
-    println!(
-        "    bank: {} N-T model(s), {} P-T model(s), {} composed kind(s)",
-        bank.nt.len(),
-        bank.pt.len(),
-        bank.composed_kinds.len()
-    );
+    let hex = campaign_fingerprint_hex(&spec, &plan, NB);
+    let cache_dir = root.join("target").join("etm-cache");
+    let backends: [Box<dyn ModelBackend>; 2] = [
+        Box::new(PolyLsqBackend::paper()),
+        Box::new(RobustPolyBackend::paper()),
+    ];
 
     let mut violations = Vec::new();
-    for check in validate::registry() {
-        let findings = check.run(&bank);
-        println!(
-            "    {:<28} {:<55} {}",
-            check.name,
-            check.what,
-            if findings.is_empty() {
-                "ok".to_string()
-            } else {
-                format!("{} finding(s)", findings.len())
+    // The campaign database is shared by every backend; run it at most
+    // once (and usually zero times — it caches too).
+    let mut db: Option<MeasurementDb> = None;
+    for backend in &backends {
+        let bank_path = cache_dir.join(bank_cache_name(&hex, backend.name()));
+        let (bank, provenance) = match load_json::<ModelBank>(&bank_path) {
+            Some(bank) => (bank, format!("cache hit ({})", bank_path.display())),
+            None => {
+                let t0 = Instant::now();
+                let db =
+                    db.get_or_insert_with(|| cached_construction(&spec, &plan, NB, &cache_dir));
+                let bank = backend
+                    .fit(db)
+                    .map_err(|e| format!("{} bank fit failed: {e}", backend.name()))?;
+                if !store_json(&bank_path, &bank) {
+                    println!(
+                        "    warn: could not persist audit cache {}",
+                        bank_path.display()
+                    );
+                }
+                (
+                    bank,
+                    format!(
+                        "cache miss; campaign + fit took {:.2} s -> {}",
+                        t0.elapsed().as_secs_f64(),
+                        bank_path.display()
+                    ),
+                )
             }
+        };
+        println!("    [{}] {provenance}", backend.name());
+        println!(
+            "    [{}] bank: {} N-T model(s), {} P-T model(s), {} composed kind(s)",
+            backend.name(),
+            bank.nt.len(),
+            bank.pt.len(),
+            bank.composed_kinds.len()
         );
-        for f in &findings {
-            match f.severity {
-                Severity::Warning => println!("      warn: {}", f.message),
-                Severity::Violation => violations.push(f.to_string()),
+
+        for check in validate::registry() {
+            let findings = check.run(&bank);
+            println!(
+                "    [{}] {:<28} {:<48} {}",
+                backend.name(),
+                check.name,
+                check.what,
+                if findings.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!("{} finding(s)", findings.len())
+                }
+            );
+            for f in &findings {
+                match f.severity {
+                    Severity::Warning => println!("      warn: {}", f.message),
+                    Severity::Violation => violations.push(format!("[{}] {f}", backend.name())),
+                }
             }
         }
     }

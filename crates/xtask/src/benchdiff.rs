@@ -9,6 +9,15 @@
 //! present only in the new baseline are listed as informational;
 //! benchmarks that *disappeared* fail the gate — a silently dropped
 //! timing is how perf coverage rots.
+//!
+//! `cargo xtask bench-diff --latest <new>` drives the **per-commit
+//! baseline store** instead of an explicit pair: the fresh baseline is
+//! diffed against the most recently stored one with the same file name,
+//! then recorded under `results/bench/<short-sha>/` (sha of `git
+//! rev-parse --short HEAD`, or `nosha` outside git) and appended to the
+//! append-only `results/bench/index.log`. The first run of a new suite
+//! records without diffing. The record is kept even when the diff
+//! fails, so the history shows what each commit actually measured.
 
 use std::fs;
 use std::path::Path;
@@ -98,6 +107,90 @@ pub fn run(
     Ok(failures)
 }
 
+/// Workspace-relative directory of the per-commit baseline store.
+const BENCH_STORE: &str = "results/bench";
+
+/// The append-only index: one `"<sha> <basename>"` line per stored
+/// baseline, newest last.
+const INDEX_LOG: &str = "index.log";
+
+/// The current commit's short hash, or `nosha` when git is unavailable
+/// (tarball builds still get a working store).
+fn short_sha(root: &Path) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "nosha".to_string())
+}
+
+/// The sha of the most recently stored baseline named `basename`, from
+/// the index's newest matching line.
+fn latest_stored(index: &str, basename: &str) -> Option<String> {
+    index.lines().rev().find_map(|line| {
+        let (sha, base) = line.split_once(' ')?;
+        (base == basename).then(|| sha.to_string())
+    })
+}
+
+/// Copies `new_path` into the store under `sha` and appends the index
+/// line (skipped when it would duplicate the newest line, so re-runs of
+/// one commit do not pad the log).
+fn store_baseline(store: &Path, sha: &str, basename: &str, new_path: &str) -> Result<(), String> {
+    let dir = store.join(sha);
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let dest = dir.join(basename);
+    fs::copy(Path::new(new_path), &dest)
+        .map_err(|e| format!("cannot store {} -> {}: {e}", new_path, dest.display()))?;
+    let index_path = store.join(INDEX_LOG);
+    let line = format!("{sha} {basename}");
+    let existing = fs::read_to_string(&index_path).unwrap_or_default();
+    if existing.lines().next_back() != Some(line.as_str()) {
+        let mut out = existing;
+        out.push_str(&line);
+        out.push('\n');
+        fs::write(&index_path, out)
+            .map_err(|e| format!("cannot append {}: {e}", index_path.display()))?;
+    }
+    println!("    stored {}", dest.display());
+    Ok(())
+}
+
+/// The `--latest` mode: diff `new_path` against the most recently
+/// stored baseline of the same name (if any), then record it for the
+/// current commit. Returns the diff's regressions.
+pub fn run_latest(
+    root: &Path,
+    new_path: &str,
+    threshold_pct: Option<f64>,
+) -> Result<Vec<String>, String> {
+    let store = root.join(BENCH_STORE);
+    let basename = Path::new(new_path)
+        .file_name()
+        .ok_or_else(|| format!("{new_path} has no file name"))?
+        .to_string_lossy()
+        .to_string();
+    let index = fs::read_to_string(store.join(INDEX_LOG)).unwrap_or_default();
+    let failures = match latest_stored(&index, &basename) {
+        Some(prev_sha) => {
+            let old = store.join(&prev_sha).join(&basename);
+            println!("    baseline: {} (commit {prev_sha})", old.display());
+            run(&old.display().to_string(), new_path, threshold_pct)?
+        }
+        None => {
+            println!("    no stored baseline named {basename}; recording only");
+            Vec::new()
+        }
+    };
+    store_baseline(&store, &short_sha(root), &basename, new_path)?;
+    Ok(failures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +258,51 @@ mod tests {
         let old = write_baseline(&dir, "old.json", "alpha", &[("a", 1.0)]);
         let new = write_baseline(&dir, "new.json", "beta", &[("a", 1.0)]);
         assert!(run(&old, &new, None).is_err());
+    }
+
+    #[test]
+    fn latest_stored_returns_newest_matching_line() {
+        let index = "abc BENCH_a.json\n\
+                     def BENCH_b.json\n\
+                     ghi BENCH_a.json\n";
+        assert_eq!(latest_stored(index, "BENCH_a.json").as_deref(), Some("ghi"));
+        assert_eq!(latest_stored(index, "BENCH_b.json").as_deref(), Some("def"));
+        assert!(latest_stored(index, "BENCH_c.json").is_none());
+        assert!(latest_stored("", "BENCH_a.json").is_none());
+    }
+
+    #[test]
+    fn latest_mode_records_then_gates() {
+        // A tempdir root outside any git repo: sha falls back to nosha.
+        let root = tempdir("latest");
+        let _ = fs::remove_dir_all(root.join(BENCH_STORE));
+        let fresh = write_baseline(&root, "BENCH_s.json", "s", &[("a", 100.0)]);
+        // First run: nothing stored yet, records only.
+        let failures = run_latest(&root, &fresh, None).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        let index = fs::read_to_string(root.join(BENCH_STORE).join(INDEX_LOG)).unwrap();
+        assert!(index.contains("BENCH_s.json"), "{index}");
+        assert!(root
+            .join(BENCH_STORE)
+            .join("nosha")
+            .join("BENCH_s.json")
+            .is_file());
+        // Second run, same numbers: diff against the store passes, and
+        // the duplicate index line is skipped.
+        let failures = run_latest(&root, &fresh, None).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        let index = fs::read_to_string(root.join(BENCH_STORE).join(INDEX_LOG)).unwrap();
+        assert_eq!(index.lines().count(), 1, "{index}");
+        // Third run regresses: the stored baseline catches it, but the
+        // regressed run is still recorded for the history.
+        let slow = write_baseline(&root, "BENCH_s.json", "s", &[("a", 250.0)]);
+        let failures = run_latest(&root, &slow, None).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+        let stored =
+            fs::read_to_string(root.join(BENCH_STORE).join("nosha").join("BENCH_s.json")).unwrap();
+        assert!(stored.contains("250"), "{stored}");
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! A second subcommand, `cargo xtask bench-diff <old> <new>
 //! [--threshold PCT]`, compares two `BENCH_<suite>.json` baselines
 //! written by the `etm-bench` harness and fails on median regressions.
+//! `cargo xtask bench-diff --latest <new> [--threshold PCT]` instead
+//! diffs against — and then updates — the per-commit baseline store
+//! under `results/bench/<short-sha>/`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,7 +71,8 @@ const PASSES: [Pass; 4] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask check [pass...]\n       \
-         cargo xtask bench-diff <old.json> <new.json> [--threshold PCT]\n\n\
+         cargo xtask bench-diff <old.json> <new.json> [--threshold PCT]\n       \
+         cargo xtask bench-diff --latest <new.json> [--threshold PCT]\n\n\
          check passes (default: all, in order):"
     );
     for p in &PASSES {
@@ -81,6 +85,7 @@ fn usage() -> ExitCode {
 fn run_bench_diff(rest: &[String]) -> ExitCode {
     let mut paths: Vec<&str> = Vec::new();
     let mut threshold: Option<f64> = None;
+    let mut latest = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if arg == "--threshold" {
@@ -91,15 +96,26 @@ fn run_bench_diff(rest: &[String]) -> ExitCode {
                     return usage();
                 }
             };
+        } else if arg == "--latest" {
+            latest = true;
         } else {
             paths.push(arg);
         }
     }
-    let [old, new] = paths[..] else {
-        return usage();
+    let result = if latest {
+        let [new] = paths[..] else {
+            return usage();
+        };
+        println!("==> bench-diff --latest {new}");
+        benchdiff::run_latest(&workspace_root(), new, threshold)
+    } else {
+        let [old, new] = paths[..] else {
+            return usage();
+        };
+        println!("==> bench-diff {old} -> {new}");
+        benchdiff::run(old, new, threshold)
     };
-    println!("==> bench-diff {old} -> {new}");
-    match benchdiff::run(old, new, threshold) {
+    match result {
         Ok(failures) if failures.is_empty() => {
             println!("bench-diff: no median regressions");
             ExitCode::SUCCESS

@@ -10,6 +10,11 @@
 //!   site needs an adjacent `// unwrap-ok: <reason>` comment; stale
 //!   entries (file gone, or no justified unwraps left) fail the gate so
 //!   the list can only shrink.
+//! * `expect(` is additionally banned in binary roots (`src/bin/**`)
+//!   outside tests: a binary's failure path reaches users, so it must
+//!   report errors (message + exit code) rather than panic. Library
+//!   code may still `expect` with a justification message; diagnostics
+//!   that genuinely want panics belong in `examples/`.
 //! * `todo!` / `unimplemented!` are banned everywhere, tests included:
 //!   the tree never ships placeholders.
 //! * `as f32` is banned in the numerics crates (`etm-lsq`, `etm-core`):
@@ -166,6 +171,12 @@ fn lint_file(file: &str, text: &str, allowed: bool, out: &mut Vec<String>) -> us
                 )),
             }
         }
+        if !in_tests && file.contains("src/bin/") && line.contains(".expect(") {
+            out.push(format!(
+                "{file}:{lineno}: `expect(` in a binary root — report the error and exit \
+                 nonzero, or move panic-happy diagnostics to `examples/`"
+            ));
+        }
         if line.contains("todo!(") || line.contains("unimplemented!(") {
             out.push(format!(
                 "{file}:{lineno}: `todo!`/`unimplemented!` must not ship"
@@ -266,6 +277,22 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().any(|m| m.contains("clean.rs")), "{v:?}");
         assert!(v.iter().any(|m| m.contains("gone.rs")), "{v:?}");
+    }
+
+    #[test]
+    fn expect_flagged_only_in_binary_roots() {
+        let text = "#![deny(unsafe_code)]\nfn main() { x().expect(\"boom\"); }\n";
+        let v = lint("crates/demo/src/bin/tool.rs", text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("binary root"), "{v:?}");
+        // Library code may expect (with a message).
+        let v = lint("crates/demo/src/a.rs", "fn f() { x().expect(\"why\"); }\n");
+        assert!(v.is_empty(), "{v:?}");
+        // Test code in a binary may expect.
+        let text = "#![deny(unsafe_code)]\nfn main() {}\n\
+                    #[cfg(test)]\nmod tests {\n    fn g() { x().expect(\"t\"); }\n}\n";
+        let v = lint("crates/demo/src/bin/tool.rs", text);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! Calibration scratchpad: quick end-to-end pipeline check (not part of
-//! the published experiment set).
+//! Calibration scratchpad: quick end-to-end pipeline diagnostics (not
+//! part of the published experiment set). Useful when tuning the
+//! simulator or the fitting pipeline: prints single-config Gflops
+//! curves, the fitted adjustment, M₁ series of raw/adjusted/measured
+//! times, a per-kind Ta/Tc diagnosis, and a Table-4 analogue.
+//!
+//! Run with: `cargo run --release --example calibration_scratchpad`
 
-#![deny(unsafe_code)]
-
-use etm_cluster::spec::paper_cluster;
-use etm_cluster::{CommLibProfile, Configuration};
-use etm_core::pipeline::build_estimator;
-use etm_core::plan::{evaluation_configs, MeasurementPlan};
-use etm_hpl::{simulate_hpl, HplParams};
+use hetero_etm::cluster::spec::paper_cluster;
+use hetero_etm::cluster::{CommLibProfile, Configuration, KindId};
+use hetero_etm::core::pipeline::build_estimator;
+use hetero_etm::core::plan::{evaluation_configs, MeasurementPlan};
+use hetero_etm::hpl::{simulate_hpl, HplParams};
 
 fn main() {
     let spec = paper_cluster(CommLibProfile::mpich122());
@@ -65,7 +68,6 @@ fn main() {
 
     // Per-kind diagnosis at N=4800, M1=3, sweeping P2.
     {
-        use etm_cluster::KindId;
         let n = 4800usize;
         println!("\n  N={n}, M1=3 sweep of P2 (per-kind est vs meas):");
         for p2 in [3usize, 5, 7, 8] {
@@ -75,12 +77,12 @@ fn main() {
                 .bank
                 .pt
                 .get(&(0, 3))
-                .expect("NL plan fits kind 0 at M=3");
+                .expect("Basic plan fits kind 0 at M=3");
             let b = est
                 .bank
                 .pt
                 .get(&(1, 1))
-                .expect("NL plan fits kind 1 at M=1");
+                .expect("Basic plan fits kind 1 at M=1");
             let run = simulate_hpl(&spec, &cfg, &HplParams::order(n).with_nb(nb));
             println!(
                 "   P2={p2}: est A(ta={:6.1},tc={:6.1}) P2(ta={:6.1},tc={:6.1}) | meas A(ta={:6.1},tc={:6.1}) P2(ta={:6.1},tc={:6.1}) wall={:6.1}",

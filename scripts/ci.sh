@@ -7,8 +7,9 @@
 #                           model-validity audit (warm-cached under
 #                           target/etm-cache/), and a bench smoke run
 #                           that writes a BENCH_substrates.json baseline
-#                           and diffs it against the previous one via
-#                           `cargo xtask bench-diff`.
+#                           and gates it against the per-commit store in
+#                           results/bench/ via
+#                           `cargo xtask bench-diff --latest`.
 #
 # Stages run in cheapest-first order so a formatting slip fails in
 # seconds, not after a full build. Per-stage wall times are printed in a
@@ -51,22 +52,15 @@ trap summary EXIT
 
 bench_smoke() {
   # Time the substrate microbenches (the only suite fast enough for
-  # every CI run), keep the machine-readable baseline, and gate on the
-  # previous run's baseline when one exists.
+  # every CI run) and gate against the per-commit baseline store:
+  # `bench-diff --latest` compares to the newest entry under
+  # results/bench/ and then records this run for the current commit.
   local out_dir="$PWD/target/etm-bench"
   local baseline="$out_dir/BENCH_substrates.json"
-  local previous="$out_dir/BENCH_substrates.prev.json"
   mkdir -p "$out_dir"
-  if [ -f "$baseline" ]; then
-    cp "$baseline" "$previous"
-  fi
   ETM_BENCH_OUT="$out_dir" ETM_BENCH_SAMPLES=5 \
     cargo bench -q -p etm-bench --bench substrates
-  if [ -f "$previous" ]; then
-    cargo xtask bench-diff "$previous" "$baseline"
-  else
-    echo "no previous baseline; recorded $baseline for the next run"
-  fi
+  cargo xtask bench-diff --latest "$baseline"
 }
 
 # --- quick tier: cheap static checks first, then tier-1 -------------
