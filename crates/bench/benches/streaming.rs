@@ -1,0 +1,122 @@
+//! Throughput of the streaming ingestion path: replaying a campaign as
+//! batches, driving `Engine::ingest_batch` end to end through the mpmc
+//! channel, and the per-batch consumer step in isolation.
+
+use etm_bench::{black_box, Runner};
+use etm_core::backend::PolyLsqBackend;
+use etm_core::engine::Engine;
+use etm_core::measurement::{MeasurementDb, Sample, SampleKey};
+use etm_core::stream::{consume, replay, trials_of_db, StreamConfig, TrialSource};
+
+/// A synthetic Basic-shaped campaign (54 configurations × 9 sizes).
+fn synthetic_db() -> MeasurementDb {
+    let sizes = [400usize, 600, 800, 1200, 1600, 2400, 3200, 4800, 6400];
+    let mut db = MeasurementDb::new();
+    let mut put = |key: SampleKey, n: usize| {
+        let x = n as f64;
+        let p = key.total_p() as f64;
+        let speed = if key.kind == 0 { 1.2e9 } else { 0.25e9 };
+        let ta = (2.0 * x * x * x / 3.0) / p / speed * (1.0 + 0.05 * (key.m as f64 - 1.0));
+        let tc = 1e-9 * p * x * x + 5e-9 * x * x / p + 0.01;
+        db.record(
+            key,
+            Sample {
+                n,
+                ta,
+                tc,
+                wall: ta + tc,
+                multi_node: key.pes > 1,
+            },
+        );
+    };
+    for &n in &sizes {
+        for m1 in 1..=6 {
+            put(SampleKey::new(etm_cluster::KindId(0), 1, m1), n);
+        }
+        for p2 in 1..=8 {
+            for m2 in 1..=6 {
+                put(SampleKey::new(etm_cluster::KindId(1), p2, m2), n);
+            }
+        }
+    }
+    db
+}
+
+fn replay_speed(r: &mut Runner) {
+    let trials = trials_of_db(&synthetic_db());
+    let cfg = StreamConfig {
+        batch_size: 16,
+        shuffle_seed: Some(7),
+        duplicate_every: 5,
+        defer_every: 6,
+        channel_cap: 0,
+    };
+    r.bench("stream/replay_486_trials", || {
+        black_box(replay(&trials, &cfg))
+    });
+}
+
+/// One streamed batch through `ingest_batch`: the consumer's steady-state
+/// unit of work. The batch is nudged every call so the fingerprint diff
+/// always sees a real change and every iteration pays for a refit.
+fn ingest_batch_speed(r: &mut Runner) {
+    let db = synthetic_db();
+    let engine = Engine::new(Box::new(PolyLsqBackend::paper()), db.clone(), None).expect("fit");
+    let key = SampleKey::new(etm_cluster::KindId(1), 4, 2);
+    let trials: Vec<(SampleKey, Sample)> = db.samples(&key).iter().map(|s| (key, *s)).collect();
+    let mut round = 0u64;
+    r.bench("stream/ingest_batch_one_group", || {
+        round += 1;
+        let mut batch = etm_core::stream::TrialBatch {
+            seq: round,
+            sim_time: round as f64,
+            trials: trials.clone(),
+        };
+        for (_, s) in &mut batch.trials {
+            s.ta *= 1.0 + 1e-9 * round as f64;
+        }
+        black_box(engine.ingest_batch(&batch).expect("refit"))
+    });
+}
+
+/// The full pipe: source thread, bounded channel, consumer loop,
+/// snapshot per effective batch — a whole campaign re-streamed into a
+/// warm engine per iteration.
+fn end_to_end_speed(r: &mut Runner) {
+    let db = synthetic_db();
+    let trials = trials_of_db(&db);
+    let engine = Engine::new(Box::new(PolyLsqBackend::paper()), db, None).expect("fit");
+    let cfg = StreamConfig {
+        batch_size: 32,
+        shuffle_seed: Some(42),
+        duplicate_every: 0,
+        defer_every: 0,
+        channel_cap: 4,
+    };
+    let mut round = 0u64;
+    r.bench("stream/campaign_through_channel", || {
+        // Nudge every trial so each round's batches all carry fresh
+        // fingerprints (a realistic rolling re-measurement).
+        round += 1;
+        let nudged: Vec<(SampleKey, Sample)> = trials
+            .iter()
+            .map(|(k, s)| {
+                let mut s = *s;
+                s.ta *= 1.0 + 1e-9 * round as f64;
+                (*k, s)
+            })
+            .collect();
+        let source = TrialSource::spawn(nudged, cfg);
+        let report = consume(&engine, source.receiver(), |_, _| {}).expect("stream fits");
+        source.join();
+        black_box(report)
+    });
+}
+
+fn main() {
+    let mut r = Runner::new("streaming");
+    replay_speed(&mut r);
+    ingest_batch_speed(&mut r);
+    end_to_end_speed(&mut r);
+    r.finish();
+}

@@ -48,13 +48,23 @@ pub enum Weighting {
     /// scaled by `1 / max(|t|, RELATIVE_FLOOR)` for its measured time
     /// `t`, so the solve minimizes relative residuals.
     Relative,
+    /// Per-regime binned weighting of the communication fit: `Tc`
+    /// observations are weighted `1 / count(regime)` of their §3.4
+    /// communication regime (single-node vs multi-node), so each
+    /// regime contributes equal *total* weight to the solve and the
+    /// sparse multi-node samples aren't drowned by the single-node
+    /// majority. `Ta` stays uniform (computation has no regimes).
+    Binned,
 }
 
 impl Weighting {
     /// The row weight for a measurement of `measured` seconds.
+    /// ([`Weighting::Binned`] weights by regime population, not by the
+    /// measured value; its `Tc` weights are computed in
+    /// `fit_pt_group`.)
     fn weight(self, measured: f64) -> f64 {
         match self {
-            Weighting::Uniform => 1.0,
+            Weighting::Uniform | Weighting::Binned => 1.0,
             Weighting::Relative => 1.0 / measured.abs().max(RELATIVE_FLOOR),
         }
     }
@@ -191,10 +201,57 @@ impl ModelBackend for RobustPolyBackend {
     }
 }
 
-/// Fits one key's N-T model under the weighting.
+/// The polynomial forms fit under per-regime binned weighting: the Tc
+/// solve keeps both §3.4 communication regimes but gives each equal
+/// total weight (see [`Weighting::Binned`]). Motivated by streaming
+/// ingestion, where early in a campaign the multi-node regime may hold
+/// only a handful of samples that ordinary LSQ would drown.
+#[derive(Clone, Copy, Debug)]
+pub struct BinnedPolyBackend {
+    /// §3.5 composition communication scale (the paper's 0.85).
+    pub tc_scale: f64,
+}
+
+impl BinnedPolyBackend {
+    /// The backend with the paper's composition constants.
+    pub fn paper() -> Self {
+        BinnedPolyBackend {
+            tc_scale: PAPER_TC_SCALE,
+        }
+    }
+}
+
+impl Default for BinnedPolyBackend {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ModelBackend for BinnedPolyBackend {
+    fn name(&self) -> &'static str {
+        "binned_poly"
+    }
+
+    fn fit(&self, db: &MeasurementDb) -> Result<ModelBank, PipelineError> {
+        fit_bank(db, self.tc_scale, Weighting::Binned)
+    }
+
+    fn refit_groups(
+        &self,
+        db: &MeasurementDb,
+        previous: &ModelBank,
+        dirty: &BTreeSet<(usize, usize)>,
+    ) -> Result<ModelBank, PipelineError> {
+        refit_bank(db, previous, dirty, self.tc_scale, Weighting::Binned)
+    }
+}
+
+/// Fits one key's N-T model under the weighting. A key's samples all
+/// share one communication regime (same `pes`), so the binned weighting
+/// degenerates to uniform here.
 fn fit_nt(samples: &[Sample], weighting: Weighting) -> Result<NtModel, LsqError> {
     match weighting {
-        Weighting::Uniform => NtModel::fit(samples),
+        Weighting::Uniform | Weighting::Binned => NtModel::fit(samples),
         Weighting::Relative => {
             let wa: Vec<f64> = samples.iter().map(|s| weighting.weight(s.ta)).collect();
             let wc: Vec<f64> = samples.iter().map(|s| weighting.weight(s.tc)).collect();
@@ -278,6 +335,37 @@ fn fit_pt_group(
             let wa: Vec<f64> = obs.iter().map(|o| weighting.weight(o.ta)).collect();
             let wc: Vec<f64> = tc_obs.iter().map(|o| weighting.weight(o.tc)).collect();
             PtModel::fit_split_weighted(reference, &obs, tc_obs, &wa, &wc)?
+        }
+        Weighting::Binned => {
+            // Instead of *discarding* the single-node regime like the
+            // uniform §3.4 hard cut, keep every sample but weight each
+            // regime's rows by 1/|regime| — both regimes then carry
+            // equal total weight in the Tc solve, so the sparse
+            // multi-node samples still pin the P-slope.
+            let flags: Vec<bool> = keys
+                .iter()
+                .flat_map(|k| db.samples(k).iter().map(|s| s.multi_node))
+                .collect();
+            debug_assert_eq!(flags.len(), obs.len(), "one regime flag per obs");
+            let multi = flags.iter().filter(|&&f| f).count();
+            let single = flags.len() - multi;
+            if multi == 0 || single == 0 {
+                // One regime present: binning degenerates to uniform.
+                PtModel::fit(reference, &obs)?
+            } else {
+                let wa: Vec<f64> = vec![1.0; obs.len()];
+                let wc: Vec<f64> = flags
+                    .iter()
+                    .map(|&f| {
+                        if f {
+                            1.0 / multi as f64
+                        } else {
+                            1.0 / single as f64
+                        }
+                    })
+                    .collect();
+                PtModel::fit_split_weighted(reference, &obs, &obs, &wa, &wc)?
+            }
         }
     };
     Ok(Some(model))
@@ -601,6 +689,80 @@ mod tests {
             pes: 1,
             m: 3,
         }));
+    }
+
+    #[test]
+    fn binned_backend_differs_finite_and_refits_bit_identically() {
+        let db = synth_db();
+        let backend = BinnedPolyBackend::paper();
+        let poly = PolyLsqBackend::paper().fit(&db).unwrap();
+        let binned = backend.fit(&db).unwrap();
+        assert_eq!(poly.pt.len(), binned.pt.len());
+        // Equal-regime-weight Tc fits must move some coefficient off
+        // the hard-cut uniform fit.
+        let differs = poly.pt.iter().any(|(g, m)| {
+            let b = &binned.pt[g];
+            (0..3).any(|i| m.kc[i].to_bits() != b.kc[i].to_bits())
+        });
+        assert!(differs, "binned weighting must change some coefficient");
+        for (g, m) in &binned.pt {
+            assert!(
+                m.ka.iter().chain(m.kc.iter()).all(|c| c.is_finite()),
+                "non-finite binned coefficients for {g:?}"
+            );
+        }
+        // Ta is uniform under binning: bit-identical to the paper fit.
+        for (g, m) in &poly.pt {
+            let b = &binned.pt[g];
+            for i in 0..2 {
+                assert_eq!(m.ka[i].to_bits(), b.ka[i].to_bits(), "{g:?} ka[{i}]");
+            }
+        }
+        // The refit contract holds for the binned weighting too.
+        let mut db2 = db.clone();
+        let key = SampleKey {
+            kind: 1,
+            pes: 2,
+            m: 1,
+        };
+        let mut s = db2.samples(&key)[1];
+        s.tc *= 1.3;
+        db2.upsert(key, s);
+        let dirty: BTreeSet<(usize, usize)> = [(1, 1)].into_iter().collect();
+        let incremental = backend.refit_groups(&db2, &binned, &dirty).unwrap();
+        let full = backend.fit(&db2).unwrap();
+        assert_banks_bit_equal(&incremental, &full);
+        let cfg = Configuration::p1m1_p2m2(1, 1, 4, 2);
+        let t = backend.predict(&binned, &cfg, 1600).unwrap();
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    /// With only one communication regime in a group, the binned fit
+    /// degenerates to the plain uniform fit over all observations.
+    #[test]
+    fn binned_single_regime_degenerates_to_uniform() {
+        let sizes = [400usize, 800, 1600, 2400, 3200];
+        let mut db = MeasurementDb::new();
+        for &pes in &[1usize, 2, 4] {
+            for &n in &sizes {
+                let mut s = synth_sample(1, pes, 1, n);
+                s.multi_node = false; // all single-node
+                db.record(SampleKey { kind: 1, pes, m: 1 }, s);
+            }
+        }
+        for &n in &sizes {
+            db.record(
+                SampleKey {
+                    kind: 0,
+                    pes: 1,
+                    m: 1,
+                },
+                synth_sample(0, 1, 1, n),
+            );
+        }
+        let binned = BinnedPolyBackend::paper().fit(&db).unwrap();
+        let uniform = PolyLsqBackend::paper().fit(&db).unwrap();
+        assert_banks_bit_equal(&binned, &uniform);
     }
 
     #[test]

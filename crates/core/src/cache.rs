@@ -38,13 +38,34 @@ pub fn load_json<T: FromJson>(path: &Path) -> Option<T> {
 
 /// Stores a JSON value at `path`, creating the parent directory.
 /// Best-effort: returns whether the write landed.
+///
+/// The write is atomic with respect to readers: the value lands in a
+/// process-unique temp file in the same directory and is renamed into
+/// place, so a concurrent [`load_json`] (parallel repro runs and the
+/// xtask audit share `target/etm-cache/`) or a crash mid-write can
+/// never observe truncated JSON — only the old file, no file, or the
+/// complete new file.
 pub fn store_json<T: ToJson>(path: &Path, value: &T) -> bool {
-    if let Some(parent) = path.parent() {
-        if fs::create_dir_all(parent).is_err() {
-            return false;
-        }
+    let Some(parent) = path.parent() else {
+        return false;
+    };
+    if fs::create_dir_all(parent).is_err() {
+        return false;
     }
-    fs::write(path, to_string(value)).is_ok()
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    let tmp = parent.join(format!(".{name}.tmp-{}", std::process::id()));
+    if fs::write(&tmp, to_string(value)).is_err() {
+        let _ = fs::remove_file(&tmp);
+        return false;
+    }
+    // Same-directory rename: atomic on POSIX, replaces any existing file.
+    if fs::rename(&tmp, path).is_err() {
+        let _ = fs::remove_file(&tmp);
+        return false;
+    }
+    true
 }
 
 /// Runs a measurement campaign through the cache: returns the stored
@@ -112,6 +133,53 @@ mod tests {
         let path = dir.join("bad.json");
         fs::write(&path, "{not json").expect("tempdir is writable");
         assert!(load_json::<MeasurementDb>(&path).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_replaces_existing_file_and_leaves_no_temp_droppings() {
+        let dir = tempdir("atomic");
+        let path = dir.join(db_cache_name("cafe"));
+        fs::write(&path, "{stale garbage").expect("tempdir is writable");
+        let mut db = MeasurementDb::new();
+        db.record(
+            SampleKey {
+                kind: 0,
+                pes: 1,
+                m: 1,
+            },
+            Sample {
+                n: 400,
+                ta: 0.5,
+                tc: 0.1,
+                wall: 0.6,
+                multi_node: false,
+            },
+        );
+        assert!(store_json(&path, &db));
+        let back: MeasurementDb = load_json(&path).expect("replaced cleanly");
+        assert_eq!(back.len(), 1);
+        // The temp file was renamed away, not left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("tempdir is readable")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_into_unwritable_parent_reports_failure() {
+        // Parent "directory" is a plain file: create_dir_all must fail,
+        // and store_json must report it (even running as root, where
+        // permission-based failures don't apply).
+        let dir = tempdir("unwritable");
+        let blocker = dir.join("blocker");
+        fs::write(&blocker, "").expect("tempdir is writable");
+        let path = blocker.join("db-0.json");
+        let db = MeasurementDb::new();
+        assert!(!store_json(&path, &db));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -112,9 +112,20 @@ impl EngineSnapshot {
 
 /// Writer-side state: the measurement database and the per-group content
 /// fingerprints of the last *published* bank.
+///
+/// The database sits behind an `Arc` so [`Engine::db`] can hand out the
+/// current version with an O(1) pointer clone instead of deep-copying
+/// every sample under the writer lock; writers mutate through
+/// `Arc::make_mut`, which copies-on-write only while a reader still
+/// holds an older version.
 struct EngineState {
-    db: MeasurementDb,
+    db: Arc<MeasurementDb>,
     fingerprints: std::collections::BTreeMap<(usize, usize), u64>,
+    /// Groups a *failed* refit left dirty: their samples are upserted
+    /// but the published bank predates them. Merged into the next
+    /// ingest's dirty set so the retry refits everything outstanding,
+    /// not just the groups that ingest touches.
+    pending_dirty: BTreeSet<(usize, usize)>,
 }
 
 impl EngineState {
@@ -187,7 +198,11 @@ impl Engine {
         Ok(Engine {
             backend,
             policy,
-            state: Mutex::new(EngineState { db, fingerprints }),
+            state: Mutex::new(EngineState {
+                db: Arc::new(db),
+                fingerprints,
+                pending_dirty: BTreeSet::new(),
+            }),
             current: Mutex::new(snapshot),
         })
     }
@@ -203,9 +218,12 @@ impl Engine {
         self.backend.name()
     }
 
-    /// A copy of the measurement database as of the last write.
-    pub fn db(&self) -> MeasurementDb {
-        self.state.lock().db.clone()
+    /// The measurement database as of the last write. An O(1) `Arc`
+    /// clone under a momentary lock — no sample is copied, and the
+    /// returned version stays immutable while later ingests proceed
+    /// (writers copy-on-write past any held reference).
+    pub fn db(&self) -> Arc<MeasurementDb> {
+        Arc::clone(&self.state.lock().db)
     }
 
     /// Ingests measurements and refits incrementally: samples are
@@ -217,23 +235,42 @@ impl Engine {
     /// and the current snapshot is returned.
     ///
     /// On a fitting error the database keeps the new samples but no
-    /// snapshot is published, and the stored fingerprints still describe
-    /// the *published* bank — so a later ingest retries the refit of
-    /// everything still dirty.
+    /// snapshot is published; the failed groups are remembered and
+    /// merged into the next ingest's dirty set, so a later ingest —
+    /// even an otherwise no-op one — retries the refit of everything
+    /// still dirty. (`ingest(&[])` is therefore a *flush*: it refits
+    /// whatever a failed ingest left outstanding and nothing else.)
     ///
     /// # Errors
-    /// Any fitting failure.
+    /// [`PipelineError::NonFiniteSample`] if any sample carries a NaN or
+    /// infinite time — the whole batch is rejected *before* any upsert,
+    /// so the database and the published snapshot are untouched. Then
+    /// any fitting failure.
     pub fn ingest(
         &self,
         samples: &[(SampleKey, Sample)],
     ) -> Result<Arc<EngineSnapshot>, PipelineError> {
+        // Validate the whole batch first: a non-finite time would slip
+        // past the PartialEq dedup and fingerprint diff below (NaN never
+        // compares equal) and poison the least-squares solve.
+        for (key, sample) in samples {
+            if !sample.is_finite() {
+                return Err(PipelineError::NonFiniteSample {
+                    key: *key,
+                    n: sample.n,
+                });
+            }
+        }
         let mut state = self.state.lock();
         let mut touched: BTreeSet<(usize, usize)> = BTreeSet::new();
-        for (key, sample) in samples {
-            state.db.upsert(*key, *sample);
-            touched.insert((key.kind, key.m));
+        if !samples.is_empty() {
+            let db = Arc::make_mut(&mut state.db);
+            for (key, sample) in samples {
+                db.upsert(*key, *sample);
+                touched.insert((key.kind, key.m));
+            }
         }
-        let mut dirty: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut dirty: BTreeSet<(usize, usize)> = state.pending_dirty.clone();
         for &(kind, m) in &touched {
             let fp = state.db.group_fingerprint(kind, m);
             if state.fingerprints.get(&(kind, m)) != Some(&fp) {
@@ -244,15 +281,25 @@ impl Engine {
             return Ok(self.snapshot());
         }
         let previous = self.snapshot();
-        let bank = self
+        let refit = self
             .backend
-            .refit_groups(&state.db, previous.bank(), &dirty)?;
-        let estimator = assemble_estimator(bank, self.policy.as_ref())?;
+            .refit_groups(&state.db, previous.bank(), &dirty)
+            .and_then(|bank| assemble_estimator(bank, self.policy.as_ref()));
+        let estimator = match refit {
+            Ok(e) => e,
+            Err(e) => {
+                // Keep the samples, publish nothing, remember what is
+                // dirty so the next ingest retries it.
+                state.pending_dirty = dirty;
+                return Err(e);
+            }
+        };
         // Commit: fingerprints now describe the bank being published.
         for &(kind, m) in &dirty {
             let fp = state.db.group_fingerprint(kind, m);
             state.fingerprints.insert((kind, m), fp);
         }
+        state.pending_dirty.clear();
         let snapshot = Arc::new(EngineSnapshot {
             estimator,
             generation: previous.generation + 1,
@@ -261,6 +308,21 @@ impl Engine {
         });
         *self.current.lock() = Arc::clone(&snapshot);
         Ok(snapshot)
+    }
+
+    /// Ingests one streamed [`TrialBatch`](crate::stream::TrialBatch) —
+    /// the consumer side of the streaming layer. Exactly
+    /// [`Engine::ingest`] over the batch's trials: duplicates and
+    /// re-deliveries are fingerprint no-ops, a batch that changes
+    /// nothing publishes nothing.
+    ///
+    /// # Errors
+    /// See [`Engine::ingest`].
+    pub fn ingest_batch(
+        &self,
+        batch: &crate::stream::TrialBatch,
+    ) -> Result<Arc<EngineSnapshot>, PipelineError> {
+        self.ingest(&batch.trials)
     }
 
     /// Refits the whole bank from the current database and publishes the
@@ -273,6 +335,7 @@ impl Engine {
         let bank = self.backend.fit(&state.db)?;
         let estimator = assemble_estimator(bank, self.policy.as_ref())?;
         state.fingerprints = EngineState::fingerprints_of(&state.db);
+        state.pending_dirty.clear();
         let generation = self.snapshot().generation + 1;
         let snapshot = Arc::new(EngineSnapshot {
             estimator,
@@ -421,6 +484,176 @@ mod tests {
         let cfg = Configuration::p1m1_p2m2(1, 1, 4, 1);
         let t = e.snapshot().estimate(&cfg, 1600).expect("estimable");
         assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_atomically() {
+        let e = engine();
+        let before = e.snapshot();
+        let db_before = e.db();
+        let good_key = SampleKey {
+            kind: 1,
+            pes: 2,
+            m: 1,
+        };
+        let bad_key = SampleKey {
+            kind: 1,
+            pes: 4,
+            m: 1,
+        };
+        let mut good = synth_sample(1, 2, 1, 800);
+        good.ta *= 1.5;
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for field in 0..3 {
+                let mut bad = synth_sample(1, 4, 1, 800);
+                match field {
+                    0 => bad.ta = poison,
+                    1 => bad.tc = poison,
+                    _ => bad.wall = poison,
+                }
+                let err = e
+                    .ingest(&[(good_key, good), (bad_key, bad)])
+                    .expect_err("non-finite sample must be rejected");
+                assert_eq!(
+                    err,
+                    PipelineError::NonFiniteSample {
+                        key: bad_key,
+                        n: 800
+                    }
+                );
+            }
+        }
+        // Rejection is atomic: the good sample in the same batch was
+        // not upserted either, and nothing was published.
+        let after = e.snapshot();
+        assert!(Arc::ptr_eq(&before, &after), "no snapshot published");
+        assert!(
+            Arc::ptr_eq(&db_before, &e.db()),
+            "database must be untouched"
+        );
+    }
+
+    #[test]
+    fn db_handle_is_cow_stable_across_later_ingests() {
+        let e = engine();
+        let held = e.db();
+        let held_len = held.len();
+        let key = SampleKey {
+            kind: 1,
+            pes: 2,
+            m: 1,
+        };
+        // A brand-new problem size: the writer must copy-on-write past
+        // the held handle rather than mutate it in place.
+        e.ingest(&[(key, synth_sample(1, 2, 1, 4000))])
+            .expect("refit ok");
+        assert_eq!(held.len(), held_len, "held handle must stay immutable");
+        let fresh = e.db();
+        assert_eq!(fresh.len(), held_len + 1);
+        assert!(!Arc::ptr_eq(&held, &fresh));
+        // With no reader holding the old version, consecutive calls
+        // share one allocation.
+        drop(held);
+        drop(fresh);
+        assert!(Arc::ptr_eq(&e.db(), &e.db()));
+    }
+
+    /// A backend whose fits can be failed on demand (via a flag shared
+    /// with the test), for exercising the documented ingest-error
+    /// recovery path.
+    struct FlakyBackend {
+        inner: PolyLsqBackend,
+        fail: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl FlakyBackend {
+        fn check(&self) -> Result<(), PipelineError> {
+            if self.fail.load(std::sync::atomic::Ordering::SeqCst) {
+                // Any PipelineError works; NoDonor needs no Lsq plumbing.
+                return Err(PipelineError::NoDonor { kind: 99, m: 99 });
+            }
+            Ok(())
+        }
+    }
+
+    impl ModelBackend for FlakyBackend {
+        fn name(&self) -> &'static str {
+            "flaky_poly"
+        }
+
+        fn fit(&self, db: &MeasurementDb) -> Result<ModelBank, PipelineError> {
+            self.check()?;
+            self.inner.fit(db)
+        }
+
+        fn refit_groups(
+            &self,
+            db: &MeasurementDb,
+            previous: &ModelBank,
+            dirty: &BTreeSet<(usize, usize)>,
+        ) -> Result<ModelBank, PipelineError> {
+            self.check()?;
+            self.inner.refit_groups(db, previous, dirty)
+        }
+    }
+
+    /// The documented recovery contract: a fitting failure keeps the
+    /// upserted samples and publishes no snapshot; a later successful
+    /// ingest refits everything still dirty — converging on exactly the
+    /// bank a full fit of the final database yields.
+    #[test]
+    fn failed_ingest_recovers_on_next_success() {
+        let fail = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flaky = Box::new(FlakyBackend {
+            inner: PolyLsqBackend::paper(),
+            fail: Arc::clone(&fail),
+        });
+        let e = Engine::new(flaky, synth_db(), None).expect("synth db fits");
+        let gen0 = e.snapshot();
+
+        // Round 1: backend down, ingest into group (1, 1) fails.
+        let key_a = SampleKey {
+            kind: 1,
+            pes: 2,
+            m: 1,
+        };
+        let mut s_a = synth_sample(1, 2, 1, 800);
+        s_a.ta *= 1.4;
+        fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        let err = e.ingest(&[(key_a, s_a)]).expect_err("backend is down");
+        assert!(matches!(err, PipelineError::NoDonor { kind: 99, m: 99 }));
+        // No snapshot published; the slot still holds generation 0.
+        assert!(Arc::ptr_eq(&gen0, &e.snapshot()));
+        // But the sample *was* kept.
+        let kept = e.db();
+        let kept = kept
+            .samples(&key_a)
+            .iter()
+            .find(|s| s.n == 800)
+            .copied()
+            .expect("sample retained across the failed refit");
+        assert_eq!(kept, s_a);
+
+        // Round 2: backend up again; touching a *different* group must
+        // also refit the still-dirty (1, 1) from round 1.
+        fail.store(false, std::sync::atomic::Ordering::SeqCst);
+        let key_b = SampleKey {
+            kind: 1,
+            pes: 4,
+            m: 2,
+        };
+        let mut s_b = synth_sample(1, 4, 2, 1600);
+        s_b.tc *= 1.2;
+        let snap = e.ingest(&[(key_b, s_b)]).expect("backend recovered");
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.refit_groups(), &[(1, 1), (1, 2)]);
+        let full = PolyLsqBackend::paper().fit(&e.db()).expect("full fit ok");
+        for (g, m) in &full.pt {
+            let got = &snap.bank().pt[g];
+            for i in 0..3 {
+                assert_eq!(m.kc[i].to_bits(), got.kc[i].to_bits(), "{g:?} kc[{i}]");
+            }
+        }
     }
 
     /// The concurrency contract: readers holding snapshots keep getting

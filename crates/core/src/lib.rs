@@ -24,11 +24,17 @@
 //! * [`pipeline`] — end-to-end: run the simulated measurements, fit every
 //!   model, build the [`Estimator`], pick the best configuration.
 //! * [`backend`] — the pluggable fitting seam: [`ModelBackend`] with the
-//!   paper's pipeline as [`PolyLsqBackend`] and a relative-error
-//!   [`RobustPolyBackend`] proving the trait boundary.
+//!   paper's pipeline as [`PolyLsqBackend`], a relative-error
+//!   [`RobustPolyBackend`], and a per-regime [`BinnedPolyBackend`]
+//!   weighting the §3.4 communication regimes equally.
 //! * [`engine`] — the serving layer: immutable [`EngineSnapshot`]s behind
 //!   `Arc`s, atomically swapped on refit, with fingerprint-diffed
 //!   incremental ingestion ([`Engine::ingest`]).
+//! * [`stream`] — streaming ingestion: a [`stream::TrialSource`] replays
+//!   a campaign as timestamped [`stream::TrialBatch`]es over an mpmc
+//!   channel (shuffled, duplicated, out-of-order on demand) and a
+//!   consumer loop drives [`Engine::ingest_batch`], publishing one
+//!   snapshot per effective batch.
 //! * [`validate`] — the model-validity audit: registered invariant
 //!   checks (finite coefficients, non-negative predictions, basis
 //!   conditioning) that `cargo xtask check` runs over a fitted bank.
@@ -47,10 +53,11 @@ pub mod pipeline;
 pub mod plan;
 pub mod ptmodel;
 pub mod report;
+pub mod stream;
 pub mod validate;
 
 pub use adjust::AdjustmentRule;
-pub use backend::{ModelBackend, PolyLsqBackend, RobustPolyBackend};
+pub use backend::{BinnedPolyBackend, ModelBackend, PolyLsqBackend, RobustPolyBackend};
 pub use engine::{Engine, EngineSnapshot};
 pub use measurement::{MeasurementDb, Sample, SampleKey};
 pub use ntmodel::{MemoryBinnedNt, NtModel};

@@ -59,6 +59,17 @@ pub struct Sample {
     pub multi_node: bool,
 }
 
+impl Sample {
+    /// True when every measured time is finite. Non-finite samples are
+    /// rejected at ingest: a NaN `ta`/`tc`/`wall` defeats `Sample`'s
+    /// `PartialEq`-based dedup and the group fingerprint diff (NaN
+    /// never compares equal, and NaN canonical JSON is unstable), and
+    /// silently poisons the least-squares fit.
+    pub fn is_finite(&self) -> bool {
+        self.ta.is_finite() && self.tc.is_finite() && self.wall.is_finite()
+    }
+}
+
 json_struct!(SampleKey { kind, pes, m });
 
 impl ToJson for Sample {

@@ -45,6 +45,15 @@ pub enum PipelineError {
     },
     /// The configuration to estimate uses no PEs.
     EmptyConfiguration,
+    /// An ingested sample carried a NaN or infinite time. Rejected
+    /// up front: non-finite values defeat the `PartialEq`-based dedup
+    /// and the fingerprint diff, and poison the least-squares fit.
+    NonFiniteSample {
+        /// Key of the offending sample.
+        key: SampleKey,
+        /// Problem size of the offending sample.
+        n: usize,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -63,6 +72,11 @@ impl fmt::Display for PipelineError {
                 write!(f, "no donor P-T model to compose kind {kind} at M={m}")
             }
             PipelineError::EmptyConfiguration => write!(f, "configuration uses no PEs"),
+            PipelineError::NonFiniteSample { key, n } => write!(
+                f,
+                "non-finite sample for kind {} pes {} m {} at N={n}",
+                key.kind, key.pes, key.m
+            ),
         }
     }
 }

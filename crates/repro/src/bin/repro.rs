@@ -2,7 +2,8 @@
 //!
 //! Usage: `repro <experiment>` where experiment is one of
 //! `table1 plans fig1 fig2 fig3 table3 table6 fig6_7 table4 fig8_11
-//! table7 fig12_15 table9 timings all`.
+//! table7 fig12_15 table9 timings ablations models baselines stream ab
+//! all`.
 //!
 //! Text renderings go to stdout; CSV artifacts go to `results/`.
 
@@ -65,6 +66,12 @@ fn main() {
     if all || which == "baselines" {
         baselines();
     }
+    if all || which == "stream" {
+        stream();
+    }
+    if all || which == "ab" {
+        ab();
+    }
     if !all
         && ![
             "table1",
@@ -84,6 +91,8 @@ fn main() {
             "ablations",
             "models",
             "baselines",
+            "stream",
+            "ab",
         ]
         .contains(&which.as_str())
     {
@@ -429,6 +438,127 @@ fn models() {
         let est = estimator_for(&plan);
         print!("{}", render_estimator(&est));
     }
+}
+
+fn stream() {
+    use etm_core::stream::StreamConfig;
+    use etm_repro::stream::stream_experiment;
+    println!("\n== Streaming ingestion: online §4 re-optimization over the Basic campaign ==");
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let cfg = StreamConfig {
+        batch_size: 32,
+        shuffle_seed: Some(2004),
+        duplicate_every: 7,
+        defer_every: 0,
+        channel_cap: 4,
+    };
+    let run = stream_experiment(&MeasurementPlan::basic(), cfg, 0.02, 6400);
+    let mut t = TextTable::new(vec![
+        "gen",
+        "search best",
+        "tau_best [s]",
+        "recommended",
+        "tau_rec [s]",
+        "switched",
+    ]);
+    let mut csv = Vec::new();
+    for d in &run.decisions {
+        t.row(vec![
+            d.generation.to_string(),
+            d.best.config.label(&spec),
+            format!("{:.1}", d.best.time),
+            d.recommended.label(&spec),
+            format!("{:.1}", d.recommended_time),
+            if d.switched { "yes" } else { "" }.to_string(),
+        ]);
+        csv.push(format!(
+            "{},{},{:.4},{},{:.4},{}",
+            d.generation,
+            d.best.config.label(&spec),
+            d.best.time,
+            d.recommended.label(&spec),
+            d.recommended_time,
+            d.switched
+        ));
+    }
+    print!("{}", t.render());
+    println!(
+        "{} batches, {} snapshots published, {} transient fit errors; \
+         final bank bit-identical to one-shot fit: {}",
+        run.report.batches, run.report.published, run.report.fit_errors, run.converged
+    );
+    println!(
+        "online recommendation {} vs offline optimum {} (tau {:.1} s)",
+        run.recommended.label(&spec),
+        run.offline.config.label(&spec),
+        run.offline.time
+    );
+    write_csv(
+        "stream_decisions",
+        "generation,best,tau_best,recommended,tau_recommended,switched",
+        &csv,
+    );
+}
+
+fn ab() {
+    use etm_core::stream::StreamConfig;
+    use etm_repro::stream::ab_compare;
+    println!("\n== Backend A/B: poly_lsq vs binned_poly over one streamed Basic campaign ==");
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let cfg = StreamConfig {
+        batch_size: 32,
+        shuffle_seed: Some(2004),
+        duplicate_every: 7,
+        defer_every: 0,
+        channel_cap: 4,
+    };
+    let report = ab_compare(&MeasurementPlan::basic(), cfg, 6400);
+    let mut t = TextTable::new(vec![
+        "config",
+        "A est [s]",
+        "B est [s]",
+        "measured [s]",
+        "divergence",
+    ]);
+    let mut csv = Vec::new();
+    for r in &report.rows {
+        t.row(vec![
+            r.config.label(&spec),
+            format!("{:.1}", r.estimate_a),
+            format!("{:.1}", r.estimate_b),
+            format!("{:.1}", r.measured),
+            format!("{:+.4}", r.divergence()),
+        ]);
+        csv.push(format!(
+            "{},{},{:.4},{:.4},{:.4},{:.5}",
+            r.config.label(&spec),
+            r.m1,
+            r.estimate_a,
+            r.estimate_b,
+            r.measured,
+            r.divergence()
+        ));
+    }
+    print!("{}", t.render());
+    let (err_a, err_b) = report.mean_abs_rel_errors();
+    println!(
+        "A={} (gen {}), B={} (gen {}); divergence mean {:.4} max {:.4}",
+        report.backend_a,
+        report.generations.0,
+        report.backend_b,
+        report.generations.1,
+        report.mean_abs_divergence(),
+        report.max_abs_divergence()
+    );
+    println!(
+        "mean |rel error| vs measurement: A {:.4}, B {:.4}; campaign cost {:.0} simulated s (Table 3/6)",
+        err_a, err_b, report.campaign_cost
+    );
+    write_csv(
+        "ab_divergence",
+        "config,m1,estimate_a,estimate_b,measured,divergence",
+        &csv,
+    );
 }
 
 fn baselines() {

@@ -4,12 +4,16 @@
 //! them (`repro all` regenerates everything into `results/`). Each
 //! experiment is a library function returning structured rows so the
 //! Criterion benches in `etm-bench` can measure the same code paths.
+//! [`stream`] goes beyond the paper: it replays the same campaigns as
+//! online measurement streams with §4 re-optimization and A/B-compares
+//! fitting backends on pinned snapshots.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod correlate;
 pub mod experiments;
+pub mod stream;
 pub mod table;
 
 /// Output directory for CSV artifacts, relative to the invocation cwd.

@@ -22,14 +22,19 @@
 //! other cost function. The [`engine`] module supplies the canonical
 //! objective: a lock-free query closure over an estimator-engine
 //! snapshot ([`snapshot_objective`]), plus the paper's exhaustive §4
-//! selection served from it ([`best_config`]).
+//! selection served from it ([`best_config`]). The [`online`] module
+//! re-runs that selection against every snapshot a streaming engine
+//! publishes, with hysteresis ([`OnlineOptimizer`]) so the standing
+//! recommendation only moves on material improvement.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod online;
 
 pub use engine::{best_config, snapshot_objective};
+pub use online::{OnlineDecision, OnlineOptimizer};
 
 use etm_cluster::{ClusterSpec, Configuration, KindId, KindUse};
 

@@ -1,0 +1,250 @@
+//! Online re-optimization with hysteresis: re-run the §4 selection
+//! against every published engine snapshot, but only *switch* the
+//! recommended configuration when the estimated improvement clears a
+//! threshold.
+//!
+//! The paper picks a configuration once, offline. When measurements
+//! stream in (`etm_core::stream`), the model — and therefore the best
+//! configuration — moves with every snapshot. Re-deploying a job layout
+//! on every twitch of the model would thrash, so the
+//! [`OnlineOptimizer`] holds its recommendation until a new optimum is
+//! at least `hysteresis` (relative) faster than the *current estimate
+//! of the held configuration*, and records every observation in a
+//! decision log of (generation, best config, estimated time).
+
+use std::sync::Arc;
+
+use etm_cluster::Configuration;
+use etm_core::engine::EngineSnapshot;
+
+use crate::{best_config, snapshot_objective, ConfigSpace, SearchResult};
+
+/// One entry of the decision log: what the §4 search found at a
+/// generation, and what the optimizer recommended after hysteresis.
+#[derive(Clone, Debug)]
+pub struct OnlineDecision {
+    /// Snapshot generation the search ran against.
+    pub generation: u64,
+    /// The exhaustive optimum at this generation.
+    pub best: SearchResult,
+    /// The configuration recommended *after* hysteresis (the held one,
+    /// unless the optimum cleared the threshold).
+    pub recommended: Configuration,
+    /// Estimated time of the recommendation under this generation's
+    /// model, seconds.
+    pub recommended_time: f64,
+    /// Whether this observation switched the recommendation.
+    pub switched: bool,
+}
+
+/// Re-runs the §4 exhaustive selection per snapshot, switching its
+/// standing recommendation only past a relative-improvement threshold.
+pub struct OnlineOptimizer {
+    space: ConfigSpace,
+    n: usize,
+    hysteresis: f64,
+    held: Option<Configuration>,
+    log: Vec<OnlineDecision>,
+}
+
+impl OnlineOptimizer {
+    /// Creates an optimizer over `space` at problem size `n`.
+    /// `hysteresis` is the relative improvement a new optimum must show
+    /// over the held configuration's *current* estimate before the
+    /// recommendation switches — 0.0 switches on any improvement, 0.05
+    /// requires 5%.
+    ///
+    /// # Panics
+    /// Panics if `hysteresis` is negative or not finite.
+    pub fn new(space: ConfigSpace, n: usize, hysteresis: f64) -> Self {
+        assert!(
+            hysteresis.is_finite() && hysteresis >= 0.0,
+            "hysteresis must be a finite non-negative fraction"
+        );
+        OnlineOptimizer {
+            space,
+            n,
+            hysteresis,
+            held: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Observes one published snapshot: runs the exhaustive §4 search
+    /// against it, applies hysteresis, appends to the decision log, and
+    /// returns the new entry. `None` when nothing in the space is
+    /// estimable under this snapshot (nothing is logged then — there is
+    /// no decision to record).
+    pub fn observe(&mut self, snapshot: &Arc<EngineSnapshot>) -> Option<&OnlineDecision> {
+        let best = best_config(snapshot, &self.space, self.n)?;
+        let objective = snapshot_objective(snapshot, self.n);
+        // Re-estimate the held configuration under *this* generation's
+        // model: hysteresis compares like with like. A held config the
+        // new model cannot estimate (its group vanished) forces a
+        // switch.
+        let held_time = self
+            .held
+            .as_ref()
+            .and_then(|cfg| objective(cfg).ok())
+            .filter(|t| t.is_finite());
+        let switched = match held_time {
+            None => true,
+            Some(current) => best.time < current * (1.0 - self.hysteresis),
+        };
+        let (recommended, recommended_time) = if switched {
+            (best.config.clone(), best.time)
+        } else {
+            let held = self.held.clone().expect("held_time implies a held config");
+            let t = held_time.expect("checked above");
+            (held, t)
+        };
+        self.held = Some(recommended.clone());
+        self.log.push(OnlineDecision {
+            generation: snapshot.generation(),
+            best,
+            recommended,
+            recommended_time,
+            switched,
+        });
+        self.log.last()
+    }
+
+    /// The standing recommendation, if any observation succeeded yet.
+    pub fn recommended(&self) -> Option<&Configuration> {
+        self.held.as_ref()
+    }
+
+    /// The full decision log, in observation order.
+    pub fn log(&self) -> &[OnlineDecision] {
+        &self.log
+    }
+
+    /// How many observations switched the recommendation.
+    pub fn switches(&self) -> usize {
+        self.log.iter().filter(|d| d.switched).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etm_cluster::commlib::CommLibProfile;
+    use etm_cluster::spec::paper_cluster;
+    use etm_core::backend::PolyLsqBackend;
+    use etm_core::engine::Engine;
+    use etm_core::{MeasurementDb, Sample, SampleKey};
+
+    fn synth_sample(kind: usize, pes: usize, m: usize, n: usize, drift: f64) -> Sample {
+        let x = n as f64;
+        let p = (pes * m) as f64;
+        let speed = if kind == 0 { 2.0 } else { 1.0 };
+        let ta = drift * ((2e-9 * x * x * x / p + 1e-5 * x) / speed + 0.05);
+        let tc = 1e-7 * x * x * (0.3 * p + 0.7 / p) + 0.01;
+        Sample {
+            n,
+            ta,
+            tc,
+            wall: ta + tc,
+            multi_node: pes > 1,
+        }
+    }
+
+    fn synth_db() -> MeasurementDb {
+        let mut db = MeasurementDb::new();
+        for kind in 0..2usize {
+            let pes_list: &[usize] = if kind == 0 { &[1] } else { &[1, 2, 4] };
+            for &pes in pes_list {
+                for m in 1..=2usize {
+                    for n in [400usize, 800, 1600, 2400, 3200] {
+                        db.record(
+                            SampleKey { kind, pes, m },
+                            synth_sample(kind, pes, m, n, 1.0),
+                        );
+                    }
+                }
+            }
+        }
+        db
+    }
+
+    fn engine() -> Engine {
+        Engine::new(Box::new(PolyLsqBackend::paper()), synth_db(), None).expect("synth db fits")
+    }
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(&paper_cluster(CommLibProfile::mpich122()), vec![2, 2])
+    }
+
+    #[test]
+    fn first_observation_adopts_the_offline_optimum() {
+        let e = engine();
+        let snapshot = e.snapshot();
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.05);
+        let d = opt.observe(&snapshot).expect("estimable").clone();
+        assert!(d.switched, "nothing held yet: must adopt");
+        assert_eq!(d.generation, 0);
+        let offline = best_config(&snapshot, &space(), 1600).expect("estimable");
+        assert_eq!(d.recommended, offline.config);
+        assert_eq!(d.recommended_time.to_bits(), offline.time.to_bits());
+        assert_eq!(opt.recommended(), Some(&offline.config));
+        assert_eq!(opt.log().len(), 1);
+        assert_eq!(opt.switches(), 1);
+    }
+
+    #[test]
+    fn zero_hysteresis_tracks_the_offline_optimum_exactly() {
+        let e = engine();
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0);
+        opt.observe(&e.snapshot()).expect("estimable");
+        // Drift the fast kind's Ta down over several generations; with
+        // zero hysteresis the recommendation always equals the offline
+        // optimum of the same snapshot.
+        for round in 1..=5 {
+            let drift = 1.0 - 0.1 * round as f64;
+            let key = SampleKey {
+                kind: 0,
+                pes: 1,
+                m: 2,
+            };
+            let updates: Vec<(SampleKey, Sample)> = [400usize, 800, 1600, 2400, 3200]
+                .iter()
+                .map(|&n| (key, synth_sample(0, 1, 2, n, drift)))
+                .collect();
+            let snap = e.ingest(&updates).expect("refit ok");
+            let d = opt.observe(&snap).expect("estimable").clone();
+            let offline = best_config(&snap, &space(), 1600).expect("estimable");
+            assert_eq!(d.recommended, offline.config);
+            assert_eq!(d.recommended_time.to_bits(), offline.time.to_bits());
+        }
+        // Generations in the log are strictly increasing.
+        let gens: Vec<u64> = opt.log().iter().map(|d| d.generation).collect();
+        assert!(gens.windows(2).all(|w| w[0] < w[1]), "{gens:?}");
+    }
+
+    #[test]
+    fn huge_hysteresis_never_switches_after_adoption() {
+        let e = engine();
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.99);
+        let first = opt.observe(&e.snapshot()).expect("estimable").clone();
+        for round in 1..=5 {
+            let drift = 1.0 - 0.1 * round as f64;
+            let key = SampleKey {
+                kind: 0,
+                pes: 1,
+                m: 2,
+            };
+            let updates: Vec<(SampleKey, Sample)> = [400usize, 800, 1600, 2400, 3200]
+                .iter()
+                .map(|&n| (key, synth_sample(0, 1, 2, n, drift)))
+                .collect();
+            let snap = e.ingest(&updates).expect("refit ok");
+            let d = opt.observe(&snap).expect("estimable").clone();
+            assert!(!d.switched, "99% improvement never happens here");
+            assert_eq!(d.recommended, first.recommended);
+            // The log still records what the search found.
+            assert!(d.best.time > 0.0);
+        }
+        assert_eq!(opt.switches(), 1);
+        assert_eq!(opt.log().len(), 6);
+    }
+}

@@ -1,7 +1,9 @@
-//! Multi-producer channels over `std::sync::{Mutex, Condvar}` — the
-//! crossbeam-channel subset the simulation kernel and the thread-backed
-//! MPI fabric need: cloneable senders, optional capacity, disconnect
-//! detection on both ends.
+//! Multi-producer multi-consumer channels over
+//! `std::sync::{Mutex, Condvar}` — the crossbeam-channel subset the
+//! simulation kernel, the thread-backed MPI fabric, and the streaming
+//! ingestion layer need: cloneable senders *and* receivers, optional
+//! capacity, disconnect detection on both ends, and a blocking
+//! iterator adapter for drain loops.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -141,7 +143,8 @@ impl<T> Drop for Sender<T> {
     }
 }
 
-/// The receiving half.
+/// The receiving half; clone for work-sharing consumers (each queued
+/// message is delivered to exactly one receiver).
 pub struct Receiver<T>(Arc<Chan<T>>);
 
 impl<T> Receiver<T> {
@@ -176,6 +179,39 @@ impl<T> Receiver<T> {
             self.0.not_full.notify_one();
         }
         v
+    }
+
+    /// A blocking iterator over received messages; ends when the channel
+    /// is empty and every [`Sender`] has been dropped.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter(self)
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.lock().receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T>(&'a Receiver<T>);
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.0.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
     }
 }
 
@@ -272,5 +308,61 @@ mod tests {
         assert_eq!(rx.try_recv(), None);
         tx.send(9).unwrap();
         assert_eq!(rx.try_recv(), Some(9));
+    }
+
+    #[test]
+    fn cloned_receivers_share_work_without_duplication() {
+        let (tx, rx) = unbounded();
+        let rxs: Vec<_> = (0..4).map(|_| rx.clone()).collect();
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .map(|r| {
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = r.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        // Exactly-once delivery: every message to one consumer.
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn receiver_clone_keeps_channel_open_for_senders() {
+        let (tx, rx) = unbounded::<u8>();
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(7).unwrap();
+        assert_eq!(rx2.recv(), Ok(7));
+        drop(rx2);
+        assert!(tx.send(8).is_err());
+    }
+
+    #[test]
+    fn iter_drains_until_disconnect() {
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        // A fresh iter on the drained, closed channel yields nothing.
+        assert_eq!(rx.iter().next(), None);
     }
 }

@@ -30,12 +30,12 @@ use etm_support::json::{parse, Json};
 const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
 
 /// One benchmark's stats pulled out of a baseline document.
-struct Entry {
-    name: String,
-    median_ns: f64,
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    pub(crate) median_ns: f64,
 }
 
-fn load(path: &str) -> Result<(String, Vec<Entry>), String> {
+pub(crate) fn load(path: &str) -> Result<(String, Vec<Entry>), String> {
     let text = fs::read_to_string(Path::new(path))
         .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;

@@ -24,6 +24,10 @@
 //! `cargo xtask bench-diff --latest <new> [--threshold PCT]` instead
 //! diffs against — and then updates — the per-commit baseline store
 //! under `results/bench/<short-sha>/`.
+//!
+//! A third, `cargo xtask bench-trend [suite...]`, renders the store's
+//! history (`results/bench/index.log`) as one markdown table of medians
+//! per commit and suite, written to `results/bench/TREND.md`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,7 @@ mod benchdiff;
 mod hermetic;
 mod srclint;
 mod toolchain;
+mod trend;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -72,7 +77,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask check [pass...]\n       \
          cargo xtask bench-diff <old.json> <new.json> [--threshold PCT]\n       \
-         cargo xtask bench-diff --latest <new.json> [--threshold PCT]\n\n\
+         cargo xtask bench-diff --latest <new.json> [--threshold PCT]\n       \
+         cargo xtask bench-trend [suite...]\n\n\
          check passes (default: all, in order):"
     );
     for p in &PASSES {
@@ -153,6 +159,16 @@ fn main() -> ExitCode {
     };
     if cmd == "bench-diff" {
         return run_bench_diff(rest);
+    }
+    if cmd == "bench-trend" {
+        println!("==> bench-trend");
+        return match trend::run(&workspace_root(), rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench-trend: ERROR: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if cmd != "check" {
         return usage();

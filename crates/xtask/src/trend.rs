@@ -1,0 +1,295 @@
+//! `cargo xtask bench-trend` — median-per-commit trend tables over the
+//! per-commit baseline store.
+//!
+//! `bench-diff --latest` appends one `"<sha> <basename>"` line to
+//! `results/bench/index.log` for every baseline it records. This
+//! subcommand replays that history: for each suite (optionally filtered
+//! by name on the command line) it loads every stored
+//! `results/bench/<sha>/BENCH_<suite>.json`, lines the medians up per
+//! commit — oldest left, newest right — and renders one markdown table
+//! per suite, with a trailing delta column comparing the two newest
+//! columns. The rendering goes to stdout and to
+//! `results/bench/TREND.md`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::benchdiff::{load, Entry};
+
+/// Workspace-relative directory of the per-commit baseline store (same
+/// store `bench-diff --latest` writes).
+const BENCH_STORE: &str = "results/bench";
+
+/// The rendered trend file, inside the store.
+const TREND_MD: &str = "TREND.md";
+
+/// One suite's history: commit columns in index order and, per
+/// benchmark, the median at each commit (None where the stored baseline
+/// is missing or lacks the row).
+struct SuiteTrend {
+    suite: String,
+    shas: Vec<String>,
+    /// Benchmark name → one entry per sha column.
+    medians: BTreeMap<String, Vec<Option<f64>>>,
+}
+
+/// Parses the index into `basename → shas in append order` (first
+/// occurrence wins on re-recorded commits; the stored file is
+/// overwritten in place, so one column per sha is the truth).
+fn columns_of_index(index: &str) -> Vec<(String, Vec<String>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_base: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for line in index.lines() {
+        let Some((sha, base)) = line.split_once(' ') else {
+            continue;
+        };
+        let shas = by_base.entry(base.to_string()).or_insert_with(|| {
+            order.push(base.to_string());
+            Vec::new()
+        });
+        if !shas.iter().any(|s| s == sha) {
+            shas.push(sha.to_string());
+        }
+    }
+    order
+        .into_iter()
+        .map(|base| {
+            let shas = by_base.remove(&base).unwrap_or_default();
+            (base, shas)
+        })
+        .collect()
+}
+
+/// Loads one suite's stored baselines into a trend grid.
+fn collect(store: &Path, basename: &str, shas: &[String]) -> SuiteTrend {
+    let mut suite = basename
+        .strip_prefix("BENCH_")
+        .and_then(|s| s.strip_suffix(".json"))
+        .unwrap_or(basename)
+        .to_string();
+    let mut medians: BTreeMap<String, Vec<Option<f64>>> = BTreeMap::new();
+    for (col, sha) in shas.iter().enumerate() {
+        let path = store.join(sha).join(basename);
+        let entries: Vec<Entry> = match load(&path.display().to_string()) {
+            Ok((name, entries)) => {
+                suite = name;
+                entries
+            }
+            Err(_) => Vec::new(), // pruned or corrupt: renders as a gap
+        };
+        for e in entries {
+            let row = medians.entry(e.name).or_insert_with(|| vec![None; col]);
+            row.resize(col, None); // pad gaps where earlier commits lacked the row
+            row.push(Some(e.median_ns));
+        }
+        for row in medians.values_mut() {
+            row.resize(col + 1, None);
+        }
+    }
+    SuiteTrend {
+        suite,
+        shas: shas.to_vec(),
+        medians,
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit (matches the bench
+/// harness's table formatting).
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The trailing delta cell: newest column vs the newest earlier column
+/// that has a value.
+fn delta_cell(row: &[Option<f64>]) -> String {
+    let mut it = row.iter().rev().flatten();
+    match (it.next(), it.next()) {
+        (Some(new), Some(old)) if *old > 0.0 => {
+            format!("{:+.1}%", (new - old) / old * 100.0)
+        }
+        _ => "–".to_string(),
+    }
+}
+
+fn render_suite(t: &SuiteTrend) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {}\n\n", t.suite));
+    out.push_str("| benchmark |");
+    for sha in &t.shas {
+        out.push_str(&format!(" `{sha}` |"));
+    }
+    out.push_str(" Δ |\n|---|");
+    for _ in &t.shas {
+        out.push_str("---:|");
+    }
+    out.push_str("---:|\n");
+    for (name, row) in &t.medians {
+        out.push_str(&format!("| {name} |"));
+        for cell in row {
+            match cell {
+                Some(ns) => out.push_str(&format!(" {} |", fmt_ns(*ns))),
+                None => out.push_str(" – |"),
+            }
+        }
+        out.push_str(&format!(" {} |\n", delta_cell(row)));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the trend markdown for every suite in the index (or only the
+/// named ones).
+///
+/// # Errors
+/// No store, an unreadable index, or a suite filter matching nothing.
+pub fn render(root: &Path, suites: &[String]) -> Result<String, String> {
+    let store = root.join(BENCH_STORE);
+    let index_path = store.join("index.log");
+    let index = fs::read_to_string(&index_path)
+        .map_err(|e| format!("no baseline store at {}: {e}", index_path.display()))?;
+    let mut out = String::from(
+        "# Bench medians per commit\n\n\
+         Generated by `cargo xtask bench-trend` from the per-commit\n\
+         baseline store `results/bench/` (append-only `index.log`,\n\
+         written by `cargo xtask bench-diff --latest`). Columns are\n\
+         commits, oldest left; Δ compares the two newest columns.\n\n",
+    );
+    let mut rendered = 0usize;
+    for (basename, shas) in columns_of_index(&index) {
+        let trend = collect(&store, &basename, &shas);
+        if !suites.is_empty() && !suites.contains(&trend.suite) {
+            continue;
+        }
+        out.push_str(&render_suite(&trend));
+        rendered += 1;
+    }
+    if rendered == 0 {
+        return Err(if suites.is_empty() {
+            "the baseline store index is empty; run a bench with ETM_BENCH_OUT \
+             and `cargo xtask bench-diff --latest` first"
+                .to_string()
+        } else {
+            format!("no stored suite matches {suites:?}")
+        });
+    }
+    Ok(out)
+}
+
+/// The `bench-trend` entry point: renders, prints, and stores
+/// `results/bench/TREND.md`.
+///
+/// # Errors
+/// Everything [`render`] errors on, plus an unwritable store.
+pub fn run(root: &Path, suites: &[String]) -> Result<(), String> {
+    let text = render(root, suites)?;
+    print!("{text}");
+    let path = root.join(BENCH_STORE).join(TREND_MD);
+    fs::write(&path, &text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("trend -> {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(tag: &str, files: &[(&str, &str, &str)]) -> std::path::PathBuf {
+        // (sha, basename, json text) triples plus a matching index.
+        let root = std::env::temp_dir().join(format!("etm-trend-{tag}-{}", std::process::id()));
+        let store = root.join(BENCH_STORE);
+        let _ = fs::remove_dir_all(&root);
+        let mut index = String::new();
+        for (sha, base, text) in files {
+            let dir = store.join(sha);
+            fs::create_dir_all(&dir).expect("tempdir is creatable");
+            fs::write(dir.join(base), text).expect("tempdir is writable");
+            index.push_str(&format!("{sha} {base}\n"));
+        }
+        fs::create_dir_all(&store).expect("tempdir is creatable");
+        fs::write(store.join("index.log"), index).expect("tempdir is writable");
+        root
+    }
+
+    fn baseline(suite: &str, rows: &[(&str, f64)]) -> String {
+        let rows: Vec<String> = rows
+            .iter()
+            .map(|(n, m)| {
+                format!(
+                    "{{\"name\": \"{n}\", \"iters\": 1, \"samples\": 2, \"min_ns\": {m}, \
+                     \"median_ns\": {m}, \"mean_ns\": {m}, \"max_ns\": {m}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"suite\": \"{suite}\", \"rows\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    #[test]
+    fn renders_medians_per_commit_with_delta() {
+        let root = store_with(
+            "basic",
+            &[
+                ("aaa1111", "BENCH_s.json", &baseline("s", &[("x", 100.0)])),
+                ("bbb2222", "BENCH_s.json", &baseline("s", &[("x", 150.0)])),
+            ],
+        );
+        let md = render(&root, &[]).expect("renders");
+        assert!(md.contains("## s"), "{md}");
+        assert!(md.contains("`aaa1111`") && md.contains("`bbb2222`"), "{md}");
+        assert!(md.contains("| x | 100.0 ns | 150.0 ns | +50.0% |"), "{md}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gaps_render_as_dashes_and_suite_filter_applies() {
+        let root = store_with(
+            "gaps",
+            &[
+                (
+                    "c1",
+                    "BENCH_a.json",
+                    &baseline("a", &[("only_new", 0.0); 0]),
+                ),
+                (
+                    "c2",
+                    "BENCH_a.json",
+                    &baseline("a", &[("only_new", 2000.0)]),
+                ),
+                ("c1", "BENCH_b.json", &baseline("b", &[("other", 5.0)])),
+            ],
+        );
+        let md = render(&root, &["a".to_string()]).expect("renders");
+        assert!(md.contains("## a"), "{md}");
+        assert!(!md.contains("## b"), "filter must drop suite b: {md}");
+        // only_new has no value at c1: a gap, and no computable delta.
+        assert!(md.contains("| only_new | – | 2.00 us | – |"), "{md}");
+        assert!(render(&root, &["nope".to_string()]).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_store_errors() {
+        let root = store_with("empty", &[]);
+        assert!(render(&root, &[]).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn index_dedupes_rerecorded_commits() {
+        let idx = "s1 BENCH_a.json\ns1 BENCH_a.json\ns2 BENCH_a.json\n";
+        let cols = columns_of_index(idx);
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].1, vec!["s1".to_string(), "s2".to_string()]);
+    }
+}

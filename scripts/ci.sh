@@ -6,10 +6,12 @@
 #   scripts/ci.sh           everything in --quick, plus clippy, the
 #                           model-validity audit (warm-cached under
 #                           target/etm-cache/), and a bench smoke run
-#                           that writes a BENCH_substrates.json baseline
-#                           and gates it against the per-commit store in
-#                           results/bench/ via
-#                           `cargo xtask bench-diff --latest`.
+#                           that writes the substrates + streaming
+#                           baselines, gates each against the per-commit
+#                           store in results/bench/ via `cargo xtask
+#                           bench-diff --latest`, and re-renders the
+#                           median trend table (`cargo xtask
+#                           bench-trend` -> results/bench/TREND.md).
 #
 # Stages run in cheapest-first order so a formatting slip fails in
 # seconds, not after a full build. Per-stage wall times are printed in a
@@ -51,16 +53,21 @@ summary() {
 trap summary EXIT
 
 bench_smoke() {
-  # Time the substrate microbenches (the only suite fast enough for
-  # every CI run) and gate against the per-commit baseline store:
-  # `bench-diff --latest` compares to the newest entry under
-  # results/bench/ and then records this run for the current commit.
+  # Time the two suites fast enough for every CI run (substrate
+  # microbenches + streaming-ingestion throughput) and gate each
+  # against the per-commit baseline store: `bench-diff --latest`
+  # compares to the newest entry under results/bench/ and then records
+  # this run for the current commit. Finally re-render the
+  # median-per-commit trend table (informational, never gates).
   local out_dir="$PWD/target/etm-bench"
-  local baseline="$out_dir/BENCH_substrates.json"
   mkdir -p "$out_dir"
-  ETM_BENCH_OUT="$out_dir" ETM_BENCH_SAMPLES=5 \
-    cargo bench -q -p etm-bench --bench substrates
-  cargo xtask bench-diff --latest "$baseline"
+  local suite
+  for suite in substrates streaming; do
+    ETM_BENCH_OUT="$out_dir" ETM_BENCH_SAMPLES=5 \
+      cargo bench -q -p etm-bench --bench "$suite"
+    cargo xtask bench-diff --latest "$out_dir/BENCH_$suite.json"
+  done
+  cargo xtask bench-trend
 }
 
 # --- quick tier: cheap static checks first, then tier-1 -------------
