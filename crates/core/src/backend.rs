@@ -116,6 +116,87 @@ pub trait ModelBackend: Send + Sync {
     ) -> Result<f64, PipelineError> {
         raw_estimate(bank, config, n)
     }
+
+    /// Derives a §3.5 *fallback* P-T model for a quarantined `group`
+    /// from a healthy donor in `bank` — the degradation ladder's
+    /// replacement for a model whose measurement stream went bad. See
+    /// [`compose_fallback`] for the donor rule; the default uses the
+    /// paper's communication scale.
+    ///
+    /// # Errors
+    /// [`PipelineError::NoDonor`] when no healthy measured donor exists.
+    fn compose_quarantine_fallback(
+        &self,
+        db: &MeasurementDb,
+        bank: &ModelBank,
+        group: (usize, usize),
+        exclude: &BTreeSet<(usize, usize)>,
+    ) -> Result<PtModel, PipelineError> {
+        compose_fallback(db, bank, group, exclude, PAPER_TC_SCALE)
+    }
+}
+
+/// The §3.5 fallback composition used when a group is quarantined: its
+/// replacement P-T model is composed from a *measured* donor group of
+/// another kind at the same multiplicity, exactly like
+/// `compose_unfittable` — but the donor must itself be trustworthy:
+///
+/// * not in `exclude` (the currently quarantined set), and
+/// * not composed (`bank.composed_groups`): a model composed *from* the
+///   quarantined group would launder the mistrusted data back in.
+///
+/// # Errors
+/// [`PipelineError::NoDonor`] when no such donor (or the N-T scale
+/// curves the Ta fit needs) exists.
+pub fn compose_fallback(
+    db: &MeasurementDb,
+    bank: &ModelBank,
+    group: (usize, usize),
+    exclude: &BTreeSet<(usize, usize)>,
+    tc_scale: f64,
+) -> Result<PtModel, PipelineError> {
+    let (kind, m) = group;
+    let composed: BTreeSet<(usize, usize)> = bank.composed_groups.iter().copied().collect();
+    let donor = bank
+        .pt
+        .iter()
+        .find(|(&(dk, dm), _)| {
+            dk != kind && dm == m && !exclude.contains(&(dk, dm)) && !composed.contains(&(dk, dm))
+        })
+        .map(|(&(dk, _), model)| (dk, *model));
+    let (donor_kind, donor_pt) = match donor {
+        Some(d) => d,
+        None => return Err(PipelineError::NoDonor { kind, m }),
+    };
+    let target_nt = bank
+        .nt
+        .get(&SampleKey { kind, pes: 1, m })
+        .or_else(|| bank.nt.get(&SampleKey { kind, pes: 1, m: 1 }));
+    let donor_nt = bank
+        .nt
+        .get(&SampleKey {
+            kind: donor_kind,
+            pes: 1,
+            m,
+        })
+        .or_else(|| {
+            bank.nt.get(&SampleKey {
+                kind: donor_kind,
+                pes: 1,
+                m: 1,
+            })
+        });
+    let (target_nt, donor_nt) = match (target_nt, donor_nt) {
+        (Some(t), Some(d)) => (t, d),
+        _ => return Err(PipelineError::NoDonor { kind, m }),
+    };
+    Ok(compose_fitted(
+        &donor_pt,
+        target_nt,
+        donor_nt,
+        &all_ns(db),
+        tc_scale,
+    ))
 }
 
 /// The paper's §3 pipeline: ordinary least squares on the polynomial

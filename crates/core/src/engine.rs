@@ -25,11 +25,22 @@
 //!   models and the §4.1 adjustment, which depend on other groups and
 //!   are always rebuilt. A no-op ingest (fingerprints unchanged) swaps
 //!   nothing.
+//! * **Quarantine & graceful degradation.** Inadmissible samples (NaN /
+//!   infinite / negative / implausibly huge times) never reach the
+//!   database; a [`QuarantinePolicy`] counts *distinct* bad observations
+//!   per `(kind, m)` group and quarantines a group whose budget is
+//!   exhausted. A quarantined group's serving P-T model is replaced by a
+//!   §3.5 composed fallback from a healthy donor kind where one exists —
+//!   the paper's own answer to missing direct measurements — and every
+//!   snapshot carries [`EngineHealth`] metadata (quarantined groups,
+//!   composed fallbacks, last-healthy generation) so consumers such as
+//!   the online optimizer can discount or refuse degraded estimates. A
+//!   clean sample for a quarantined group re-admits it automatically.
 //!
 //! Writers (`ingest`, `refit_full`) serialize on the engine's state
 //! lock; the read path never takes it.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use etm_cluster::{ClusterSpec, Configuration};
@@ -43,6 +54,87 @@ use crate::pipeline::{
 };
 use crate::plan::MeasurementPlan;
 
+/// Per-group admission thresholds for the ingest degradation ladder.
+///
+/// The ladder's first rung: a sample the policy does not admit is never
+/// upserted (it would poison the least-squares solve), but it is not a
+/// fatal error either — it counts against its `(kind, m)` group's bad
+/// budget, and a group whose budget is exhausted is *quarantined* until
+/// clean data re-admits it. See the module docs for how quarantined
+/// groups degrade to §3.5 composed fallbacks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuarantinePolicy {
+    /// How many *distinct* bad observations a `(kind, m)` group absorbs
+    /// before it is quarantined. Distinct means distinct `(key, N)`
+    /// slots: re-delivery of the same bad sample never double-counts.
+    pub budget: usize,
+    /// Largest plausible measured time in seconds (per component: Ta,
+    /// Tc, wall). Finite samples beyond it are gross outliers —
+    /// physically impossible trial durations — and count as bad.
+    pub max_seconds: f64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            budget: 2,
+            max_seconds: 1e6,
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Whether `sample` may enter the database: all three measured times
+    /// finite, non-negative, and within [`QuarantinePolicy::max_seconds`].
+    pub fn admits(&self, sample: &Sample) -> bool {
+        sample.is_finite()
+            && (0.0..=self.max_seconds).contains(&sample.ta)
+            && (0.0..=self.max_seconds).contains(&sample.tc)
+            && (0.0..=self.max_seconds).contains(&sample.wall)
+    }
+}
+
+/// Health metadata carried by every [`EngineSnapshot`] — the serving
+/// side of the degradation ladder. Consumers (the online optimizer, the
+/// audit gate) read it to discount or refuse estimates that depend on
+/// degraded models.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineHealth {
+    /// `(kind, m)` groups currently quarantined: their bad-sample budget
+    /// is exhausted and no clean observation has re-admitted them.
+    /// Sorted; empty on a healthy snapshot.
+    pub quarantined: Vec<(usize, usize)>,
+    /// The subset of [`EngineHealth::quarantined`] whose serving P-T
+    /// model was replaced by a §3.5 composed fallback from a healthy
+    /// donor kind. Quarantined groups *not* listed here kept their stale
+    /// pre-quarantine model and must not be trusted.
+    pub composed_fallback: Vec<(usize, usize)>,
+    /// Generation of the most recent snapshot with no quarantined group
+    /// — the staleness reference: `generation - healthy_generation`
+    /// published generations have been degraded.
+    pub healthy_generation: u64,
+    /// Total inadmissible samples rejected at ingest since construction.
+    pub rejected_samples: usize,
+}
+
+impl EngineHealth {
+    /// Whether every served model is measured and trusted.
+    pub fn is_healthy(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Whether `group` is quarantined *without* a composed fallback —
+    /// its serving model is a stale original that must not be trusted.
+    pub fn is_untrusted(&self, group: (usize, usize)) -> bool {
+        self.quarantined.contains(&group) && !self.composed_fallback.contains(&group)
+    }
+
+    /// Whether `group` is served by a §3.5 composed-fallback model.
+    pub fn is_fallback(&self, group: (usize, usize)) -> bool {
+        self.composed_fallback.contains(&group)
+    }
+}
+
 /// One immutable, fully fitted generation of the engine's models.
 ///
 /// Snapshots are plain data behind an `Arc`: queries on them are pure
@@ -54,6 +146,7 @@ pub struct EngineSnapshot {
     generation: u64,
     backend: &'static str,
     refit: Vec<(usize, usize)>,
+    health: EngineHealth,
 }
 
 impl EngineSnapshot {
@@ -93,6 +186,12 @@ impl EngineSnapshot {
         &self.refit
     }
 
+    /// The snapshot's health metadata: quarantined groups, composed
+    /// fallbacks, staleness. A healthy snapshot reports empty sets.
+    pub fn health(&self) -> &EngineHealth {
+        &self.health
+    }
+
     /// Raw (unadjusted) estimate; see `Estimator::estimate_raw`.
     ///
     /// # Errors
@@ -126,6 +225,23 @@ struct EngineState {
     /// ingest's dirty set so the retry refits everything outstanding,
     /// not just the groups that ingest touches.
     pending_dirty: BTreeSet<(usize, usize)>,
+    /// The last bank fit purely from admitted measurements — the refit
+    /// base. Serving banks are derived from it by substituting composed
+    /// fallbacks for quarantined groups; keeping the pristine bank
+    /// separate guarantees a fallback model is never laundered back in
+    /// as a measured one on the next incremental refit.
+    pristine: ModelBank,
+    /// Distinct bad observations per group, keyed `(sample key, N)` so
+    /// duplicate delivery of one bad sample cannot double-count. A clean
+    /// observation for a group clears its entry (re-admission).
+    bad: BTreeMap<(usize, usize), BTreeSet<(SampleKey, usize)>>,
+    /// The quarantine set of the last *published* snapshot; a change in
+    /// the set forces a publication even when no group is dirty.
+    quarantined: BTreeSet<(usize, usize)>,
+    /// Generation of the last snapshot whose quarantine set was empty.
+    last_healthy_gen: u64,
+    /// Running count of samples the quarantine policy rejected.
+    rejected: usize,
 }
 
 impl EngineState {
@@ -141,6 +257,7 @@ impl EngineState {
 pub struct Engine {
     backend: Box<dyn ModelBackend>,
     policy: Option<AdjustmentPolicy>,
+    quarantine: QuarantinePolicy,
     state: Mutex<EngineState>,
     /// The publication slot. Locked only long enough to clone or replace
     /// the `Arc` — never across a fit, and never on the estimate path.
@@ -188,23 +305,58 @@ impl Engine {
         bank: ModelBank,
     ) -> Result<Self, PipelineError> {
         let fingerprints = EngineState::fingerprints_of(&db);
+        let pristine = bank.clone();
         let estimator = assemble_estimator(bank, policy.as_ref())?;
         let snapshot = Arc::new(EngineSnapshot {
             estimator,
             generation: 0,
             backend: backend.name(),
             refit: Vec::new(),
+            health: EngineHealth::default(),
         });
         Ok(Engine {
             backend,
             policy,
+            quarantine: QuarantinePolicy::default(),
             state: Mutex::new(EngineState {
                 db: Arc::new(db),
                 fingerprints,
                 pending_dirty: BTreeSet::new(),
+                pristine,
+                bad: BTreeMap::new(),
+                quarantined: BTreeSet::new(),
+                last_healthy_gen: 0,
+                rejected: 0,
             }),
             current: Mutex::new(snapshot),
         })
+    }
+
+    /// Replaces the default [`QuarantinePolicy`] (builder style; apply
+    /// before the first ingest).
+    #[must_use]
+    pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
+        self.quarantine = policy;
+        self
+    }
+
+    /// The engine's quarantine policy.
+    pub fn quarantine_policy(&self) -> QuarantinePolicy {
+        self.quarantine
+    }
+
+    /// The groups whose bad-sample budget is currently exhausted — the
+    /// quarantine set the *next* publication will carry. Unlike
+    /// [`EngineSnapshot::health`] this reads live writer state, so tests
+    /// can observe accounting that has not forced a publication yet.
+    pub fn quarantined(&self) -> Vec<(usize, usize)> {
+        let state = self.state.lock();
+        state
+            .bad
+            .iter()
+            .filter(|(_, seen)| seen.len() > self.quarantine.budget)
+            .map(|(&group, _)| group)
+            .collect()
     }
 
     /// The current snapshot. A pointer clone under a momentary lock;
@@ -226,13 +378,22 @@ impl Engine {
         Arc::clone(&self.state.lock().db)
     }
 
-    /// Ingests measurements and refits incrementally: samples are
-    /// upserted into the database, the touched `(kind, m)` groups are
-    /// diffed by content fingerprint, and only the changed groups are
-    /// refit (plus composed models and the adjustment rule, which span
-    /// groups). Publishes and returns the new snapshot; if every
-    /// fingerprint is unchanged (or `samples` is empty) nothing is refit
-    /// and the current snapshot is returned.
+    /// Ingests measurements and refits incrementally: admitted samples
+    /// are upserted into the database, the touched `(kind, m)` groups
+    /// are diffed by content fingerprint, and only the changed groups
+    /// are refit (plus composed models and the adjustment rule, which
+    /// span groups). Publishes and returns the new snapshot; if every
+    /// fingerprint is unchanged (or `samples` is empty) *and* the
+    /// quarantine set did not move, nothing is refit and the current
+    /// snapshot is returned.
+    ///
+    /// Samples the [`QuarantinePolicy`] rejects (non-finite, negative,
+    /// or implausibly huge times) are never upserted — they count
+    /// against their group's bad budget instead, in delivery order, and
+    /// an admitted sample for the same group resets that budget
+    /// (re-admission). A change in the resulting quarantine set forces a
+    /// publication even when no fingerprint moved, so consumers see
+    /// degradation (and recovery) promptly; see [`EngineSnapshot::health`].
     ///
     /// On a fitting error the database keeps the new samples but no
     /// snapshot is published; the failed groups are remembered and
@@ -242,33 +403,28 @@ impl Engine {
     /// whatever a failed ingest left outstanding and nothing else.)
     ///
     /// # Errors
-    /// [`PipelineError::NonFiniteSample`] if any sample carries a NaN or
-    /// infinite time — the whole batch is rejected *before* any upsert,
-    /// so the database and the published snapshot are untouched. Then
-    /// any fitting failure.
+    /// Any fitting failure. (Bad samples are no longer an error: the
+    /// quarantine ladder absorbs what used to surface as
+    /// [`PipelineError::NonFiniteSample`].)
     pub fn ingest(
         &self,
         samples: &[(SampleKey, Sample)],
     ) -> Result<Arc<EngineSnapshot>, PipelineError> {
-        // Validate the whole batch first: a non-finite time would slip
-        // past the PartialEq dedup and fingerprint diff below (NaN never
-        // compares equal) and poison the least-squares solve.
-        for (key, sample) in samples {
-            if !sample.is_finite() {
-                return Err(PipelineError::NonFiniteSample {
-                    key: *key,
-                    n: sample.n,
-                });
-            }
-        }
         let mut state = self.state.lock();
         let mut touched: BTreeSet<(usize, usize)> = BTreeSet::new();
-        if !samples.is_empty() {
-            let db = Arc::make_mut(&mut state.db);
-            for (key, sample) in samples {
-                db.upsert(*key, *sample);
-                touched.insert((key.kind, key.m));
+        for (key, sample) in samples {
+            let group = (key.kind, key.m);
+            if !self.quarantine.admits(sample) {
+                // Distinct `(key, N)` slots only: a duplicate delivery
+                // of one bad sample must not double-count.
+                state.rejected += 1;
+                state.bad.entry(group).or_default().insert((*key, sample.n));
+                continue;
             }
+            // A clean observation re-admits the group in delivery order.
+            state.bad.remove(&group);
+            Arc::make_mut(&mut state.db).upsert(*key, *sample);
+            touched.insert(group);
         }
         let mut dirty: BTreeSet<(usize, usize)> = state.pending_dirty.clone();
         for &(kind, m) in &touched {
@@ -277,34 +433,70 @@ impl Engine {
                 dirty.insert((kind, m));
             }
         }
-        if dirty.is_empty() {
+        let quarantined: BTreeSet<(usize, usize)> = state
+            .bad
+            .iter()
+            .filter(|(_, seen)| seen.len() > self.quarantine.budget)
+            .map(|(&group, _)| group)
+            .collect();
+        if dirty.is_empty() && quarantined == state.quarantined {
             return Ok(self.snapshot());
         }
         let previous = self.snapshot();
-        let refit = self
-            .backend
-            .refit_groups(&state.db, previous.bank(), &dirty)
-            .and_then(|bank| assemble_estimator(bank, self.policy.as_ref()));
-        let estimator = match refit {
+        // Build everything that can fail before committing any of it, so
+        // a failed publication leaves fingerprints/pristine untouched
+        // and the pending-dirty retry contract holds.
+        let refit_bank = if dirty.is_empty() {
+            None
+        } else {
+            match self
+                .backend
+                .refit_groups(&state.db, &state.pristine, &dirty)
+            {
+                Ok(bank) => Some(bank),
+                Err(e) => {
+                    state.pending_dirty = dirty;
+                    return Err(e);
+                }
+            }
+        };
+        let base = refit_bank.as_ref().unwrap_or(&state.pristine);
+        let (serving, composed_fallback) =
+            fallback_bank(self.backend.as_ref(), &state.db, base, &quarantined);
+        let estimator = match assemble_estimator(serving, self.policy.as_ref()) {
             Ok(e) => e,
             Err(e) => {
-                // Keep the samples, publish nothing, remember what is
-                // dirty so the next ingest retries it.
                 state.pending_dirty = dirty;
                 return Err(e);
             }
         };
-        // Commit: fingerprints now describe the bank being published.
-        for &(kind, m) in &dirty {
-            let fp = state.db.group_fingerprint(kind, m);
-            state.fingerprints.insert((kind, m), fp);
+        // Commit: fingerprints now describe the pristine bank backing
+        // the snapshot being published.
+        if let Some(bank) = refit_bank {
+            state.pristine = bank;
+            for &(kind, m) in &dirty {
+                let fp = state.db.group_fingerprint(kind, m);
+                state.fingerprints.insert((kind, m), fp);
+            }
+            state.pending_dirty.clear();
         }
-        state.pending_dirty.clear();
+        let generation = previous.generation + 1;
+        if quarantined.is_empty() {
+            state.last_healthy_gen = generation;
+        }
+        state.quarantined = quarantined.clone();
+        let health = EngineHealth {
+            quarantined: quarantined.into_iter().collect(),
+            composed_fallback,
+            healthy_generation: state.last_healthy_gen,
+            rejected_samples: state.rejected,
+        };
         let snapshot = Arc::new(EngineSnapshot {
             estimator,
-            generation: previous.generation + 1,
+            generation,
             backend: self.backend.name(),
             refit: dirty.into_iter().collect(),
+            health,
         });
         *self.current.lock() = Arc::clone(&snapshot);
         Ok(snapshot)
@@ -333,19 +525,67 @@ impl Engine {
     pub fn refit_full(&self) -> Result<Arc<EngineSnapshot>, PipelineError> {
         let mut state = self.state.lock();
         let bank = self.backend.fit(&state.db)?;
-        let estimator = assemble_estimator(bank, self.policy.as_ref())?;
+        let (serving, composed_fallback) =
+            fallback_bank(self.backend.as_ref(), &state.db, &bank, &state.quarantined);
+        let estimator = assemble_estimator(serving, self.policy.as_ref())?;
+        state.pristine = bank;
         state.fingerprints = EngineState::fingerprints_of(&state.db);
         state.pending_dirty.clear();
         let generation = self.snapshot().generation + 1;
+        if state.quarantined.is_empty() {
+            state.last_healthy_gen = generation;
+        }
+        let health = EngineHealth {
+            quarantined: state.quarantined.iter().copied().collect(),
+            composed_fallback,
+            healthy_generation: state.last_healthy_gen,
+            rejected_samples: state.rejected,
+        };
         let snapshot = Arc::new(EngineSnapshot {
             estimator,
             generation,
             backend: self.backend.name(),
             refit: Vec::new(),
+            health,
         });
         *self.current.lock() = Arc::clone(&snapshot);
         Ok(snapshot)
     }
+}
+
+/// Builds the bank a (possibly degraded) snapshot serves: `pristine`
+/// with each quarantined group's P-T model replaced by a §3.5 composed
+/// fallback from a healthy donor kind, where one exists. Returns the
+/// serving bank and the groups that actually received a fallback; a
+/// quarantined group with no healthy donor keeps its stale pristine
+/// model and is left for [`EngineHealth::is_untrusted`] to flag.
+fn fallback_bank(
+    backend: &dyn ModelBackend,
+    db: &MeasurementDb,
+    pristine: &ModelBank,
+    quarantined: &BTreeSet<(usize, usize)>,
+) -> (ModelBank, Vec<(usize, usize)>) {
+    if quarantined.is_empty() {
+        return (pristine.clone(), Vec::new());
+    }
+    let mut serving = pristine.clone();
+    let mut composed_fallback = Vec::new();
+    for &group in quarantined {
+        if !pristine.pt.contains_key(&group) {
+            continue;
+        }
+        let Ok(model) = backend.compose_quarantine_fallback(db, pristine, group, quarantined)
+        else {
+            continue;
+        };
+        serving.pt.insert(group, model);
+        if !serving.composed_groups.contains(&group) {
+            serving.composed_groups.push(group);
+            serving.composed_groups.sort_unstable();
+        }
+        composed_fallback.push(group);
+    }
+    (serving, composed_fallback)
 }
 
 /// Assembles the estimator for a freshly fitted bank: refit the §4.1
@@ -486,51 +726,189 @@ mod tests {
         assert!(t.is_finite() && t > 0.0);
     }
 
+    /// A database where *both* kinds carry real multi-PE measurements,
+    /// so a quarantined group of either kind has a measured donor for
+    /// the §3.5 fallback composition.
+    fn synth_db_two_measured() -> MeasurementDb {
+        let mut db = MeasurementDb::new();
+        for kind in 0..2usize {
+            for pes in [1usize, 2, 4] {
+                for m in 1..=2usize {
+                    for n in [400usize, 800, 1600, 2400, 3200] {
+                        db.record(SampleKey { kind, pes, m }, synth_sample(kind, pes, m, n));
+                    }
+                }
+            }
+        }
+        db
+    }
+
+    fn poisoned(kind: usize, pes: usize, m: usize, n: usize, poison: f64) -> (SampleKey, Sample) {
+        let mut s = synth_sample(kind, pes, m, n);
+        s.wall = poison;
+        (SampleKey { kind, pes, m }, s)
+    }
+
     #[test]
-    fn non_finite_samples_are_rejected_atomically() {
-        let e = engine();
+    fn bad_samples_never_upsert_and_quarantine_over_budget() {
+        let e = engine(); // default budget: 2 distinct bad observations
         let before = e.snapshot();
         let db_before = e.db();
+        // Two distinct bad samples: within budget — no upsert, no swap,
+        // not quarantined yet.
+        for (i, poison) in [f64::NAN, f64::INFINITY].into_iter().enumerate() {
+            let snap = e
+                .ingest(&[poisoned(1, 4, 1, 400 + i, poison)])
+                .expect("bad samples are not a fatal error");
+            assert!(Arc::ptr_eq(&before, &snap), "within budget: no swap");
+        }
+        assert!(Arc::ptr_eq(&db_before, &e.db()), "bad samples never land");
+        assert!(e.quarantined().is_empty());
+        // A third distinct bad observation exhausts the budget: the
+        // group is quarantined and a degraded snapshot is published
+        // even though no fingerprint moved.
+        let snap = e
+            .ingest(&[poisoned(1, 4, 1, 402, f64::NEG_INFINITY)])
+            .expect("quarantine is not a fatal error");
+        assert_eq!(snap.generation(), before.generation() + 1);
+        assert_eq!(e.quarantined(), vec![(1, 1)]);
+        assert_eq!(snap.health().quarantined, vec![(1, 1)]);
+        // synth_db has no second measured kind at m=1 (kind 0 is itself
+        // composed), so no donor exists: the group keeps its stale model
+        // and is flagged untrusted.
+        assert!(snap.health().composed_fallback.is_empty());
+        assert!(snap.health().is_untrusted((1, 1)));
+        assert_eq!(snap.health().healthy_generation, before.generation());
+        assert_eq!(snap.health().rejected_samples, 3);
+        // The stale model still answers (degraded, not dead).
+        let cfg = Configuration::p1m1_p2m2(1, 1, 4, 2);
+        assert!(snap.estimate_raw(&cfg, 1600).expect("still serves") > 0.0);
+    }
+
+    #[test]
+    fn mixed_batch_admits_good_and_counts_bad() {
+        let e = engine();
         let good_key = SampleKey {
             kind: 1,
             pes: 2,
-            m: 1,
+            m: 2,
         };
-        let bad_key = SampleKey {
+        let mut good = synth_sample(1, 2, 2, 800);
+        good.ta *= 1.5;
+        let snap = e
+            .ingest(&[(good_key, good), poisoned(1, 4, 1, 800, f64::NAN)])
+            .expect("refit ok");
+        // The good sample refit its group; the bad one only burned
+        // budget for *its* group.
+        assert_eq!(snap.refit_groups(), &[(1, 2)]);
+        assert_eq!(snap.health().rejected_samples, 1);
+        assert!(e.quarantined().is_empty());
+        let kept = e.db();
+        let kept = kept
+            .samples(&good_key)
+            .iter()
+            .find(|s| s.n == 800)
+            .copied()
+            .expect("good sample upserted");
+        assert_eq!(kept, good);
+    }
+
+    #[test]
+    fn duplicate_bad_delivery_never_double_counts() {
+        let e = engine().with_quarantine_policy(QuarantinePolicy {
+            budget: 1,
+            ..QuarantinePolicy::default()
+        });
+        // The same bad (key, N) slot five times: one distinct
+        // observation, within a budget of 1.
+        for _ in 0..5 {
+            e.ingest(&[poisoned(1, 2, 1, 800, f64::NAN)])
+                .expect("bad samples are not fatal");
+        }
+        assert!(e.quarantined().is_empty(), "duplicates must not count");
+        // A second *distinct* slot exhausts the budget.
+        e.ingest(&[poisoned(1, 2, 1, 1600, f64::NAN)])
+            .expect("quarantine is not fatal");
+        assert_eq!(e.quarantined(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn clean_sample_readmits_quarantined_group() {
+        let e = engine();
+        for n in [400usize, 800, 1600] {
+            e.ingest(&[poisoned(1, 4, 1, n, f64::NAN)])
+                .expect("bad samples are not fatal");
+        }
+        assert_eq!(e.quarantined(), vec![(1, 1)]);
+        // One admitted observation resets the group's budget and lifts
+        // the quarantine; the published snapshot is healthy again.
+        let key = SampleKey {
             kind: 1,
             pes: 4,
             m: 1,
         };
-        let mut good = synth_sample(1, 2, 1, 800);
-        good.ta *= 1.5;
-        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
-            for field in 0..3 {
-                let mut bad = synth_sample(1, 4, 1, 800);
-                match field {
-                    0 => bad.ta = poison,
-                    1 => bad.tc = poison,
-                    _ => bad.wall = poison,
-                }
-                let err = e
-                    .ingest(&[(good_key, good), (bad_key, bad)])
-                    .expect_err("non-finite sample must be rejected");
-                assert_eq!(
-                    err,
-                    PipelineError::NonFiniteSample {
-                        key: bad_key,
-                        n: 800
-                    }
-                );
+        let mut clean = synth_sample(1, 4, 1, 800);
+        clean.ta *= 1.1;
+        let snap = e.ingest(&[(key, clean)]).expect("refit ok");
+        assert!(e.quarantined().is_empty());
+        assert!(snap.health().is_healthy());
+        assert_eq!(snap.health().healthy_generation, snap.generation());
+        // And the served bank equals a from-scratch fit of the final db.
+        let full = PolyLsqBackend::paper().fit(&e.db()).expect("full fit ok");
+        for (g, m) in &full.pt {
+            let got = &snap.bank().pt[g];
+            for i in 0..3 {
+                assert_eq!(m.kc[i].to_bits(), got.kc[i].to_bits(), "{g:?} kc[{i}]");
             }
         }
-        // Rejection is atomic: the good sample in the same batch was
-        // not upserted either, and nothing was published.
-        let after = e.snapshot();
-        assert!(Arc::ptr_eq(&before, &after), "no snapshot published");
-        assert!(
-            Arc::ptr_eq(&db_before, &e.db()),
-            "database must be untouched"
-        );
+    }
+
+    #[test]
+    fn quarantined_group_degrades_to_composed_fallback() {
+        let e = Engine::new(
+            Box::new(PolyLsqBackend::paper()),
+            synth_db_two_measured(),
+            None,
+        )
+        .expect("synth db fits");
+        let pristine_pt = e.snapshot().bank().pt[&(0, 1)];
+        // Gross outliers (finite but physically impossible) also burn
+        // the budget — three distinct ones quarantine kind 0 at m=1.
+        for n in [400usize, 800, 1600] {
+            e.ingest(&[poisoned(0, 2, 1, n, 1e9)])
+                .expect("outliers are not fatal");
+        }
+        let snap = e.snapshot();
+        assert_eq!(snap.health().quarantined, vec![(0, 1)]);
+        // Kind 1 is measured at m=1, so the §3.5 fallback kicks in.
+        assert_eq!(snap.health().composed_fallback, vec![(0, 1)]);
+        assert!(snap.health().is_fallback((0, 1)));
+        assert!(!snap.health().is_untrusted((0, 1)));
+        assert!(snap.bank().composed_groups.contains(&(0, 1)));
+        let fallback_pt = snap.bank().pt[&(0, 1)];
+        assert_ne!(fallback_pt, pristine_pt, "fallback replaces the model");
+        // Fallback coefficients are usable: finite estimate comes out.
+        let cfg = Configuration::p1m1_p2m2(0, 1, 4, 2);
+        let t = snap.estimate_raw(&cfg, 1600).expect("fallback serves");
+        assert!(t.is_finite() && t > 0.0);
+        // Recovery: clean data restores the *measured* model bit-exactly
+        // (the fallback never leaked into the refit base).
+        let key = SampleKey {
+            kind: 0,
+            pes: 2,
+            m: 1,
+        };
+        e.ingest(&[(key, synth_sample(0, 2, 1, 4000))])
+            .expect("refit ok");
+        let healed = e.snapshot();
+        assert!(healed.health().is_healthy());
+        assert!(!healed.bank().composed_groups.contains(&(0, 1)));
+        let full = PolyLsqBackend::paper().fit(&e.db()).expect("full fit ok");
+        let want = full.pt[&(0, 1)];
+        let got = healed.bank().pt[&(0, 1)];
+        for i in 0..3 {
+            assert_eq!(want.kc[i].to_bits(), got.kc[i].to_bits(), "kc[{i}]");
+        }
     }
 
     #[test]

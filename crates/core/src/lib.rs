@@ -34,7 +34,15 @@
 //!   a campaign as timestamped [`stream::TrialBatch`]es over an mpmc
 //!   channel (shuffled, duplicated, out-of-order on demand) and a
 //!   consumer loop drives [`Engine::ingest_batch`], publishing one
-//!   snapshot per effective batch.
+//!   snapshot per effective batch — with stall detection, bounded fit
+//!   retries, and a restarting supervisor
+//!   ([`stream::consume_supervised`]).
+//! * [`faults`] — deterministic fault injection for the streaming
+//!   layer: a seeded [`faults::FaultPlan`] corrupts, drops, truncates,
+//!   floods, stalls, or kills a replayed stream, and the engine's
+//!   quarantine ladder ([`engine::QuarantinePolicy`],
+//!   [`engine::EngineHealth`]) degrades to §3.5 composed fallbacks
+//!   instead of crashing.
 //! * [`validate`] — the model-validity audit: registered invariant
 //!   checks (finite coefficients, non-negative predictions, basis
 //!   conditioning) that `cargo xtask check` runs over a fitted bank.
@@ -47,6 +55,7 @@ pub mod backend;
 pub mod cache;
 pub mod compose;
 pub mod engine;
+pub mod faults;
 pub mod measurement;
 pub mod ntmodel;
 pub mod pipeline;

@@ -45,14 +45,44 @@ pub enum PipelineError {
     },
     /// The configuration to estimate uses no PEs.
     EmptyConfiguration,
-    /// An ingested sample carried a NaN or infinite time. Rejected
-    /// up front: non-finite values defeat the `PartialEq`-based dedup
-    /// and the fingerprint diff, and poison the least-squares fit.
+    /// An ingested sample carried a NaN or infinite time. The engine's
+    /// quarantine policy counts such samples against the group's bad
+    /// budget instead of returning this error; the variant remains the
+    /// typed vocabulary for callers that validate samples themselves
+    /// (non-finite values defeat the `PartialEq`-based dedup and the
+    /// fingerprint diff, and would poison the least-squares fit).
     NonFiniteSample {
         /// Key of the offending sample.
         key: SampleKey,
         /// Problem size of the offending sample.
         n: usize,
+    },
+    /// A streaming source went quiet past the consumer's stall timeout
+    /// while its channel was still open — a hung measurement harness,
+    /// not a completed one.
+    SourceStalled {
+        /// How long the consumer waited before giving up, milliseconds.
+        waited_ms: u64,
+    },
+    /// A configuration depends on a quarantined `(kind, m)` group whose
+    /// serving model has no §3.5 composed fallback — a health-aware
+    /// consumer refuses to estimate with it (see
+    /// `crate::engine::EngineHealth::is_untrusted`).
+    ModelUntrusted {
+        /// Kind index of the untrusted group.
+        kind: usize,
+        /// Multiplicity Mᵢ of the untrusted group.
+        m: usize,
+    },
+    /// A supervised streaming source died (or stalled) repeatedly and
+    /// the restart budget ran out before the stream completed.
+    SourceFailed {
+        /// Restarts attempted before giving up.
+        restarts: usize,
+        /// Next batch sequence number the stream still owed.
+        next_seq: u64,
+        /// Batches the stream was expected to deliver in total.
+        expected: u64,
     },
 }
 
@@ -76,6 +106,20 @@ impl fmt::Display for PipelineError {
                 f,
                 "non-finite sample for kind {} pes {} m {} at N={n}",
                 key.kind, key.pes, key.m
+            ),
+            PipelineError::SourceStalled { waited_ms } => {
+                write!(f, "measurement source stalled for {waited_ms} ms")
+            }
+            PipelineError::ModelUntrusted { kind, m } => {
+                write!(f, "model for kind {kind} at M={m} is quarantined without a fallback")
+            }
+            PipelineError::SourceFailed {
+                restarts,
+                next_seq,
+                expected,
+            } => write!(
+                f,
+                "measurement source failed after {restarts} restart(s) at batch {next_seq} of {expected}"
             ),
         }
     }
@@ -196,6 +240,21 @@ pub fn raw_estimate(
         worst = worst.max(t);
     }
     Ok(worst)
+}
+
+/// The `(kind, m)` measurement groups whose models back an estimate of
+/// `config` — one group per used kind, at the kind's multiplicity. Both
+/// the §3.4 branches resolve to the same group: a single-PE
+/// configuration reads the N-T model of `(kind, pes=1, m)` and a
+/// multi-PE one the P-T model of `(kind, m)`, so model-health decisions
+/// (quarantine, composed fallback) key on exactly this list.
+pub fn groups_of(config: &Configuration) -> Vec<(usize, usize)> {
+    config
+        .uses
+        .iter()
+        .filter(|u| u.pes > 0 && u.procs_per_pe > 0)
+        .map(|u| (u.kind.0, u.procs_per_pe))
+        .collect()
 }
 
 /// The complete estimator: model bank + binning rule + adjustment.

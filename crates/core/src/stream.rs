@@ -19,11 +19,22 @@
 //! *regardless* of batch size, order, duplication, or deferral (each
 //! `(key, N)` trial in a campaign has exactly one value, so a stale
 //! re-delivery upserts the value already present).
+//!
+//! Robustness (the degradation ladder's transport rungs): a consumer
+//! configured with [`ConsumeOptions::stall_timeout`] surfaces a source
+//! that stops sending as a typed [`PipelineError::SourceStalled`]
+//! instead of blocking forever; transient fit errors are retried with
+//! bounded backoff before being charged to the report; and
+//! [`consume_supervised`] restarts a dead or stalled [`BatchSource`]
+//! from the last delivered batch sequence, giving up with
+//! [`PipelineError::SourceFailed`] only when the restart budget is
+//! exhausted.
 
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-use etm_support::channel::{self, Receiver};
+use etm_support::channel::{self, Receiver, RecvTimeoutError};
 use etm_support::rng::Rng64;
 
 use crate::engine::{Engine, EngineSnapshot};
@@ -181,6 +192,32 @@ impl TrialSource {
     }
 }
 
+/// A stoppable producer of [`TrialBatch`]es — what [`consume_supervised`]
+/// spawns, drains, and restarts.
+///
+/// Contract: [`BatchSource::stop`] must reap the source without blocking
+/// indefinitely, even if the source is wedged mid-send (the supervisor
+/// calls it on a source it has just declared stalled).
+pub trait BatchSource {
+    /// The source's batch stream.
+    fn receiver(&self) -> &Receiver<TrialBatch>;
+
+    /// Stops the source and reaps its thread.
+    fn stop(self: Box<Self>);
+}
+
+impl BatchSource for TrialSource {
+    fn receiver(&self) -> &Receiver<TrialBatch> {
+        TrialSource::receiver(self)
+    }
+
+    fn stop(self: Box<Self>) {
+        // Dropping the receiver first (inside `join`) fails the next
+        // send, so a healthy source thread always exits promptly.
+        (*self).join();
+    }
+}
+
 /// What [`consume`] did with a drained stream.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StreamReport {
@@ -188,9 +225,145 @@ pub struct StreamReport {
     pub batches: usize,
     /// Snapshots published (generation changes the observer saw).
     pub published: usize,
-    /// Batches whose refit failed transiently (the engine keeps their
-    /// samples dirty and a later batch — or the final flush — retries).
+    /// Batches whose refit failed transiently *and survived every
+    /// retry* (the engine keeps their samples dirty and a later batch —
+    /// or the final flush — picks them up).
     pub fit_errors: usize,
+    /// Fit retries attempted under [`ConsumeOptions::max_fit_retries`].
+    pub fit_retries: usize,
+}
+
+/// What [`consume_supervised`] did across source incarnations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisedReport {
+    /// The cumulative consume report across every incarnation.
+    pub report: StreamReport,
+    /// Sources respawned after a premature death or stall.
+    pub restarts: usize,
+    /// Incarnations declared stalled by the stall timeout.
+    pub stalls: usize,
+}
+
+/// Fault-handling knobs for [`consume_with`] / [`consume_supervised`].
+#[derive(Clone, Copy, Debug)]
+pub struct ConsumeOptions {
+    /// How long a blocked receive may wait before the source is
+    /// declared stalled. `None` waits forever (the pre-hardening
+    /// behavior); [`consume`] surfaces a stall as
+    /// [`PipelineError::SourceStalled`], the supervisor restarts.
+    pub stall_timeout: Option<Duration>,
+    /// How many times a failed refit is retried (each retry is an empty
+    /// flush ingest, so it re-attempts everything pending-dirty) before
+    /// the batch is charged to [`StreamReport::fit_errors`] and the
+    /// stream moves on.
+    pub max_fit_retries: usize,
+    /// Base backoff between fit retries; the k-th retry sleeps
+    /// `k × retry_backoff`.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ConsumeOptions {
+    fn default() -> Self {
+        ConsumeOptions {
+            stall_timeout: Some(Duration::from_secs(30)),
+            max_fit_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Receives the next batch: `Ok(Some)` on delivery, `Ok(None)` when
+/// every sender hung up, `Err(waited_ms)` on a stall timeout.
+fn next_batch(
+    rx: &Receiver<TrialBatch>,
+    stall_timeout: Option<Duration>,
+) -> Result<Option<TrialBatch>, u64> {
+    match stall_timeout {
+        None => Ok(rx.recv().ok()),
+        Some(timeout) => match rx.recv_timeout(timeout) {
+            Ok(batch) => Ok(Some(batch)),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => Err(timeout.as_millis() as u64),
+        },
+    }
+}
+
+/// Ingests one batch, retrying a failed refit up to the option budget
+/// with linear backoff; publishes through `on_snapshot` on a generation
+/// change. A batch whose refit survives every retry is charged to
+/// `fit_errors` — the engine's pending-dirty contract keeps its samples
+/// for a later batch or the final flush.
+fn ingest_with_retry<F>(
+    engine: &Engine,
+    batch: &TrialBatch,
+    opts: &ConsumeOptions,
+    report: &mut StreamReport,
+    last_generation: &mut u64,
+    on_snapshot: &mut F,
+) where
+    F: FnMut(&TrialBatch, &Arc<EngineSnapshot>),
+{
+    let mut publish = |snapshot: &Arc<EngineSnapshot>, report: &mut StreamReport| {
+        if snapshot.generation() != *last_generation {
+            *last_generation = snapshot.generation();
+            report.published += 1;
+            on_snapshot(batch, snapshot);
+        }
+    };
+    if let Ok(snapshot) = engine.ingest_batch(batch) {
+        publish(&snapshot, report);
+        return;
+    }
+    for attempt in 1..=opts.max_fit_retries {
+        report.fit_retries += 1;
+        thread::sleep(opts.retry_backoff.saturating_mul(attempt as u32));
+        // The batch's samples are already upserted; an empty flush
+        // re-attempts the refit of everything pending-dirty.
+        if let Ok(snapshot) = engine.ingest(&[]) {
+            publish(&snapshot, report);
+            return;
+        }
+    }
+    report.fit_errors += 1;
+}
+
+/// Final flush: a trailing failed refit would otherwise leave the
+/// published bank behind the database.
+fn flush<F>(
+    engine: &Engine,
+    report: &mut StreamReport,
+    last_generation: u64,
+    last_batch: Option<&TrialBatch>,
+    on_snapshot: &mut F,
+) -> Result<(), PipelineError>
+where
+    F: FnMut(&TrialBatch, &Arc<EngineSnapshot>),
+{
+    let snapshot = engine.ingest(&[])?;
+    if snapshot.generation() != last_generation {
+        report.published += 1;
+        if let Some(batch) = last_batch {
+            on_snapshot(batch, &snapshot);
+        }
+    }
+    Ok(())
+}
+
+/// Drains a batch stream into an engine with [`ConsumeOptions::default`]
+/// — a 30 s stall timeout and two fit retries per batch. See
+/// [`consume_with`].
+///
+/// # Errors
+/// See [`consume_with`].
+pub fn consume<F>(
+    engine: &Engine,
+    rx: &Receiver<TrialBatch>,
+    on_snapshot: F,
+) -> Result<StreamReport, PipelineError>
+where
+    F: FnMut(&TrialBatch, &Arc<EngineSnapshot>),
+{
+    consume_with(engine, rx, ConsumeOptions::default(), on_snapshot)
 }
 
 /// Drains a batch stream into an engine, publishing a snapshot per
@@ -200,18 +373,22 @@ pub struct StreamReport {
 ///
 /// Transient *fit* failures are tolerated: mid-campaign a group can be
 /// legitimately unfittable (a new PE count with too few sizes yet, a
-/// composed kind whose donor hasn't arrived), and
-/// [`Engine::ingest`]'s pending-dirty contract retries those groups on
-/// the next batch automatically. After the channel drains, a final
-/// `ingest(&[])` flush retries anything still outstanding.
+/// composed kind whose donor hasn't arrived). Each failed refit is
+/// retried up to [`ConsumeOptions::max_fit_retries`] times with linear
+/// backoff, and [`Engine::ingest`]'s pending-dirty contract retries the
+/// groups on the next batch regardless. Bad *samples* are not an error
+/// at all: the engine's quarantine policy absorbs them (see
+/// [`crate::engine::QuarantinePolicy`]). After the channel drains, a
+/// final `ingest(&[])` flush retries anything still outstanding.
 ///
 /// # Errors
-/// A [`PipelineError::NonFiniteSample`] (bad data, not a transient
-/// model state) aborts immediately; a fit error surviving the final
+/// [`PipelineError::SourceStalled`] when no batch arrives within
+/// [`ConsumeOptions::stall_timeout`]; a fit error surviving the final
 /// flush is returned, with everything ingested so far still applied.
-pub fn consume<F>(
+pub fn consume_with<F>(
     engine: &Engine,
     rx: &Receiver<TrialBatch>,
+    opts: ConsumeOptions,
     mut on_snapshot: F,
 ) -> Result<StreamReport, PipelineError>
 where
@@ -220,31 +397,113 @@ where
     let mut report = StreamReport::default();
     let mut last_generation = engine.snapshot().generation();
     let mut last_batch: Option<TrialBatch> = None;
-    for batch in rx.iter() {
+    loop {
+        let batch = match next_batch(rx, opts.stall_timeout) {
+            Ok(Some(batch)) => batch,
+            Ok(None) => break,
+            Err(waited_ms) => return Err(PipelineError::SourceStalled { waited_ms }),
+        };
         report.batches += 1;
-        match engine.ingest_batch(&batch) {
-            Ok(snapshot) => {
-                if snapshot.generation() != last_generation {
-                    last_generation = snapshot.generation();
-                    report.published += 1;
-                    on_snapshot(&batch, &snapshot);
-                }
-            }
-            Err(e @ PipelineError::NonFiniteSample { .. }) => return Err(e),
-            Err(_) => report.fit_errors += 1,
-        }
+        ingest_with_retry(
+            engine,
+            &batch,
+            &opts,
+            &mut report,
+            &mut last_generation,
+            &mut on_snapshot,
+        );
         last_batch = Some(batch);
     }
-    // Flush: a trailing failed refit would otherwise leave the
-    // published bank behind the database.
-    let snapshot = engine.ingest(&[])?;
-    if snapshot.generation() != last_generation {
-        report.published += 1;
-        if let Some(batch) = &last_batch {
-            on_snapshot(batch, &snapshot);
-        }
-    }
+    flush(
+        engine,
+        &mut report,
+        last_generation,
+        last_batch.as_ref(),
+        &mut on_snapshot,
+    )?;
     Ok(report)
+}
+
+/// Supervised consumption: drains successive [`BatchSource`]
+/// incarnations, restarting a source that dies before delivering
+/// `expected_batches` distinct sequence numbers or that stalls past the
+/// timeout. `spawn_source(next_seq)` must produce a source resuming at
+/// batch sequence `next_seq` (re-delivering earlier batches is harmless
+/// — the engine's fingerprint diff makes them no-ops, which is also why
+/// resuming from the last *published* generation needs no rollback:
+/// the database already holds everything ingested before the death).
+///
+/// # Errors
+/// [`PipelineError::SourceFailed`] once `max_restarts` respawns are
+/// exhausted; any error the final flush surfaces.
+pub fn consume_supervised<S, F>(
+    engine: &Engine,
+    opts: ConsumeOptions,
+    expected_batches: u64,
+    max_restarts: usize,
+    mut spawn_source: S,
+    mut on_snapshot: F,
+) -> Result<SupervisedReport, PipelineError>
+where
+    S: FnMut(u64) -> Box<dyn BatchSource>,
+    F: FnMut(&TrialBatch, &Arc<EngineSnapshot>),
+{
+    let mut sup = SupervisedReport::default();
+    let mut last_generation = engine.snapshot().generation();
+    let mut last_batch: Option<TrialBatch> = None;
+    let mut next_seq = 0u64;
+    loop {
+        let source = spawn_source(next_seq);
+        let rx = source.receiver().clone();
+        let mut stalled = false;
+        loop {
+            let batch = match next_batch(&rx, opts.stall_timeout) {
+                Ok(Some(batch)) => batch,
+                Ok(None) => break,
+                Err(_) => {
+                    stalled = true;
+                    break;
+                }
+            };
+            sup.report.batches += 1;
+            next_seq = next_seq.max(batch.seq + 1);
+            ingest_with_retry(
+                engine,
+                &batch,
+                &opts,
+                &mut sup.report,
+                &mut last_generation,
+                &mut on_snapshot,
+            );
+            last_batch = Some(batch);
+        }
+        // Drop our receiver clone before stopping so a healthy source
+        // thread sees the hangup and exits.
+        drop(rx);
+        source.stop();
+        if stalled {
+            sup.stalls += 1;
+        }
+        if next_seq >= expected_batches {
+            break;
+        }
+        if sup.restarts >= max_restarts {
+            return Err(PipelineError::SourceFailed {
+                restarts: sup.restarts,
+                next_seq,
+                expected: expected_batches,
+            });
+        }
+        sup.restarts += 1;
+    }
+    flush(
+        engine,
+        &mut sup.report,
+        last_generation,
+        last_batch.as_ref(),
+        &mut on_snapshot,
+    )?;
+    Ok(sup)
 }
 
 #[cfg(test)]
@@ -476,14 +735,22 @@ mod tests {
         assert_banks_bit_equal(engine.snapshot().bank(), &reference);
     }
 
+    /// Bad samples no longer abort the stream: the engine's quarantine
+    /// policy absorbs them, the good data keeps flowing, and the
+    /// poisoned sample never reaches the database.
     #[test]
-    fn consumer_surfaces_validation_errors_and_keeps_prior_batches() {
+    fn consumer_quarantines_bad_samples_and_keeps_streaming() {
         let db = synth_db();
         let engine =
             Engine::new(Box::new(PolyLsqBackend::paper()), db, None).expect("synth db fits");
         let key = SampleKey {
             kind: 1,
             pes: 2,
+            m: 1,
+        };
+        let bad_key = SampleKey {
+            kind: 1,
+            pes: 4,
             m: 1,
         };
         let mut good = synth_sample(1, 2, 1, 800);
@@ -494,27 +761,153 @@ mod tests {
         tx.send(TrialBatch {
             seq: 0,
             sim_time: 1.0,
-            trials: vec![(key, good)],
+            trials: vec![(bad_key, bad)],
         })
         .expect("receiver alive");
         tx.send(TrialBatch {
             seq: 1,
             sim_time: 2.0,
-            trials: vec![(
-                SampleKey {
-                    kind: 1,
-                    pes: 4,
-                    m: 1,
-                },
-                bad,
-            )],
+            trials: vec![(key, good)],
         })
         .expect("receiver alive");
         drop(tx);
-        let err = consume(&engine, &rx, |_, _| {}).expect_err("NaN batch must fail");
-        assert!(matches!(err, PipelineError::NonFiniteSample { .. }));
-        // The first batch landed before the failure.
+        let report = consume(&engine, &rx, |_, _| {}).expect("bad samples are not fatal");
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.fit_errors, 0);
+        // The good sample landed, the poisoned one never did.
         let kept = engine.db();
         assert!(kept.samples(&key).iter().any(|s| s.n == 800 && s == &good));
+        // The seed value at (bad_key, 1600) survives; the NaN upsert
+        // never happened.
+        assert!(kept.samples(&bad_key).iter().all(|s| s.is_finite()));
+        assert_eq!(engine.snapshot().health().rejected_samples, 1);
+    }
+
+    /// A source that holds its sender open without sending must surface
+    /// as a typed stall, not a hang.
+    #[test]
+    fn consumer_times_out_on_a_stalled_source() {
+        let db = synth_db();
+        let engine =
+            Engine::new(Box::new(PolyLsqBackend::paper()), db, None).expect("synth db fits");
+        let (tx, rx) = channel::unbounded::<TrialBatch>();
+        let opts = ConsumeOptions {
+            stall_timeout: Some(Duration::from_millis(20)),
+            ..ConsumeOptions::default()
+        };
+        let err = consume_with(&engine, &rx, opts, |_, _| {}).expect_err("must time out");
+        assert_eq!(err, PipelineError::SourceStalled { waited_ms: 20 });
+        drop(tx);
+    }
+
+    /// A test source delivering a fixed batch list then hanging up.
+    struct ListSource {
+        rx: Receiver<TrialBatch>,
+        handle: thread::JoinHandle<()>,
+    }
+
+    fn list_source(batches: Vec<TrialBatch>) -> Box<dyn BatchSource> {
+        let (tx, rx) = channel::unbounded();
+        let handle = thread::spawn(move || {
+            for batch in batches {
+                if tx.send(batch).is_err() {
+                    break;
+                }
+            }
+        });
+        Box::new(ListSource { rx, handle })
+    }
+
+    impl BatchSource for ListSource {
+        fn receiver(&self) -> &Receiver<TrialBatch> {
+            &self.rx
+        }
+
+        fn stop(self: Box<Self>) {
+            drop(self.rx);
+            if let Err(e) = self.handle.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+
+    /// The supervisor contract: a source that dies halfway is respawned
+    /// from the next undelivered sequence, and the engine still
+    /// converges on the one-shot fit.
+    #[test]
+    fn supervisor_restarts_a_dead_source_and_converges() {
+        let db = synth_db();
+        let trials = trials_of_db(&db);
+        let reference = PolyLsqBackend::paper().fit(&db).expect("one-shot fit");
+        let mut seed_db = MeasurementDb::new();
+        for (k, s) in &trials {
+            let mut stale = *s;
+            stale.ta *= 1.1;
+            seed_db.upsert(*k, stale);
+        }
+        let engine = Engine::new(Box::new(PolyLsqBackend::paper()), seed_db, None)
+            .expect("stale campaign fits");
+        let batches = replay(
+            &trials,
+            &StreamConfig {
+                batch_size: 5,
+                ..StreamConfig::default()
+            },
+        );
+        let expected = batches.len() as u64;
+        let half = batches.len() / 2;
+        let mut incarnation = 0usize;
+        let sup = consume_supervised(
+            &engine,
+            ConsumeOptions::default(),
+            expected,
+            3,
+            |next_seq| {
+                incarnation += 1;
+                let tail: Vec<TrialBatch> = batches
+                    .iter()
+                    .filter(|b| b.seq >= next_seq)
+                    .cloned()
+                    .collect();
+                if incarnation == 1 {
+                    // First incarnation dies after half the stream.
+                    list_source(tail.into_iter().take(half).collect())
+                } else {
+                    list_source(tail)
+                }
+            },
+            |_, _| {},
+        )
+        .expect("supervised stream completes");
+        assert_eq!(sup.restarts, 1);
+        assert_eq!(sup.stalls, 0);
+        assert_eq!(incarnation, 2);
+        assert_banks_bit_equal(engine.snapshot().bank(), &reference);
+    }
+
+    /// The restart budget is a hard stop: a source that keeps dying
+    /// before completing surfaces as `SourceFailed`, not a spin loop.
+    #[test]
+    fn supervisor_gives_up_when_the_restart_budget_is_exhausted() {
+        let db = synth_db();
+        let engine =
+            Engine::new(Box::new(PolyLsqBackend::paper()), db, None).expect("synth db fits");
+        let err = consume_supervised(
+            &engine,
+            ConsumeOptions::default(),
+            5,
+            2,
+            |_| list_source(Vec::new()), // dies immediately, every time
+            |_, _| {},
+        )
+        .expect_err("must give up");
+        assert_eq!(
+            err,
+            PipelineError::SourceFailed {
+                restarts: 2,
+                next_seq: 0,
+                expected: 5
+            }
+        );
     }
 }

@@ -25,6 +25,7 @@ use std::fmt;
 
 use etm_lsq::{condition_estimate, DesignMatrix};
 
+use crate::engine::EngineHealth;
 use crate::pipeline::ModelBank;
 
 /// The paper's construction grid (Table 2): the sizes every audit
@@ -160,6 +161,83 @@ pub fn audit(bank: &ModelBank) -> Vec<Finding> {
 /// True when no finding is a [`Severity::Violation`].
 pub fn passes(findings: &[Finding]) -> bool {
     findings.iter().all(|f| f.severity != Severity::Violation)
+}
+
+/// Audits the health metadata of a *degraded* serving bank — what
+/// `cargo xtask check audit` runs after poisoning a group past the
+/// quarantine budget:
+///
+/// * every composed-fallback group must also be quarantined (a fallback
+///   for a healthy group means the bookkeeping disagrees with itself);
+/// * every fallback group must be tagged in the serving bank's
+///   `composed_groups` and carry a P-T model whose coefficients are
+///   finite and whose predictions stay non-negative over the audit grid
+///   — a degraded answer must still be a *physical* answer;
+/// * a quarantined group with no fallback is reported as a warning:
+///   it is served stale and untrusted, which health-aware consumers
+///   must refuse (not a bank defect, but worth surfacing).
+pub fn audit_degraded(bank: &ModelBank, health: &EngineHealth) -> Vec<Finding> {
+    const CHECK: &str = "degraded_health";
+    let mut out = Vec::new();
+    for &group in &health.composed_fallback {
+        let (kind, m) = group;
+        if !health.quarantined.contains(&group) {
+            out.push(violation(
+                CHECK,
+                format!("fallback group ({kind}, {m}) is not quarantined"),
+            ));
+        }
+        if !bank.composed_groups.contains(&group) {
+            out.push(violation(
+                CHECK,
+                format!("fallback group ({kind}, {m}) is untagged in the serving bank"),
+            ));
+        }
+        let Some(pt) = bank.pt.get(&group) else {
+            out.push(violation(
+                CHECK,
+                format!("fallback group ({kind}, {m}) has no P-T model to serve"),
+            ));
+            continue;
+        };
+        if pt
+            .ka
+            .iter()
+            .chain(pt.kc.iter())
+            .chain(pt.reference.ka.iter())
+            .chain(pt.reference.kc.iter())
+            .any(|c| !c.is_finite())
+        {
+            out.push(violation(
+                CHECK,
+                format!("fallback P-T model for ({kind}, {m}) has non-finite coefficients"),
+            ));
+        }
+        let preds: Vec<(String, f64)> = AUDIT_SIZES
+            .iter()
+            .flat_map(|&n| {
+                AUDIT_PS.iter().map(move |&p| {
+                    (
+                        format!("fallback P-T model for ({kind}, {m}) at N={n}, P={p}"),
+                        pt.total(n, p),
+                    )
+                })
+            })
+            .collect();
+        sweep_negatives(CHECK, &preds, &mut out);
+    }
+    for &(kind, m) in &health.quarantined {
+        if !health.composed_fallback.contains(&(kind, m)) {
+            out.push(warning(
+                CHECK,
+                format!(
+                    "quarantined group ({kind}, {m}) has no fallback donor: served stale, \
+                     health-aware consumers must refuse it"
+                ),
+            ));
+        }
+    }
+    out
 }
 
 fn violation(check: &'static str, message: String) -> Finding {
@@ -554,6 +632,72 @@ mod tests {
                 && f.message.contains("across PEs")),
             "{findings:?}"
         );
+    }
+
+    #[test]
+    fn degraded_audit_accepts_consistent_health_metadata() {
+        let bank = healthy_bank();
+        let health = EngineHealth {
+            quarantined: vec![(0, 1)],
+            composed_fallback: vec![(0, 1)],
+            healthy_generation: 3,
+            rejected_samples: 5,
+        };
+        let findings = audit_degraded(&bank, &health);
+        assert!(passes(&findings), "{findings:?}");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn degraded_audit_flags_inconsistent_bookkeeping() {
+        let bank = healthy_bank();
+        // A fallback for a group that is not quarantined: the health
+        // metadata disagrees with itself.
+        let health = EngineHealth {
+            quarantined: Vec::new(),
+            composed_fallback: vec![(0, 1)],
+            healthy_generation: 0,
+            rejected_samples: 0,
+        };
+        let findings = audit_degraded(&bank, &health);
+        assert!(!passes(&findings));
+        assert!(findings
+            .iter()
+            .any(|f| f.check == "degraded_health" && f.message.contains("not quarantined")));
+        // An untagged fallback group: the serving bank must record it.
+        let mut untagged = healthy_bank();
+        untagged.composed_groups.clear();
+        let health = EngineHealth {
+            quarantined: vec![(0, 1)],
+            composed_fallback: vec![(0, 1)],
+            healthy_generation: 0,
+            rejected_samples: 0,
+        };
+        let findings = audit_degraded(&untagged, &health);
+        assert!(!passes(&findings));
+        assert!(findings.iter().any(|f| f.message.contains("untagged")));
+        // A non-finite fallback model must never be served.
+        let mut poisoned = healthy_bank();
+        poisoned.pt.get_mut(&(0, 1)).expect("seeded model").ka[0] = f64::NAN;
+        let findings = audit_degraded(&poisoned, &health);
+        assert!(!passes(&findings));
+        assert!(findings.iter().any(|f| f.message.contains("non-finite")));
+    }
+
+    #[test]
+    fn quarantined_group_without_donor_is_a_warning_not_a_violation() {
+        let bank = healthy_bank();
+        let health = EngineHealth {
+            quarantined: vec![(1, 1)],
+            composed_fallback: Vec::new(),
+            healthy_generation: 0,
+            rejected_samples: 3,
+        };
+        let findings = audit_degraded(&bank, &health);
+        assert!(passes(&findings), "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.severity == Severity::Warning && f.message.contains("no fallback donor")));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Usage: `repro <experiment>` where experiment is one of
 //! `table1 plans fig1 fig2 fig3 table3 table6 fig6_7 table4 fig8_11
 //! table7 fig12_15 table9 timings ablations models baselines stream ab
-//! all`.
+//! chaos all`.
 //!
 //! Text renderings go to stdout; CSV artifacts go to `results/`.
 
@@ -72,6 +72,9 @@ fn main() {
     if all || which == "ab" {
         ab();
     }
+    if all || which == "chaos" {
+        chaos();
+    }
     if !all
         && ![
             "table1",
@@ -93,6 +96,7 @@ fn main() {
             "baselines",
             "stream",
             "ab",
+            "chaos",
         ]
         .contains(&which.as_str())
     {
@@ -460,6 +464,7 @@ fn stream() {
         "recommended",
         "tau_rec [s]",
         "switched",
+        "degraded",
     ]);
     let mut csv = Vec::new();
     for d in &run.decisions {
@@ -470,15 +475,17 @@ fn stream() {
             d.recommended.label(&spec),
             format!("{:.1}", d.recommended_time),
             if d.switched { "yes" } else { "" }.to_string(),
+            if d.degraded { "yes" } else { "" }.to_string(),
         ]);
         csv.push(format!(
-            "{},{},{:.4},{},{:.4},{}",
+            "{},{},{:.4},{},{:.4},{},{}",
             d.generation,
             d.best.config.label(&spec),
             d.best.time,
             d.recommended.label(&spec),
             d.recommended_time,
-            d.switched
+            d.switched,
+            d.degraded
         ));
     }
     print!("{}", t.render());
@@ -495,9 +502,78 @@ fn stream() {
     );
     write_csv(
         "stream_decisions",
-        "generation,best,tau_best,recommended,tau_recommended,switched",
+        "generation,best,tau_best,recommended,tau_recommended,switched,degraded",
         &csv,
     );
+}
+
+fn chaos() {
+    use etm_repro::chaos::{chaos_suite, format_groups};
+    println!("\n== Chaos: seeded fault plans vs the degradation ladder (NL campaign) ==");
+    let rows = chaos_suite(&MeasurementPlan::nl(), 3200);
+    let mut t = TextTable::new(vec![
+        "scenario",
+        "batches",
+        "restarts",
+        "stalls",
+        "rejected",
+        "quarantined",
+        "fallback",
+        "converged",
+        "decisions",
+        "untrusted recs",
+        "ok",
+    ]);
+    let mut csv = Vec::new();
+    for r in &rows {
+        t.row(vec![
+            r.scenario.to_string(),
+            r.batches.to_string(),
+            r.restarts.to_string(),
+            r.stalls.to_string(),
+            r.rejected.to_string(),
+            format_groups(&r.quarantined),
+            format_groups(&r.fallback),
+            if r.converged { "yes" } else { "" }.to_string(),
+            r.decisions.to_string(),
+            r.untrusted_recommendations.to_string(),
+            if r.ok { "yes" } else { "FAIL" }.to_string(),
+        ]);
+        csv.push(format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.scenario,
+            r.recoverable,
+            r.batches,
+            r.restarts,
+            r.stalls,
+            r.published,
+            r.rejected,
+            r.corrupted,
+            format_groups(&r.quarantined),
+            format_groups(&r.fallback),
+            r.converged,
+            r.decisions,
+            r.untrusted_recommendations,
+            r.ok
+        ));
+    }
+    print!("{}", t.render());
+    let failed = rows.iter().filter(|r| !r.ok).count();
+    println!(
+        "{} scenarios, {} degraded-by-design, {} invariant failures",
+        rows.len(),
+        rows.iter().filter(|r| !r.recoverable).count(),
+        failed
+    );
+    write_csv(
+        "chaos_report",
+        "scenario,recoverable,batches,restarts,stalls,published,rejected,corrupted,quarantined,fallback,converged,decisions,untrusted_recommendations,ok",
+        &csv,
+    );
+    if failed > 0 {
+        eprintln!("chaos invariant violated in {failed} scenario(s)");
+        std::process::exit(1);
+    }
 }
 
 fn ab() {

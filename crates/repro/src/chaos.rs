@@ -1,0 +1,313 @@
+//! The chaos suite: seeded fault plans swept over a streamed campaign,
+//! asserting the degradation ladder's end-to-end invariants.
+//!
+//! Each scenario replays a campaign as batches, applies a pure
+//! [`FaultPlan`] (corruption, drops, truncation, duplicate floods), and
+//! streams the faulted batches through a supervised consumer
+//! ([`consume_supervised`]) over a [`FaultySource`] that may stall or
+//! die on cue. A health-aware [`OnlineOptimizer`] observes every
+//! published snapshot. The invariants, per scenario:
+//!
+//! * **No panic, no deadlock** — every run completes (stalls bounded by
+//!   the timeout, dead sources respawned by the supervisor).
+//! * **Recoverable faults converge**: when every lost trial is
+//!   re-delivered clean ([`FaultPlan::redeliver`]) — or nothing was
+//!   lost at all — the final bank is bit-identical to the one-shot fit
+//!   of the clean campaign and no group is quarantined.
+//! * **Unrecoverable faults degrade, typed**: the run ends with the
+//!   quarantined set exactly equal to the injected-faulty groups of the
+//!   [`FaultLog`](etm_core::faults::FaultLog) — no more, no fewer.
+//! * **The optimizer never trusts a quarantined model**: no logged
+//!   decision recommends a configuration backed by an untrusted
+//!   (quarantined, non-composed) group, at any generation.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use etm_core::backend::{ModelBackend, PolyLsqBackend};
+use etm_core::engine::Engine;
+use etm_core::faults::{CorruptKind, FaultPlan, FaultySource};
+use etm_core::pipeline::groups_of;
+use etm_core::plan::{MeasurementPlan, PlanKind};
+use etm_core::stream::{
+    consume_supervised, replay, trials_of_db, BatchSource, ConsumeOptions, StreamConfig, TrialBatch,
+};
+use etm_core::MeasurementDb;
+use etm_search::OnlineOptimizer;
+
+use crate::experiments::campaign_db;
+use crate::stream::{banks_bit_equal, evaluation_space};
+
+/// One chaos scenario's outcome against the ladder invariants.
+#[derive(Clone, Debug)]
+pub struct ChaosRow {
+    /// Which campaign was streamed.
+    pub plan: PlanKind,
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Whether the injected faults are recoverable (lost trials
+    /// re-delivered clean, or nothing lost at all).
+    pub recoverable: bool,
+    /// Batches the supervised consumer received, across incarnations.
+    pub batches: usize,
+    /// Source respawns the supervisor performed.
+    pub restarts: usize,
+    /// Incarnations declared stalled.
+    pub stalls: usize,
+    /// Snapshots published.
+    pub published: usize,
+    /// Samples the quarantine policy rejected.
+    pub rejected: usize,
+    /// Trials the fault plan corrupted.
+    pub corrupted: usize,
+    /// Batches the fault plan dropped whole.
+    pub dropped_batches: usize,
+    /// Final quarantined `(kind, m)` groups.
+    pub quarantined: Vec<(usize, usize)>,
+    /// Final quarantined groups served by a §3.5 composed fallback.
+    pub fallback: Vec<(usize, usize)>,
+    /// Whether the final bank is bit-identical to the clean one-shot
+    /// fit.
+    pub converged: bool,
+    /// Whether the final quarantined set equals the expected set (empty
+    /// for recoverable scenarios, the injected-faulty groups otherwise).
+    pub quarantine_matches_injection: bool,
+    /// Decisions the online optimizer logged.
+    pub decisions: usize,
+    /// Decisions whose recommendation rode a composed fallback.
+    pub degraded_decisions: usize,
+    /// Decisions that recommended a configuration backed by an
+    /// untrusted group — must be zero, always.
+    pub untrusted_recommendations: usize,
+    /// The scenario's ladder invariant, condensed.
+    pub ok: bool,
+}
+
+/// The fixed scenario sweep: one plan per rung of the fault model.
+/// Every plan is a pure literal — the sweep is reproducible bit-for-bit.
+pub fn chaos_scenarios() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("clean", FaultPlan::default()),
+        (
+            "corrupt-nan",
+            FaultPlan {
+                seed: 11,
+                corrupt_every: 7,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "corrupt-inf",
+            FaultPlan {
+                seed: 12,
+                corrupt_every: 5,
+                corrupt: CorruptKind::Inf,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "corrupt-outlier",
+            FaultPlan {
+                seed: 13,
+                corrupt_every: 6,
+                corrupt: CorruptKind::Outlier,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "drop-truncate",
+            FaultPlan {
+                seed: 14,
+                drop_every: 5,
+                truncate_every: 4,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "duplicate-flood",
+            FaultPlan {
+                seed: 15,
+                flood_every: 3,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "kill-restart",
+            FaultPlan {
+                kill_at: Some(4),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "stall-restart",
+            FaultPlan {
+                stall_at: Some(3),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "poison-group",
+            FaultPlan {
+                seed: 17,
+                corrupt_every: 1,
+                target: Some((1, 1)),
+                redeliver: false,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "compound",
+            FaultPlan {
+                seed: 18,
+                corrupt_every: 9,
+                drop_every: 6,
+                flood_every: 4,
+                kill_at: Some(6),
+                ..FaultPlan::default()
+            },
+        ),
+    ]
+}
+
+fn is_recoverable(fault: &FaultPlan) -> bool {
+    fault.redeliver
+        || (fault.corrupt_every == 0 && fault.drop_every == 0 && fault.truncate_every == 0)
+}
+
+/// Runs one fault plan over a streamed campaign and scores the ladder
+/// invariants. The engine starts from a stale calibration of the same
+/// campaign (every `Ta` inflated 10%), so every group is fittable from
+/// generation 0 and the faults hit a *serving* engine, not a
+/// bootstrapping one — the production shape of the problem.
+pub fn run_chaos_scenario(
+    plan: &MeasurementPlan,
+    scenario: &'static str,
+    fault: &FaultPlan,
+    cfg: StreamConfig,
+    n: usize,
+) -> ChaosRow {
+    let db = campaign_db(plan);
+    let trials = trials_of_db(&db);
+    let reference = PolyLsqBackend::paper().fit(&db).expect("one-shot fit");
+    let mut seed_db = MeasurementDb::new();
+    for (k, s) in &trials {
+        let mut stale = *s;
+        stale.ta *= 1.1;
+        seed_db.upsert(*k, stale);
+    }
+    let engine =
+        Engine::new(Box::new(PolyLsqBackend::paper()), seed_db, None).expect("stale campaign fits");
+    let (faulted, log) = fault.apply(&replay(&trials, &cfg));
+    let expected = faulted.len() as u64;
+
+    let mut optimizer = OnlineOptimizer::new(evaluation_space(), n, 0.05);
+    let mut untrusted_recommendations = 0usize;
+    let mut incarnation = 0usize;
+    let opts = ConsumeOptions {
+        stall_timeout: Some(Duration::from_millis(100)),
+        ..ConsumeOptions::default()
+    };
+    let sup = consume_supervised(
+        &engine,
+        opts,
+        expected,
+        3,
+        |next_seq| {
+            incarnation += 1;
+            let tail: Vec<TrialBatch> = faulted
+                .iter()
+                .filter(|b| b.seq >= next_seq)
+                .cloned()
+                .collect();
+            // Stall/kill marks fire on the first incarnation only: the
+            // respawned source models a repaired harness.
+            let (stall, kill) = if incarnation == 1 {
+                (fault.stall_at, fault.kill_at)
+            } else {
+                (None, None)
+            };
+            Box::new(FaultySource::spawn(tail, cfg.channel_cap, stall, kill))
+                as Box<dyn BatchSource>
+        },
+        |_, snap| {
+            if let Some(d) = optimizer.observe(snap) {
+                let health = snap.health();
+                if groups_of(&d.recommended)
+                    .into_iter()
+                    .any(|g| health.is_untrusted(g))
+                {
+                    untrusted_recommendations += 1;
+                }
+            }
+        },
+    )
+    .expect("the supervisor absorbs every injected transport fault");
+
+    let snap = engine.snapshot();
+    let health = snap.health().clone();
+    let recoverable = is_recoverable(fault);
+    let converged = banks_bit_equal(snap.bank(), &reference);
+    let quarantined_set: BTreeSet<(usize, usize)> = health.quarantined.iter().copied().collect();
+    let expected_set: BTreeSet<(usize, usize)> = if recoverable {
+        BTreeSet::new()
+    } else {
+        log.corrupted_groups.clone()
+    };
+    let quarantine_matches_injection = quarantined_set == expected_set;
+    let decisions = optimizer.log().len();
+    let degraded_decisions = optimizer.log().iter().filter(|d| d.degraded).count();
+    let ok = untrusted_recommendations == 0
+        && quarantine_matches_injection
+        && if recoverable {
+            converged
+        } else {
+            !quarantined_set.is_empty()
+        };
+    ChaosRow {
+        plan: plan.kind,
+        scenario,
+        recoverable,
+        batches: sup.report.batches,
+        restarts: sup.restarts,
+        stalls: sup.stalls,
+        published: sup.report.published,
+        rejected: health.rejected_samples,
+        corrupted: log.corrupted,
+        dropped_batches: log.dropped_batches,
+        quarantined: health.quarantined.clone(),
+        fallback: health.composed_fallback.clone(),
+        converged,
+        quarantine_matches_injection,
+        decisions,
+        degraded_decisions,
+        untrusted_recommendations,
+        ok,
+    }
+}
+
+/// Sweeps every scenario of [`chaos_scenarios`] over one campaign.
+pub fn chaos_suite(plan: &MeasurementPlan, n: usize) -> Vec<ChaosRow> {
+    let cfg = StreamConfig {
+        batch_size: 16,
+        shuffle_seed: Some(42),
+        duplicate_every: 0,
+        defer_every: 0,
+        channel_cap: 4,
+    };
+    chaos_scenarios()
+        .into_iter()
+        .map(|(name, fault)| run_chaos_scenario(plan, name, &fault, cfg, n))
+        .collect()
+}
+
+/// Renders a group list as `kind:m` pairs joined by `|` (CSV-safe).
+pub fn format_groups(groups: &[(usize, usize)]) -> String {
+    if groups.is_empty() {
+        return "-".to_string();
+    }
+    groups
+        .iter()
+        .map(|(k, m)| format!("{k}:{m}"))
+        .collect::<Vec<_>>()
+        .join("|")
+}

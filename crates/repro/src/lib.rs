@@ -6,11 +6,14 @@
 //! Criterion benches in `etm-bench` can measure the same code paths.
 //! [`stream`] goes beyond the paper: it replays the same campaigns as
 //! online measurement streams with §4 re-optimization and A/B-compares
-//! fitting backends on pinned snapshots.
+//! fitting backends on pinned snapshots. [`chaos`] injects seeded
+//! faults into those streams and scores the degradation ladder's
+//! invariants.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod correlate;
 pub mod experiments;
 pub mod stream;

@@ -182,7 +182,9 @@ pub struct AbRow {
     pub m1: usize,
     /// Estimate under backend A's final snapshot, seconds.
     pub estimate_a: f64,
-    /// Estimate under backend B's final snapshot, seconds.
+    /// Estimate under backend B's final snapshot, seconds. `NaN` when
+    /// backend B's bank lacks the models this configuration needs — a
+    /// bank-shape mismatch reported as a divergence row, not a crash.
     pub estimate_b: f64,
     /// Simulated measured time, seconds.
     pub measured: f64,
@@ -223,8 +225,13 @@ pub struct AbReport {
     pub report_b: StreamReport,
     /// Generation each engine's pinned snapshot carries.
     pub generations: (u64, u64),
-    /// One row per grid configuration estimable under both snapshots.
+    /// One row per grid configuration estimable under snapshot A;
+    /// configurations snapshot B cannot estimate appear with
+    /// `estimate_b = NaN` rather than being dropped.
     pub rows: Vec<AbRow>,
+    /// Grid configurations estimable under A but not B — the two banks
+    /// disagree on shape (a group fit by one backend only).
+    pub shape_mismatches: usize,
     /// Table-3/6-style campaign cost: total simulated measurement
     /// seconds both engines ingested.
     pub campaign_cost: f64,
@@ -232,30 +239,55 @@ pub struct AbReport {
 
 impl AbReport {
     /// Mean absolute relative estimate divergence across the grid.
+    /// Shape-mismatch rows (non-finite divergence) are excluded.
     pub fn mean_abs_divergence(&self) -> f64 {
-        if self.rows.is_empty() {
+        let finite: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| r.divergence().abs())
+            .filter(|d| d.is_finite())
+            .collect();
+        if finite.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| r.divergence().abs()).sum::<f64>() / self.rows.len() as f64
+        finite.iter().sum::<f64>() / finite.len() as f64
     }
 
-    /// Largest absolute relative divergence across the grid.
+    /// Largest absolute relative divergence across the grid, over rows
+    /// both snapshots could estimate.
     pub fn max_abs_divergence(&self) -> f64 {
         self.rows
             .iter()
             .map(|r| r.divergence().abs())
+            .filter(|d| d.is_finite())
             .fold(0.0, f64::max)
     }
 
     /// Mean absolute relative error of each backend against simulated
-    /// measurement, `(A, B)`.
+    /// measurement, `(A, B)`, each over the rows that backend could
+    /// estimate.
     pub fn mean_abs_rel_errors(&self) -> (f64, f64) {
-        if self.rows.is_empty() {
-            return (0.0, 0.0);
-        }
-        let n = self.rows.len() as f64;
-        let a = self.rows.iter().map(|r| r.rel_error_a().abs()).sum::<f64>() / n;
-        let b = self.rows.iter().map(|r| r.rel_error_b().abs()).sum::<f64>() / n;
+        let mean = |errors: Vec<f64>| {
+            if errors.is_empty() {
+                0.0
+            } else {
+                errors.iter().sum::<f64>() / errors.len() as f64
+            }
+        };
+        let a = mean(
+            self.rows
+                .iter()
+                .map(|r| r.rel_error_a().abs())
+                .filter(|e| e.is_finite())
+                .collect(),
+        );
+        let b = mean(
+            self.rows
+                .iter()
+                .map(|r| r.rel_error_b().abs())
+                .filter(|e| e.is_finite())
+                .collect(),
+        );
         (a, b)
     }
 }
@@ -285,17 +317,23 @@ pub fn ab_compare(plan: &MeasurementPlan, cfg: StreamConfig, n: usize) -> AbRepo
     let snap_a = engine_a.snapshot();
     let snap_b = engine_b.snapshot();
     let points = correlation_at(&spec, &snap_a, n, NB);
+    // A configuration B's bank cannot estimate is a finding, not a
+    // crash: report it as a NaN-divergence row and count it.
+    let mut shape_mismatches = 0usize;
     let rows: Vec<AbRow> = points
         .iter()
-        .filter_map(|p| {
-            let estimate_b = snap_b.estimate(&p.config, n).ok()?;
-            Some(AbRow {
+        .map(|p| {
+            let estimate_b = snap_b.estimate(&p.config, n).unwrap_or_else(|_| {
+                shape_mismatches += 1;
+                f64::NAN
+            });
+            AbRow {
                 config: p.config.clone(),
                 m1: p.config.procs_per_pe(KindId(snap_a.fast_kind())),
                 estimate_a: p.estimate_raw,
                 estimate_b,
                 measured: p.measured,
-            })
+            }
         })
         .collect();
     AbReport {
@@ -307,6 +345,7 @@ pub fn ab_compare(plan: &MeasurementPlan, cfg: StreamConfig, n: usize) -> AbRepo
         report_b,
         generations: (snap_a.generation(), snap_b.generation()),
         rows,
+        shape_mismatches,
         campaign_cost: db.total_cost(),
     }
 }

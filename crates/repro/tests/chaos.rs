@@ -1,0 +1,35 @@
+//! The chaos acceptance criteria: sweep the seeded fault plans over the
+//! NL campaign and hold the degradation ladder's invariants — no panic,
+//! no deadlock, recoverable runs bit-identical to the clean one-shot
+//! fit, unrecoverable runs quarantined exactly on the injected groups,
+//! and no decision ever backed by an untrusted model.
+
+use etm_core::plan::MeasurementPlan;
+use etm_repro::chaos::chaos_suite;
+
+#[test]
+fn chaos_suite_holds_the_ladder_invariants() {
+    let rows = chaos_suite(&MeasurementPlan::nl(), 3200);
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert!(r.ok, "scenario violated the ladder invariant: {r:?}");
+        assert_eq!(r.untrusted_recommendations, 0, "{r:?}");
+        assert!(r.decisions > 0, "the optimizer must keep deciding: {r:?}");
+    }
+    // The sweep must actually exercise every rung: clean convergence,
+    // recovered corruption, transport restarts, and a typed degraded
+    // end state.
+    assert!(rows.iter().any(|r| r.scenario == "clean" && r.converged));
+    assert!(rows
+        .iter()
+        .any(|r| r.corrupted > 0 && r.recoverable && r.converged));
+    assert!(rows.iter().any(|r| r.restarts > 0));
+    assert!(rows.iter().any(|r| r.stalls > 0));
+    let degraded: Vec<_> = rows.iter().filter(|r| !r.recoverable).collect();
+    assert!(!degraded.is_empty());
+    for r in degraded {
+        assert!(!r.quarantined.is_empty(), "{r:?}");
+        assert!(r.quarantine_matches_injection, "{r:?}");
+        assert!(!r.converged, "poisoned groups cannot converge: {r:?}");
+    }
+}

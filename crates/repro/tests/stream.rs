@@ -93,6 +93,10 @@ fn ab_harness_pins_snapshots_and_reports_finite_divergence() {
     let report = ab_compare(&plan, cfg, 1600);
     assert_eq!(report.backend_a, "poly_lsq");
     assert_eq!(report.backend_b, "binned_poly");
+    assert_eq!(
+        report.shape_mismatches, 0,
+        "same campaign: no bank-shape divergence rows expected"
+    );
     assert!(
         !report.rows.is_empty(),
         "the evaluation grid must be estimable under both backends"

@@ -25,6 +25,43 @@ pub fn snapshot_objective(
     move |config| snapshot.estimate(config, n)
 }
 
+/// A health-aware objective over a pinned snapshot: the same §4.1
+/// estimate as [`snapshot_objective`], but consulting the snapshot's
+/// [`EngineHealth`](etm_core::engine::EngineHealth) first.
+///
+/// * Configurations using an **untrusted** group — quarantined with no
+///   §3.5 composed fallback — are refused with
+///   [`PipelineError::ModelUntrusted`], which optimizers treat as "skip
+///   the candidate".
+/// * Configurations served by a **composed fallback** are discounted:
+///   their estimate is multiplied by `fallback_penalty` (≥ 1), so a
+///   measured configuration wins ties against a degraded one.
+///
+/// On a healthy snapshot this is bit-identical to
+/// [`snapshot_objective`]: no penalty multiply is applied.
+pub fn health_aware_objective(
+    snapshot: &EngineSnapshot,
+    n: usize,
+    fallback_penalty: f64,
+) -> impl Fn(&Configuration) -> Result<f64, PipelineError> + '_ {
+    move |config| {
+        let health = snapshot.health();
+        let mut penalty = 1.0f64;
+        for (kind, m) in etm_core::pipeline::groups_of(config) {
+            if health.is_untrusted((kind, m)) {
+                return Err(PipelineError::ModelUntrusted { kind, m });
+            }
+            if health.is_fallback((kind, m)) {
+                penalty = penalty.max(fallback_penalty);
+            }
+        }
+        let t = snapshot.estimate(config, n)?;
+        // Skip the multiply entirely when no penalty applies so the
+        // healthy path stays bit-identical to `snapshot_objective`.
+        Ok(if penalty > 1.0 { t * penalty } else { t })
+    }
+}
+
 /// The paper's §4 selection, engine-served: exhaustively evaluate every
 /// configuration of `space` against the snapshot's model at size `n` and
 /// return the estimated-fastest one. `None` when nothing is estimable.

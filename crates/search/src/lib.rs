@@ -33,7 +33,7 @@
 pub mod engine;
 pub mod online;
 
-pub use engine::{best_config, snapshot_objective};
+pub use engine::{best_config, health_aware_objective, snapshot_objective};
 pub use online::{OnlineDecision, OnlineOptimizer};
 
 use etm_cluster::{ClusterSpec, Configuration, KindId, KindUse};

@@ -11,13 +11,20 @@
 //! at least `hysteresis` (relative) faster than the *current estimate
 //! of the held configuration*, and records every observation in a
 //! decision log of (generation, best config, estimated time).
+//!
+//! The optimizer is **health-aware**: it evaluates candidates through
+//! [`health_aware_objective`], so configurations backed by an untrusted
+//! quarantined group are never recommended, and configurations served by
+//! a §3.5 composed fallback are discounted by `fallback_penalty` (and
+//! the decision tagged [`OnlineDecision::degraded`]).
 
 use std::sync::Arc;
 
 use etm_cluster::Configuration;
 use etm_core::engine::EngineSnapshot;
+use etm_core::pipeline::groups_of;
 
-use crate::{best_config, snapshot_objective, ConfigSpace, SearchResult};
+use crate::{exhaustive, health_aware_objective, ConfigSpace, SearchResult};
 
 /// One entry of the decision log: what the §4 search found at a
 /// generation, and what the optimizer recommended after hysteresis.
@@ -35,6 +42,10 @@ pub struct OnlineDecision {
     pub recommended_time: f64,
     /// Whether this observation switched the recommendation.
     pub switched: bool,
+    /// Whether the recommendation depends on a §3.5 composed-fallback
+    /// model — the snapshot was degraded and the estimate carries the
+    /// optimizer's fallback penalty.
+    pub degraded: bool,
 }
 
 /// Re-runs the §4 exhaustive selection per snapshot, switching its
@@ -43,6 +54,7 @@ pub struct OnlineOptimizer {
     space: ConfigSpace,
     n: usize,
     hysteresis: f64,
+    fallback_penalty: f64,
     held: Option<Configuration>,
     log: Vec<OnlineDecision>,
 }
@@ -65,9 +77,27 @@ impl OnlineOptimizer {
             space,
             n,
             hysteresis,
+            fallback_penalty: 1.25,
             held: None,
             log: Vec::new(),
         }
+    }
+
+    /// Sets the multiplicative discount applied to estimates served by a
+    /// §3.5 composed-fallback model (default 1.25 — a degraded estimate
+    /// must look 25% better than a measured one to win). `1.0` disables
+    /// the discount.
+    ///
+    /// # Panics
+    /// Panics if `penalty` is below 1.0 or not finite.
+    #[must_use]
+    pub fn with_fallback_penalty(mut self, penalty: f64) -> Self {
+        assert!(
+            penalty.is_finite() && penalty >= 1.0,
+            "fallback penalty must be a finite factor >= 1"
+        );
+        self.fallback_penalty = penalty;
+        self
     }
 
     /// Observes one published snapshot: runs the exhaustive §4 search
@@ -76,8 +106,12 @@ impl OnlineOptimizer {
     /// estimable under this snapshot (nothing is logged then — there is
     /// no decision to record).
     pub fn observe(&mut self, snapshot: &Arc<EngineSnapshot>) -> Option<&OnlineDecision> {
-        let best = best_config(snapshot, &self.space, self.n)?;
-        let objective = snapshot_objective(snapshot, self.n);
+        // The health-aware objective refuses untrusted groups (so they
+        // are skipped like any other inestimable candidate) and
+        // penalizes composed fallbacks; on a healthy snapshot it is
+        // bit-identical to the plain snapshot objective.
+        let objective = health_aware_objective(snapshot, self.n, self.fallback_penalty);
+        let best = exhaustive(&self.space.enumerate(), &objective)?;
         // Re-estimate the held configuration under *this* generation's
         // model: hysteresis compares like with like. A held config the
         // new model cannot estimate (its group vanished) forces a
@@ -98,6 +132,10 @@ impl OnlineOptimizer {
             let t = held_time.expect("checked above");
             (held, t)
         };
+        let health = snapshot.health();
+        let degraded = groups_of(&recommended)
+            .into_iter()
+            .any(|g| health.is_fallback(g));
         self.held = Some(recommended.clone());
         self.log.push(OnlineDecision {
             generation: snapshot.generation(),
@@ -105,6 +143,7 @@ impl OnlineOptimizer {
             recommended,
             recommended_time,
             switched,
+            degraded,
         });
         self.log.last()
     }
@@ -128,10 +167,12 @@ impl OnlineOptimizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::best_config;
     use etm_cluster::commlib::CommLibProfile;
     use etm_cluster::spec::paper_cluster;
     use etm_core::backend::PolyLsqBackend;
     use etm_core::engine::Engine;
+    use etm_core::pipeline::PipelineError;
     use etm_core::{MeasurementDb, Sample, SampleKey};
 
     fn synth_sample(kind: usize, pes: usize, m: usize, n: usize, drift: f64) -> Sample {
@@ -246,5 +287,128 @@ mod tests {
         }
         assert_eq!(opt.switches(), 1);
         assert_eq!(opt.log().len(), 6);
+    }
+
+    /// Like [`synth_db`] but with multi-PE measurements for *both*
+    /// kinds, so a quarantined group can find a measured §3.5 donor.
+    fn synth_db_two_measured() -> MeasurementDb {
+        let mut db = MeasurementDb::new();
+        for kind in 0..2usize {
+            for pes in [1usize, 2, 4] {
+                for m in 1..=2usize {
+                    for n in [400usize, 800, 1600, 2400, 3200] {
+                        db.record(
+                            SampleKey { kind, pes, m },
+                            synth_sample(kind, pes, m, n, 1.0),
+                        );
+                    }
+                }
+            }
+        }
+        db
+    }
+
+    /// Quarantines group `(kind, m)` by delivering more distinct bad
+    /// samples than the default budget admits; returns the published
+    /// degraded snapshot.
+    fn quarantine_group(
+        e: &Engine,
+        kind: usize,
+        m: usize,
+    ) -> std::sync::Arc<etm_core::engine::EngineSnapshot> {
+        let bad: Vec<(SampleKey, Sample)> = [400usize, 800, 1600]
+            .iter()
+            .map(|&n| {
+                let mut s = synth_sample(kind, 1, m, n, 1.0);
+                s.wall = f64::NAN;
+                (SampleKey { kind, pes: 1, m }, s)
+            })
+            .collect();
+        e.ingest(&bad).expect("quarantine publishes a snapshot")
+    }
+
+    #[test]
+    fn untrusted_groups_are_refused_and_never_recommended() {
+        // In `synth_db` kind 0 has single-PE data only, so its P-T
+        // models are §3.5-composed: quarantining (1, 1) leaves no
+        // measured donor and the group becomes untrusted.
+        let e = engine();
+        let snap = quarantine_group(&e, 1, 1);
+        let health = snap.health();
+        assert!(health.is_untrusted((1, 1)), "no donor: untrusted");
+        let objective = health_aware_objective(&snap, 1600, 1.25);
+        let cfg = Configuration::p1m1_p2m2(0, 0, 2, 1);
+        assert_eq!(
+            objective(&cfg),
+            Err(PipelineError::ModelUntrusted { kind: 1, m: 1 })
+        );
+        // The optimizer skips such candidates; everything it logs is
+        // backed by trusted (or at worst fallback) models.
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0);
+        let d = opt
+            .observe(&snap)
+            .expect("healthy candidates remain")
+            .clone();
+        for g in groups_of(&d.recommended) {
+            assert!(!health.is_untrusted(g), "recommended untrusted group {g:?}");
+        }
+    }
+
+    #[test]
+    fn fallback_estimates_carry_the_penalty_factor() {
+        let e = Engine::new(
+            Box::new(PolyLsqBackend::paper()),
+            synth_db_two_measured(),
+            None,
+        )
+        .expect("synth db fits");
+        let snap = quarantine_group(&e, 1, 1);
+        let health = snap.health();
+        assert!(health.is_fallback((1, 1)), "donor (0,1) is measured");
+        let cfg = Configuration::p1m1_p2m2(0, 0, 2, 1);
+        let plain = snap.estimate(&cfg, 1600).expect("fallback estimable");
+        let objective = health_aware_objective(&snap, 1600, 1.25);
+        let t = objective(&cfg).expect("fallback estimable");
+        assert_eq!(t.to_bits(), (plain * 1.25).to_bits());
+        // A configuration touching no degraded group stays bit-identical
+        // to the plain snapshot objective.
+        let healthy_cfg = Configuration::p1m1_p2m2(1, 1, 0, 0);
+        let t0 = objective(&healthy_cfg).expect("estimable");
+        let plain0 = snap.estimate(&healthy_cfg, 1600).expect("estimable");
+        assert_eq!(t0.to_bits(), plain0.to_bits());
+    }
+
+    #[test]
+    fn optimizer_discounts_fallbacks_and_tags_degraded_decisions() {
+        let e = Engine::new(
+            Box::new(PolyLsqBackend::paper()),
+            synth_db_two_measured(),
+            None,
+        )
+        .expect("synth db fits");
+        let snap = quarantine_group(&e, 1, 1);
+        let health = snap.health();
+        // The optimizer's pick equals a manual exhaustive search under
+        // the same health-aware objective.
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0).with_fallback_penalty(1.25);
+        let d = opt.observe(&snap).expect("estimable").clone();
+        let objective = health_aware_objective(&snap, 1600, 1.25);
+        let manual = exhaustive(&space().enumerate(), &objective).expect("estimable");
+        assert_eq!(d.recommended, manual.config);
+        assert_eq!(d.recommended_time.to_bits(), manual.time.to_bits());
+        assert_eq!(
+            d.degraded,
+            groups_of(&d.recommended)
+                .into_iter()
+                .any(|g| health.is_fallback(g))
+        );
+        // A prohibitive penalty steers the recommendation to a fully
+        // healthy configuration — and the decision is not degraded.
+        let mut strict = OnlineOptimizer::new(space(), 1600, 0.0).with_fallback_penalty(1e6);
+        let d2 = strict.observe(&snap).expect("estimable").clone();
+        assert!(!d2.degraded, "healthy alternatives exist");
+        for g in groups_of(&d2.recommended) {
+            assert!(!health.is_fallback(g), "penalty 1e6 must avoid {g:?}");
+        }
     }
 }

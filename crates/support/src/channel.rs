@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Creates a channel with unlimited buffering.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -92,6 +93,29 @@ impl fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Error returned by [`Receiver::recv_timeout`]: either nothing arrived
+/// within the deadline (the senders may be stalled, not gone) or the
+/// channel is empty and every sender is gone.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the channel still empty but senders
+    /// alive — the producer is stalled or slow, not disconnected.
+    Timeout,
+    /// The channel is empty and every [`Sender`] has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("receive timed out on an open channel"),
+            RecvTimeoutError::Disconnected => f.write_str("receiving on an empty, closed channel"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 /// The sending half; clone freely.
 pub struct Sender<T>(Arc<Chan<T>>);
 
@@ -168,6 +192,46 @@ impl<T> Receiver<T> {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
+        }
+    }
+
+    /// Dequeues the next message, blocking at most `timeout`.
+    ///
+    /// Distinguishes a *stalled* producer from a *gone* one — the
+    /// property drain loops need to surface a hung source as a typed
+    /// error instead of blocking forever.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError::Timeout`] when the deadline passes with at
+    /// least one sender still alive; [`RecvTimeoutError::Disconnected`]
+    /// once the channel is empty and every [`Sender`] is dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.0.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, wait) = match self.0.not_empty.wait_timeout(st, remaining) {
+                Ok(r) => r,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            st = guard;
+            if wait.timed_out() && st.queue.is_empty() {
+                // Senders may still be alive: that is precisely a stall.
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
         }
     }
 
@@ -349,6 +413,48 @@ mod tests {
         assert_eq!(rx2.recv(), Ok(7));
         drop(rx2);
         assert!(tx.send(8).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_delivers_available_messages() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(5));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_a_stalled_sender() {
+        let (tx, rx) = unbounded::<u8>();
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // The sender was merely stalled: a late send still arrives.
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(1));
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect_not_timeout() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(60)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_cross_thread_send() {
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(42));
+        h.join().unwrap();
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!    warnings` and `cargo fmt --all --check`.
 //! 4. **audit** — the model-validity audit (`etm_core::validate`): fits
 //!    a model bank from the simulated paper cluster and runs every
-//!    registered invariant check over it.
+//!    registered invariant check over it, then drives a live engine
+//!    into quarantine and audits the degraded snapshot's health
+//!    metadata and composed-fallback coefficients.
 //!
 //! Run a subset with e.g. `cargo xtask check hermetic lint`.
 //!
@@ -68,7 +70,7 @@ const PASSES: [Pass; 4] = [
     },
     Pass {
         name: "audit",
-        what: "model-validity audit over the paper-cluster bank",
+        what: "model-validity audit + degraded-health metadata check",
         run: audit::run,
     },
 ];

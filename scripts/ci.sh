@@ -5,7 +5,11 @@
 #                           hermeticity, then the tier-1 build + tests.
 #   scripts/ci.sh           everything in --quick, plus clippy, the
 #                           model-validity audit (warm-cached under
-#                           target/etm-cache/), and a bench smoke run
+#                           target/etm-cache/), the fixed-seed chaos
+#                           smoke (`repro chaos`, which exits non-zero
+#                           on any degradation-ladder invariant breach
+#                           and writes results/chaos_report.csv), and a
+#                           bench smoke run
 #                           that writes the substrates + streaming
 #                           baselines, gates each against the per-commit
 #                           store in results/bench/ via `cargo xtask
@@ -85,6 +89,7 @@ fi
 # --- full tier ------------------------------------------------------
 stage "clippy"     cargo clippy --workspace --all-targets -q -- -D warnings
 stage "audit"      cargo xtask check audit
+stage "chaos"      cargo run -q --release -p etm-repro --bin repro -- chaos
 stage "bench"      bench_smoke
 
 echo
