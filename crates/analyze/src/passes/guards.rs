@@ -1,0 +1,468 @@
+//! Guard-liveness analysis shared by the lock-order and
+//! held-across-blocking passes.
+//!
+//! For every `.lock()` call in a function body this recovers which lock
+//! was taken (the receiver field, qualified by the enclosing impl type:
+//! `Engine.state`) and the token range over which the returned
+//! `MutexGuard` stays alive:
+//!
+//! * `let g = x.lock();` — alive until `drop(g)` or the end of the
+//!   enclosing block;
+//! * `let _ = x.lock();` — dropped immediately;
+//! * `let (..) = …lock()…;` destructuring — conservatively alive to the
+//!   end of the enclosing block;
+//! * temporaries (`*x.lock() += 1;`, `x.lock().push(v);`) — alive to
+//!   the end of the statement;
+//! * condition temporaries (`if let Some(v) = x.lock().take() { … }`,
+//!   `match x.lock() { … }`, `for v in x.lock().iter() { … }`) — alive
+//!   through the attached block, matching Rust's extended temporary
+//!   lifetimes (the classic if-let-deadlock footgun).
+//!
+//! Liveness is judged by token position, so code inside a closure that
+//! is *registered* while a guard is held counts as running under the
+//! guard even if it executes later. That is deliberately conservative:
+//! the false-positive cost is an `analyze.allow` entry, the
+//! false-negative cost is a deadlock in production.
+
+use crate::lexer::TokenKind;
+use crate::scan::{FileIndex, FnItem};
+
+/// One `.lock()` call and the liveness of its guard.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Qualified lock identity, e.g. `Engine.state` or `m` in a free fn.
+    pub lock: String,
+    /// Token index of the `lock` identifier (diagnostic anchor).
+    pub tok: usize,
+    /// Inclusive token range over which the guard is live.
+    pub live: (usize, usize),
+}
+
+/// All lock acquisitions in `f`'s body, in source order.
+pub fn acquisitions(file: &FileIndex, f: &FnItem) -> Vec<Acquisition> {
+    let Some((body_open, body_close)) = f.body else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut i = body_open + 1;
+    while i < body_close {
+        if !file.tokens[i].is_trivia() && is_lock_call(file, i) && owns_token(file, f, i) {
+            if let Some(acq) = analyze_site(file, f, i, body_open, body_close) {
+                out.push(acq);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when token `i` belongs to `f` directly — not to a `fn` item
+/// nested inside `f`'s body (closures are not items and still count as
+/// `f`'s code).
+pub fn owns_token(file: &FileIndex, f: &FnItem, i: usize) -> bool {
+    file.fn_containing(i).is_some_and(|g| g.body == f.body)
+}
+
+/// True when token `i` is the `lock` of a `.lock()` call.
+fn is_lock_call(file: &FileIndex, i: usize) -> bool {
+    if !file.is_ident(i, "lock") {
+        return false;
+    }
+    let Some(prev) = file.prev_nt(i) else {
+        return false;
+    };
+    if !file.is_punct(prev, '.') {
+        return false;
+    }
+    let Some(open) = file.next_nt(i) else {
+        return false;
+    };
+    if !file.is_punct(open, '(') {
+        return false;
+    }
+    // `.lock()` takes no arguments.
+    file.close_of(open)
+        .is_some_and(|close| file.next_nt(open) == Some(close))
+}
+
+/// The receiver chain of the method call whose `.` sits at `dot`,
+/// walking backward over `a.b`, `a::b`, indexing (`a[i]`) and call
+/// parentheses. Returns the chain segments in source order plus the
+/// token index where the chain begins.
+fn receiver_chain(file: &FileIndex, dot: usize) -> (Vec<String>, usize) {
+    let mut segments: Vec<String> = Vec::new();
+    let mut j = match file.prev_nt(dot) {
+        Some(j) => j,
+        None => return (segments, dot),
+    };
+    let mut start = j;
+    loop {
+        let t = &file.tokens[j];
+        match t.kind {
+            TokenKind::Ident | TokenKind::Number => {
+                segments.push(file.text_of(j).to_string());
+                start = j;
+            }
+            TokenKind::Punct if matches!(file.text_of(j), ")" | "]") => {
+                // Jump over the group; the ident before it (if any)
+                // names the call/collection and is handled on the next
+                // iteration.
+                match file.open_of(j) {
+                    Some(open) => {
+                        start = open;
+                        match file.prev_nt(open) {
+                            Some(p) if matches!(file.tokens[p].kind, TokenKind::Ident) => {
+                                j = p;
+                                continue;
+                            }
+                            _ => break,
+                        }
+                    }
+                    None => break,
+                }
+            }
+            _ => break,
+        }
+        // Continue backward past `.` or `::`.
+        let Some(p) = file.prev_nt(j) else { break };
+        if file.is_punct(p, '.') {
+            j = match file.prev_nt(p) {
+                Some(q) => q,
+                None => break,
+            };
+        } else if file.is_punct(p, ':') {
+            let Some(q) = file.prev_nt(p) else { break };
+            if file.is_punct(q, ':') {
+                j = match file.prev_nt(q) {
+                    Some(r) => r,
+                    None => break,
+                };
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    segments.reverse();
+    (segments, start)
+}
+
+fn analyze_site(
+    file: &FileIndex,
+    f: &FnItem,
+    lock_tok: usize,
+    body_open: usize,
+    body_close: usize,
+) -> Option<Acquisition> {
+    let dot = file.prev_nt(lock_tok)?;
+    let (chain, start) = receiver_chain(file, dot);
+    let name = lock_name(&chain, f);
+    let args_open = file.next_nt(lock_tok)?; // `(`
+    let args_close = file.close_of(args_open)?;
+
+    // Statement start: the first non-trivia token after the nearest
+    // `;` / `{` / `}` before the chain.
+    let mut stmt_first = start;
+    {
+        let mut j = start;
+        while let Some(p) = file.prev_nt(j) {
+            if p <= body_open {
+                break;
+            }
+            if file.is_punct(p, ';') || file.is_punct(p, '{') || file.is_punct(p, '}') {
+                break;
+            }
+            stmt_first = p;
+            j = p;
+        }
+    }
+
+    let (_, block_close) = file
+        .enclosing_brace(lock_tok)
+        .unwrap_or((body_open, body_close));
+
+    // `let <pat> = <chain>.lock();` — only a direct binding of the
+    // guard counts: the first non-trivia token after `=` must be the
+    // chain start (so `let v = *x.lock();` stays a temporary), and the
+    // chain must *end* at the lock call (`…lock().post(msg)` binds the
+    // post result, so the guard is a temporary). `.unwrap()`/`.expect(`
+    // right after the lock still bind the guard (std-Mutex idiom).
+    let mut lock_end = args_close;
+    while let Some(d) = file.next_nt(lock_end) {
+        if !file.is_punct(d, '.') {
+            break;
+        }
+        let Some(m) = file.next_nt(d) else { break };
+        if !(file.is_ident(m, "unwrap") || file.is_ident(m, "expect")) {
+            break;
+        }
+        let Some(o) = file.next_nt(m) else { break };
+        if !file.is_punct(o, '(') {
+            break;
+        }
+        match file.close_of(o) {
+            Some(c) => lock_end = c,
+            None => break,
+        }
+    }
+    let chained = file
+        .next_nt(lock_end)
+        .is_some_and(|n| file.is_punct(n, '.'));
+    if !chained && file.is_ident(stmt_first, "let") {
+        if let Some((pattern_idents, destructured, eq)) = let_pattern(file, stmt_first, start) {
+            if file.next_nt(eq) == Some(start) {
+                if destructured {
+                    return Some(Acquisition {
+                        lock: name,
+                        tok: lock_tok,
+                        live: (lock_tok, block_close),
+                    });
+                }
+                if let [binding] = pattern_idents.as_slice() {
+                    if binding == "_" {
+                        // `let _ = x.lock();` drops immediately.
+                        return Some(Acquisition {
+                            lock: name,
+                            tok: lock_tok,
+                            live: (lock_tok, lock_tok),
+                        });
+                    }
+                    let end =
+                        find_drop(file, binding, args_close, block_close).unwrap_or(block_close);
+                    return Some(Acquisition {
+                        lock: name,
+                        tok: lock_tok,
+                        live: (lock_tok, end),
+                    });
+                }
+                // Unrecognized pattern: conservative, block-lived.
+                return Some(Acquisition {
+                    lock: name,
+                    tok: lock_tok,
+                    live: (lock_tok, block_close),
+                });
+            }
+        }
+    }
+
+    // Temporary: alive to the end of the statement, or through an
+    // attached `{…}` block (match / if let / while let / for).
+    let mut j = args_close;
+    let end = loop {
+        let Some(n) = file.next_nt(j) else {
+            break block_close;
+        };
+        if n >= block_close {
+            break block_close;
+        }
+        if file.tokens[n].kind == TokenKind::Punct {
+            match file.text_of(n) {
+                ";" => break n,
+                "{" => break file.close_of(n).unwrap_or(block_close),
+                "(" | "[" => {
+                    j = file.close_of(n).unwrap_or(n);
+                    continue;
+                }
+                "}" => break n,
+                _ => {}
+            }
+        }
+        j = n;
+    };
+    Some(Acquisition {
+        lock: name,
+        tok: lock_tok,
+        live: (lock_tok, end),
+    })
+}
+
+/// The lock's display name: the receiver chain with a leading `self`
+/// stripped, qualified by the impl type when inside one
+/// (`Engine.state`). A bare `m.lock()` in a free fn stays `m`.
+fn lock_name(chain: &[String], f: &FnItem) -> String {
+    let rest: Vec<&str> = chain
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| !(*i == 0 && *s == "self"))
+        .map(|(_, s)| s.as_str())
+        .collect();
+    let base = if rest.is_empty() {
+        "self".to_string()
+    } else {
+        rest.join(".")
+    };
+    match (&f.impl_type, chain.first().map(String::as_str)) {
+        // Qualify self-relative fields by the impl type; leave locals
+        // and free paths alone.
+        (Some(ty), Some("self")) => format!("{ty}.{base}"),
+        _ => base,
+    }
+}
+
+/// The pattern idents of a `let` at `let_tok`, whether the pattern
+/// destructures, and the token index of the `=`. `bound_before` caps
+/// the search (the chain start).
+fn let_pattern(
+    file: &FileIndex,
+    let_tok: usize,
+    bound_before: usize,
+) -> Option<(Vec<String>, bool, usize)> {
+    let mut idents = Vec::new();
+    let mut destructured = false;
+    let mut j = file.next_nt(let_tok)?;
+    while j < bound_before {
+        let t = &file.tokens[j];
+        match t.kind {
+            TokenKind::Ident => {
+                let s = file.text_of(j);
+                if s != "mut" && s != "ref" {
+                    idents.push(s.to_string());
+                }
+            }
+            TokenKind::Punct => match file.text_of(j) {
+                "=" => return Some((idents, destructured, j)),
+                "(" | "[" | "{" => {
+                    destructured = true;
+                    j = file.close_of(j)?;
+                }
+                ":" => {
+                    // Type ascription: skip to the `=`.
+                    let mut k = j;
+                    while let Some(n) = file.next_nt(k) {
+                        if n >= bound_before {
+                            return None;
+                        }
+                        if file.is_punct(n, '=')
+                            && !file.next_nt(n).is_some_and(|m| file.is_punct(m, '='))
+                        {
+                            return Some((idents, destructured, n));
+                        }
+                        if file.is_punct(n, '(') || file.is_punct(n, '[') {
+                            k = file.close_of(n)?;
+                        } else {
+                            k = n;
+                        }
+                    }
+                    return None;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        j = file.next_nt(j)?;
+    }
+    None
+}
+
+/// Finds `drop(<name>)` between `from` and `until`; returns the token
+/// index of the `drop` call's close paren.
+fn find_drop(file: &FileIndex, name: &str, from: usize, until: usize) -> Option<usize> {
+    let mut i = from;
+    while i < until {
+        if file.is_ident(i, "drop") {
+            if let Some(open) = file.next_nt(i) {
+                if file.is_punct(open, '(') {
+                    if let Some(arg) = file.next_nt(open) {
+                        if file.is_ident(arg, name) {
+                            if let Some(close) = file.next_nt(arg) {
+                                if file.is_punct(close, ')') {
+                                    return Some(close);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileIndex;
+
+    fn acqs(src: &str) -> Vec<(String, String)> {
+        let file = FileIndex::new("crates/demo/src/a.rs".into(), src.into());
+        let mut out = Vec::new();
+        for f in &file.fns {
+            for a in acquisitions(&file, f) {
+                let live_text: String = (a.live.0..=a.live.1)
+                    .map(|i| file.text_of(i))
+                    .collect::<Vec<_>>()
+                    .join("");
+                out.push((a.lock, live_text));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn named_guard_lives_to_block_end() {
+        let got = acqs("fn f() { let g = m.lock(); touch(); }\nfn t() {}\n");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "m");
+        assert!(got[0].1.contains("touch"), "{got:?}");
+    }
+
+    #[test]
+    fn drop_ends_liveness_early() {
+        let got = acqs("fn f() { let g = m.lock(); use_it(); drop(g); after(); }\n");
+        assert!(got[0].1.contains("use_it"), "{got:?}");
+        assert!(!got[0].1.contains("after"), "{got:?}");
+    }
+
+    #[test]
+    fn temporary_dies_at_statement_end() {
+        let got = acqs("fn f() { m.lock().push(1); after(); }\n");
+        assert!(got[0].1.contains("push"), "{got:?}");
+        assert!(!got[0].1.contains("after"), "{got:?}");
+    }
+
+    #[test]
+    fn deref_let_is_a_temporary() {
+        let got = acqs("fn f() { let v = *m.lock(); after(); }\n");
+        assert!(!got[0].1.contains("after"), "{got:?}");
+    }
+
+    #[test]
+    fn if_let_condition_extends_through_block() {
+        let got = acqs("fn f() { if let Some(v) = m.lock().take() { inside(); } outside(); }\n");
+        assert!(got[0].1.contains("inside"), "{got:?}");
+        assert!(!got[0].1.contains("outside"), "{got:?}");
+    }
+
+    #[test]
+    fn match_scrutinee_extends_through_match() {
+        let got = acqs("fn f() { match m.lock().state { _ => arm() } tail(); }\n");
+        assert!(got[0].1.contains("arm"), "{got:?}");
+        assert!(!got[0].1.contains("tail"), "{got:?}");
+    }
+
+    #[test]
+    fn underscore_binding_dies_immediately() {
+        let got = acqs("fn f() { let _ = m.lock(); after(); }\n");
+        assert!(!got[0].1.contains("after"), "{got:?}");
+    }
+
+    #[test]
+    fn impl_type_qualifies_self_fields() {
+        let got = acqs(
+            "struct Engine;\nimpl Engine {\n  fn go(&self) { let s = self.state.lock(); }\n}\n",
+        );
+        assert_eq!(got[0].0, "Engine.state");
+    }
+
+    #[test]
+    fn tuple_field_and_indexed_receivers() {
+        let got = acqs(
+            "impl Shared {\n  fn a(&self) { let st = self.0.lock(); }\n\
+             \n  fn b(&self) { self.mailboxes[i].lock().post(); }\n}\n",
+        );
+        assert_eq!(got[0].0, "Shared.0");
+        assert_eq!(got[1].0, "Shared.mailboxes");
+    }
+}

@@ -1,0 +1,386 @@
+//! C001 `lock-order`: deadlock-shaped lock acquisition.
+//!
+//! Builds, per non-test function, the sequence of `etm_support::sync`
+//! guard acquisitions ([`super::guards`]) and an approximate call graph
+//! (callee matching by simple name). Three findings:
+//!
+//! * a lock re-acquired while its own guard is live (the wrapped
+//!   mutexes are not re-entrant — this self-deadlocks);
+//! * a call made while a lock is held to a function that (transitively)
+//!   acquires that same lock;
+//! * a cycle in the resulting lock-order graph (`A` held while taking
+//!   `B` in one place, `B` held while taking `A` in another).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::diag::{BaselineMode, Rule, Severity};
+use crate::scan::{FileIndex, FnItem};
+use crate::workspace::Workspace;
+
+use super::guards::{acquisitions, owns_token, Acquisition};
+use super::{Context, Pass};
+
+/// The C001 rule.
+pub static LOCK_ORDER: Rule = Rule {
+    id: "C001",
+    name: "lock-order",
+    severity: Severity::Error,
+    brief: "lock acquisitions must form a cycle-free order; no lock may be re-acquired while held",
+    baseline: BaselineMode::PerFile,
+};
+
+/// The lock-order pass.
+pub struct LockOrderPass;
+
+/// Per-function facts gathered in one sweep.
+struct FnFacts<'w> {
+    file: &'w FileIndex,
+    item: &'w FnItem,
+    acqs: Vec<Acquisition>,
+    /// `(call token, callee simple name)` in source order.
+    calls: Vec<(usize, String)>,
+}
+
+impl Pass for LockOrderPass {
+    fn rule(&self) -> &'static Rule {
+        &LOCK_ORDER
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Context<'_>) {
+        let facts = gather(ws);
+        // Simple name → indices into `facts` (a name can resolve to
+        // several fns; the union of their locks is the conservative
+        // answer).
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, f) in facts.iter().enumerate() {
+            by_name.entry(f.item.name.as_str()).or_default().push(i);
+        }
+
+        // Fixpoint: the set of locks each fn acquires, transitively
+        // through calls.
+        let mut acquired: Vec<BTreeSet<String>> = facts
+            .iter()
+            .map(|f| f.acqs.iter().map(|a| a.lock.clone()).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..facts.len() {
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for (_, callee) in &facts[i].calls {
+                    for &j in by_name.get(callee.as_str()).into_iter().flatten() {
+                        for l in &acquired[j] {
+                            if !acquired[i].contains(l) {
+                                add.insert(l.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    acquired[i].extend(add);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Edges `held → taken`, keeping the first site per ordered pair.
+        // `(file path, token, message)` anchors the diagnostic.
+        let mut edges: BTreeMap<(String, String), (usize, usize, String)> = BTreeMap::new();
+        for (fi, f) in facts.iter().enumerate() {
+            for a in &f.acqs {
+                // Direct acquisitions while `a` is live.
+                for b in &f.acqs {
+                    if b.tok <= a.tok || b.tok > a.live.1 {
+                        continue;
+                    }
+                    if b.lock == a.lock {
+                        ctx.emit_at(
+                            &LOCK_ORDER,
+                            f.file,
+                            b.tok,
+                            format!(
+                                "`{}` re-acquired in `{}` while its guard is still held \
+                                 (non-re-entrant mutex: this self-deadlocks)",
+                                a.lock, f.item.qualified
+                            ),
+                        );
+                    } else {
+                        edges
+                            .entry((a.lock.clone(), b.lock.clone()))
+                            .or_insert_with(|| {
+                                (
+                                    fi,
+                                    b.tok,
+                                    format!(
+                                        "`{}` acquired in `{}` while `{}` is held",
+                                        b.lock, f.item.qualified, a.lock
+                                    ),
+                                )
+                            });
+                    }
+                }
+                // Calls made while `a` is live, to fns that lock.
+                for (call_tok, callee) in &f.calls {
+                    if *call_tok <= a.tok || *call_tok > a.live.1 {
+                        continue;
+                    }
+                    for &j in by_name.get(callee.as_str()).into_iter().flatten() {
+                        if acquired[j].contains(&a.lock) {
+                            ctx.emit_at(
+                                &LOCK_ORDER,
+                                f.file,
+                                *call_tok,
+                                format!(
+                                    "`{}` calls `{}` while `{}` is held, and `{}` \
+                                     (transitively) acquires `{}` — self-deadlock",
+                                    f.item.qualified, callee, a.lock, callee, a.lock
+                                ),
+                            );
+                        }
+                        for l in &acquired[j] {
+                            if *l == a.lock {
+                                continue;
+                            }
+                            edges.entry((a.lock.clone(), l.clone())).or_insert_with(|| {
+                                (
+                                    fi,
+                                    *call_tok,
+                                    format!(
+                                        "`{}` acquired via call to `{}` in `{}` while `{}` is held",
+                                        l, callee, f.item.qualified, a.lock
+                                    ),
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle detection: any edge whose endpoints sit in one strongly
+        // connected component closes a loop in the lock order.
+        let nodes: Vec<&String> = {
+            let mut s: BTreeSet<&String> = BTreeSet::new();
+            for (a, b) in edges.keys() {
+                s.insert(a);
+                s.insert(b);
+            }
+            s.into_iter().collect()
+        };
+        let idx: HashMap<&str, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let adj: Vec<Vec<usize>> = {
+            let mut adj = vec![Vec::new(); nodes.len()];
+            for (a, b) in edges.keys() {
+                adj[idx[a.as_str()]].push(idx[b.as_str()]);
+            }
+            adj
+        };
+        let comp = scc(&adj);
+        for ((a, b), (fi, tok, msg)) in &edges {
+            let (ca, cb) = (comp[idx[a.as_str()]], comp[idx[b.as_str()]]);
+            if ca == cb {
+                let members: Vec<&str> = nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| comp[*i] == ca)
+                    .map(|(_, n)| n.as_str())
+                    .collect();
+                ctx.emit_at(
+                    &LOCK_ORDER,
+                    facts[*fi].file,
+                    *tok,
+                    format!(
+                        "{msg} — closes a lock-order cycle over {{{}}}",
+                        members.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects acquisitions and call sites for every non-test fn.
+fn gather(ws: &Workspace) -> Vec<FnFacts<'_>> {
+    let mut facts = Vec::new();
+    for file in &ws.files {
+        for item in &file.fns {
+            if item.is_test || item.body.is_none() {
+                continue;
+            }
+            facts.push(FnFacts {
+                file,
+                item,
+                acqs: acquisitions(file, item),
+                calls: call_sites(file, item),
+            });
+        }
+    }
+    facts
+}
+
+/// `(token, callee simple name)` for every call in `f`'s own body.
+/// Method calls and path calls both reduce to the final ident; macro
+/// invocations (`name!(…)`) are excluded by the `!`.
+fn call_sites(file: &FileIndex, f: &FnItem) -> Vec<(usize, String)> {
+    let Some((open, close)) = f.body else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        if file.tokens[i].kind != crate::lexer::TokenKind::Ident {
+            continue;
+        }
+        let Some(n) = file.next_nt(i) else { continue };
+        if !file.is_punct(n, '(') {
+            continue;
+        }
+        // `fn name(` is a declaration, not a call.
+        if file.prev_nt(i).is_some_and(|p| file.is_ident(p, "fn")) {
+            continue;
+        }
+        // `drop(x)` is always `std::mem::drop` — `Drop::drop` cannot be
+        // called explicitly, so resolving it to a workspace `fn drop`
+        // would fabricate edges into every Drop impl.
+        if file.is_ident(i, "drop") {
+            continue;
+        }
+        if !owns_token(file, f, i) {
+            continue;
+        }
+        out.push((i, file.text_of(i).trim_start_matches("r#").to_string()));
+    }
+    out
+}
+
+/// Tarjan's strongly connected components; returns a component id per
+/// node. Recursive — the node set is distinct lock names, which stays
+/// tiny for any real workspace.
+fn scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    struct State<'g> {
+        adj: &'g [Vec<usize>],
+        index: Vec<usize>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        comp: Vec<usize>,
+        next_index: usize,
+        next_comp: usize,
+    }
+    fn visit(s: &mut State<'_>, v: usize) {
+        s.index[v] = s.next_index;
+        s.low[v] = s.next_index;
+        s.next_index += 1;
+        s.stack.push(v);
+        s.on_stack[v] = true;
+        for ci in 0..s.adj[v].len() {
+            let w = s.adj[v][ci];
+            if s.index[w] == usize::MAX {
+                visit(s, w);
+                s.low[v] = s.low[v].min(s.low[w]);
+            } else if s.on_stack[w] {
+                s.low[v] = s.low[v].min(s.index[w]);
+            }
+        }
+        if s.low[v] == s.index[v] {
+            while let Some(w) = s.stack.pop() {
+                s.on_stack[w] = false;
+                s.comp[w] = s.next_comp;
+                if w == v {
+                    break;
+                }
+            }
+            s.next_comp += 1;
+        }
+    }
+    let n = adj.len();
+    let mut s = State {
+        adj,
+        index: vec![usize::MAX; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        comp: vec![usize::MAX; n],
+        next_index: 0,
+        next_comp: 0,
+    };
+    for v in 0..n {
+        if s.index[v] == usize::MAX {
+            visit(&mut s, v);
+        }
+    }
+    s.comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use crate::workspace::Workspace;
+
+    fn run(src: &str) -> Vec<String> {
+        let ws = Workspace::from_sources(vec![("crates/demo/src/a.rs".into(), src.into())]);
+        let baseline = Baseline::default();
+        let mut ctx = Context::new(&baseline);
+        LockOrderPass.run(&ws, &mut ctx);
+        ctx.diagnostics.iter().map(|d| d.to_string()).collect()
+    }
+
+    #[test]
+    fn inverted_order_in_two_fns_is_a_cycle() {
+        let got = run("fn ab() { let g = a.lock(); let h = b.lock(); }\n\
+             fn ba() { let g = b.lock(); let h = a.lock(); }\n");
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got[0].contains("cycle"), "{got:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let got = run("fn one() { let g = a.lock(); let h = b.lock(); }\n\
+             fn two() { let g = a.lock(); let h = b.lock(); }\n");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn reacquire_while_held_is_self_deadlock() {
+        let got = run("fn f() { let g = m.lock(); let h = m.lock(); }\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("re-acquired"), "{got:?}");
+    }
+
+    #[test]
+    fn drop_before_reacquire_is_clean() {
+        let got = run("fn f() { let g = m.lock(); drop(g); let h = m.lock(); }\n");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn call_into_same_lock_is_self_deadlock() {
+        let got = run("fn outer() { let g = m.lock(); helper(); }\n\
+             fn helper() { let h = m.lock(); }\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("helper"), "{got:?}");
+    }
+
+    #[test]
+    fn transitive_cycle_through_calls_detected() {
+        let got = run("fn outer() { let g = a.lock(); helper(); }\n\
+             fn helper() { let h = b.lock(); }\n\
+             fn other() { let g = b.lock(); let h = a.lock(); }\n");
+        assert!(!got.is_empty(), "{got:?}");
+        assert!(got.iter().any(|m| m.contains("cycle")), "{got:?}");
+    }
+
+    #[test]
+    fn test_fns_are_exempt() {
+        let got = run(
+            "#[cfg(test)]\nmod tests {\n    fn f() { let g = m.lock(); let h = m.lock(); }\n}\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

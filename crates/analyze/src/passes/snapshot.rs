@@ -1,0 +1,369 @@
+//! C003 `snapshot-discipline`: nothing mutable may be reachable through
+//! `Arc<EngineSnapshot>`.
+//!
+//! The engine publishes estimator state to readers as an immutable
+//! snapshot behind an `Arc`; readers must never observe change. Four
+//! checks:
+//!
+//! * no struct reachable from `EngineSnapshot`'s fields (transitively,
+//!   through workspace structs) may contain an interior-mutability type
+//!   (`Mutex`, `RwLock`, `RefCell`, `Cell`, `UnsafeCell`, `OnceCell`,
+//!   `OnceLock`, `LazyLock`, `Atomic*`);
+//! * the type `&mut EngineSnapshot` must not appear in non-test code;
+//! * `impl EngineSnapshot` must not define `&mut self` methods;
+//! * `Arc::make_mut` / `Arc::get_mut` must not target a snapshot.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::diag::{BaselineMode, Rule, Severity};
+use crate::lexer::TokenKind;
+use crate::scan::FileIndex;
+use crate::workspace::Workspace;
+
+use super::{Context, Pass};
+
+/// The C003 rule.
+pub static SNAPSHOT_DISCIPLINE: Rule = Rule {
+    id: "C003",
+    name: "snapshot-discipline",
+    severity: Severity::Error,
+    brief: "no &mut access or interior mutability reachable through Arc<EngineSnapshot>",
+    baseline: BaselineMode::PerFile,
+};
+
+/// The snapshot type the analysis is rooted at.
+const ROOT: &str = "EngineSnapshot";
+
+/// Interior-mutability type names (plus any `Atomic*`).
+const INTERIOR_MUT: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "Condvar",
+];
+
+/// The snapshot-discipline pass.
+pub struct SnapshotPass;
+
+/// One struct definition: uppercase idents in its field region, with
+/// the file/token of each mention.
+struct StructDef {
+    /// `(type ident, file index, token index)` for each field mention.
+    mentions: Vec<(String, usize, usize)>,
+}
+
+impl Pass for SnapshotPass {
+    fn rule(&self) -> &'static Rule {
+        &SNAPSHOT_DISCIPLINE
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Context<'_>) {
+        let structs = collect_structs(ws);
+
+        // Transitive reachability from the snapshot root.
+        let mut reachable: BTreeSet<String> = BTreeSet::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        if structs.contains_key(ROOT) {
+            reachable.insert(ROOT.to_string());
+            queue.push_back(ROOT);
+        }
+        while let Some(name) = queue.pop_front() {
+            let Some(def) = structs.get(name) else {
+                continue;
+            };
+            for (ty, file_idx, tok) in &def.mentions {
+                if is_interior_mut(ty) {
+                    let file = &ws.files[*file_idx];
+                    ctx.emit_at(
+                        &SNAPSHOT_DISCIPLINE,
+                        file,
+                        *tok,
+                        format!(
+                            "`{name}` is reachable from Arc<{ROOT}> but holds \
+                             interior-mutability type `{ty}` — snapshots must be deeply frozen"
+                        ),
+                    );
+                } else if structs.contains_key(ty.as_str()) && !reachable.contains(ty) {
+                    reachable.insert(ty.clone());
+                    // Safe: the key lives in `structs`.
+                    if let Some((key, _)) = structs.get_key_value(ty.as_str()) {
+                        queue.push_back(key);
+                    }
+                }
+            }
+        }
+
+        for file in &ws.files {
+            scan_mut_refs(file, ctx);
+            scan_mut_self_methods(file, ctx);
+            scan_arc_mutation(file, ctx);
+        }
+    }
+}
+
+fn is_interior_mut(ty: &str) -> bool {
+    INTERIOR_MUT.contains(&ty) || (ty.starts_with("Atomic") && ty.len() > "Atomic".len())
+}
+
+/// Collects every `struct Name …` definition and the uppercase idents
+/// mentioned in its field region (named `{…}` or tuple `(…);` fields).
+fn collect_structs(ws: &Workspace) -> BTreeMap<String, StructDef> {
+    let mut out: BTreeMap<String, StructDef> = BTreeMap::new();
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        for i in 0..file.tokens.len() {
+            if !file.is_ident(i, "struct") {
+                continue;
+            }
+            let Some(name_i) = file.next_nt(i) else {
+                continue;
+            };
+            if file.tokens[name_i].kind != TokenKind::Ident {
+                continue;
+            }
+            let name = file.text_of(name_i).to_string();
+            let Some(region) = field_region(file, name_i) else {
+                continue;
+            };
+            let entry = out.entry(name).or_insert_with(|| StructDef {
+                mentions: Vec::new(),
+            });
+            for j in region.0 + 1..region.1 {
+                let t = &file.tokens[j];
+                if t.kind == TokenKind::Ident
+                    && file
+                        .text_of(j)
+                        .starts_with(|c: char| c.is_ascii_uppercase())
+                {
+                    entry
+                        .mentions
+                        .push((file.text_of(j).to_string(), file_idx, j));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The `{…}` or `(…)` field region of a struct whose name token is
+/// `name_i`. Skips generics (`<…>` with depth tracking) and a `where`
+/// clause; unit structs have no region.
+fn field_region(file: &FileIndex, name_i: usize) -> Option<(usize, usize)> {
+    let mut angle = 0i32;
+    let mut j = file.next_nt(name_i)?;
+    loop {
+        if file.tokens[j].kind == TokenKind::Punct {
+            match file.text_of(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle == 0 => return file.close_of(j).map(|c| (j, c)),
+                "(" if angle == 0 => return file.close_of(j).map(|c| (j, c)),
+                ";" if angle == 0 => return None,
+                _ => {}
+            }
+        }
+        j = file.next_nt(j)?;
+    }
+}
+
+/// Flags the token sequence `& mut EngineSnapshot` outside tests.
+fn scan_mut_refs(file: &FileIndex, ctx: &mut Context<'_>) {
+    for i in 0..file.tokens.len() {
+        if !file.is_punct(i, '&') || file.is_test_token(i) {
+            continue;
+        }
+        let Some(m) = file.next_nt(i) else { continue };
+        if !file.is_ident(m, "mut") {
+            continue;
+        }
+        let Some(t) = file.next_nt(m) else { continue };
+        if file.is_ident(t, ROOT) {
+            ctx.emit_at(
+                &SNAPSHOT_DISCIPLINE,
+                file,
+                t,
+                format!("`&mut {ROOT}` — published snapshots are immutable; build a new one"),
+            );
+        }
+    }
+}
+
+/// Flags `&mut self` methods on `impl EngineSnapshot`.
+fn scan_mut_self_methods(file: &FileIndex, ctx: &mut Context<'_>) {
+    for f in &file.fns {
+        if f.is_test || f.impl_type.as_deref() != Some(ROOT) {
+            continue;
+        }
+        // Signature extent: from the fn's name token to the body `{`
+        // (or the declaration `;`).
+        let Some(name_i) = (0..file.tokens.len())
+            .find(|&i| file.tokens[i].line == f.line && file.is_ident(i, &f.name))
+        else {
+            continue;
+        };
+        let end = f.body.map_or(file.tokens.len(), |(open, _)| open);
+        let mut i = name_i;
+        while i < end {
+            if file.is_punct(i, '&') {
+                if let Some(m) = file.next_nt(i) {
+                    if file.is_ident(m, "mut") {
+                        if let Some(s) = file.next_nt(m) {
+                            if file.is_ident(s, "self") {
+                                ctx.emit_at(
+                                    &SNAPSHOT_DISCIPLINE,
+                                    file,
+                                    s,
+                                    format!(
+                                        "`{ROOT}::{}` takes `&mut self` — snapshots must not \
+                                         expose mutating methods",
+                                        f.name
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Flags `Arc::make_mut` / `Arc::get_mut` whose argument mentions a
+/// snapshot.
+fn scan_arc_mutation(file: &FileIndex, ctx: &mut Context<'_>) {
+    for i in 0..file.tokens.len() {
+        let t = &file.tokens[i];
+        if t.kind != TokenKind::Ident || file.is_test_token(i) {
+            continue;
+        }
+        let text = file.text_of(i);
+        if text != "make_mut" && text != "get_mut" {
+            continue;
+        }
+        // Must be `Arc::<name>`.
+        let Some(c1) = file.prev_nt(i) else { continue };
+        if !file.is_punct(c1, ':') {
+            continue;
+        }
+        let Some(c2) = file.prev_nt(c1) else { continue };
+        if !file.is_punct(c2, ':') {
+            continue;
+        }
+        let Some(arc) = file.prev_nt(c2) else {
+            continue;
+        };
+        if !file.is_ident(arc, "Arc") {
+            continue;
+        }
+        let Some(open) = file.next_nt(i) else {
+            continue;
+        };
+        if !file.is_punct(open, '(') {
+            continue;
+        }
+        let Some(close) = file.close_of(open) else {
+            continue;
+        };
+        let snapshotish = (open + 1..close).any(|j| {
+            file.tokens[j].kind == TokenKind::Ident
+                && (file.is_ident(j, ROOT) || file.text_of(j).contains("snapshot"))
+        });
+        if snapshotish {
+            ctx.emit_at(
+                &SNAPSHOT_DISCIPLINE,
+                file,
+                i,
+                format!(
+                    "`Arc::{text}` on a snapshot — readers hold clones of this Arc; \
+                     build-and-swap instead of mutating in place"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use crate::workspace::Workspace;
+
+    fn run(src: &str) -> Vec<String> {
+        let ws = Workspace::from_sources(vec![("crates/demo/src/a.rs".into(), src.into())]);
+        let baseline = Baseline::default();
+        let mut ctx = Context::new(&baseline);
+        SnapshotPass.run(&ws, &mut ctx);
+        ctx.diagnostics.iter().map(|d| d.to_string()).collect()
+    }
+
+    #[test]
+    fn direct_interior_mutability_flagged() {
+        let got = run("struct EngineSnapshot { cache: Mutex<u32> }\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("Mutex"), "{got:?}");
+    }
+
+    #[test]
+    fn transitive_interior_mutability_flagged() {
+        let got = run("struct EngineSnapshot { inner: Inner }\n\
+             struct Inner { hits: AtomicU64 }\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("AtomicU64"), "{got:?}");
+    }
+
+    #[test]
+    fn frozen_snapshot_is_clean() {
+        let got = run(
+            "struct EngineSnapshot { estimator: Estimator, generation: u64 }\n\
+             struct Estimator { coef: Vec<f64> }\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn unrelated_struct_with_mutex_is_fine() {
+        let got = run("struct EngineSnapshot { generation: u64 }\n\
+             struct Shared { state: Mutex<u32> }\n");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn mut_ref_to_snapshot_flagged() {
+        let got = run("struct EngineSnapshot { generation: u64 }\n\
+             fn poke(s: &mut EngineSnapshot) { s.generation += 1; }\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("&mut"), "{got:?}");
+    }
+
+    #[test]
+    fn mut_self_method_flagged() {
+        let got = run("struct EngineSnapshot { generation: u64 }\n\
+             impl EngineSnapshot {\n    fn bump(&mut self) { self.generation += 1; }\n}\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("&mut self"), "{got:?}");
+    }
+
+    #[test]
+    fn shared_self_method_is_clean() {
+        let got = run("struct EngineSnapshot { generation: u64 }\n\
+             impl EngineSnapshot {\n    fn generation(&self) -> u64 { self.generation }\n}\n");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn arc_make_mut_on_snapshot_flagged() {
+        let got = run("fn f() { let s = Arc::make_mut(&mut snapshot); }\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+    }
+
+    #[test]
+    fn arc_make_mut_on_other_state_is_clean() {
+        let got = run("fn f() { let db = Arc::make_mut(&mut state.db); }\n");
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

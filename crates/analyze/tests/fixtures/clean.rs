@@ -1,0 +1,74 @@
+//! Negative fixture: tricky-but-legal code on which every pass must
+//! stay silent. Mentions of banned patterns live only in comments,
+//! strings, and test code — exactly what the old line-regex lint got
+//! wrong.
+//!
+//! For example `.unwrap()` in this doc comment is not code.
+
+struct Pipeline {
+    state: Mutex<u32>,
+    queue: Mutex<Vec<u32>>,
+}
+
+impl Pipeline {
+    // Consistent order everywhere: state, then queue. No cycle.
+    fn forward(&self) {
+        let st = self.state.lock();
+        let q = self.queue.lock();
+        drop(q);
+        drop(st);
+    }
+
+    fn forward_again(&self) {
+        let st = self.state.lock();
+        let q = self.queue.lock();
+        drop(q);
+        drop(st);
+    }
+
+    // Guard released before blocking.
+    fn drain(&self, rx: &Receiver<u32>) {
+        let v = {
+            let mut q = self.queue.lock();
+            q.pop()
+        };
+        let next = rx.recv();
+        consume(v, next);
+    }
+}
+
+// The string below is data, not a call — and the marker inside it must
+// not justify anything.
+fn describe() -> &'static str {
+    "call .unwrap() and add // unwrap-ok: to silence (says the README)"
+}
+
+// Scoped spawns are supervised by the scope itself.
+fn fan_out(xs: &[u32]) {
+    scope(|s| {
+        s.spawn(|| work(xs));
+    });
+}
+
+// Supervised thread: joined in the same fn.
+fn run_once() {
+    let h = thread::spawn(tick);
+    h.join();
+}
+
+// Path joins are not thread joins.
+fn locate(dir: &Path, name: &str) -> PathBuf {
+    let held = STATE.lock();
+    let p = dir.join(name);
+    drop(held);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! C001 fixture: seeded lock-order violations. Loaded as data by the
+//! fixture tests — never compiled into the workspace.
+
+struct Pipeline {
+    state: Mutex<u32>,
+    queue: Mutex<Vec<u32>>,
+}
+
+impl Pipeline {
+    // Takes state, then queue.
+    fn forward(&self) {
+        let st = self.state.lock();
+        let q = self.queue.lock();
+        drop(q);
+        drop(st);
+    }
+
+    // Takes queue, then state: inverts the order — cycle with forward().
+    fn backward(&self) {
+        let q = self.queue.lock();
+        let st = self.state.lock();
+        drop(st);
+        drop(q);
+    }
+
+    // Re-acquires a lock whose guard is still live: self-deadlock.
+    fn reentrant(&self) {
+        let a = self.state.lock();
+        let b = self.state.lock();
+        drop(b);
+        drop(a);
+    }
+
+    // Holds state while calling a helper that also locks state.
+    fn indirect(&self) {
+        let st = self.state.lock();
+        self.tick();
+        drop(st);
+    }
+
+    fn tick(&self) {
+        let st = self.state.lock();
+        drop(st);
+    }
+}

@@ -1,0 +1,20 @@
+// P-series fixture: one violation per policy rule. Deliberately missing
+// the #![deny(unsafe_code)] / #![warn(missing_docs)] headers (P005 when
+// loaded as a lib.rs path).
+
+fn narrow(x: f64) -> f32 {
+    x as f32
+}
+
+fn shortcut(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn later() {
+    todo!("wire this up")
+}
+
+// P002 when this fixture is loaded under a src/bin/ path.
+fn fetch(r: Result<u32, Error>) -> u32 {
+    r.expect("must exist")
+}

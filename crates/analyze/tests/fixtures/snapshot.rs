@@ -1,0 +1,33 @@
+//! C003 fixture: mutability reachable through Arc<EngineSnapshot>.
+
+struct EngineSnapshot {
+    estimator: Estimator,
+    generation: u64,
+}
+
+// Interior mutability two hops from the snapshot root.
+struct Estimator {
+    cache: CoefCache,
+}
+
+struct CoefCache {
+    hits: AtomicU64,
+}
+
+impl EngineSnapshot {
+    // Mutating method on the frozen snapshot.
+    fn bump(&mut self) {
+        self.generation += 1;
+    }
+}
+
+// A mutable borrow of the published snapshot type.
+fn poke(s: &mut EngineSnapshot) {
+    s.generation += 1;
+}
+
+// In-place mutation of the shared Arc.
+fn patch(shared: &mut Arc<EngineSnapshot>) {
+    let s = Arc::make_mut(shared_snapshot(shared));
+    s.generation += 1;
+}

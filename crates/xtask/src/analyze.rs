@@ -1,0 +1,63 @@
+//! Bridge to the `etm-analyze` static analyzer.
+//!
+//! Two entry points:
+//!
+//! * [`run_lint`] — the `check lint` pass: only the P-series policy
+//!   rules (the re-hosted successors of the old line-regex lint).
+//! * [`run_full`] — the `cargo xtask analyze` gate: every pass (C001–
+//!   C004 concurrency + P001–P005 policy) with human output, optional
+//!   JSON report, and the `analyze.allow` baseline contract (stale
+//!   entries fail).
+
+use std::path::Path;
+
+use etm_analyze::{analyze_root, policy_passes, run_passes, Baseline, Report, Workspace};
+
+/// The `check lint` pass: policy rules only, one message per violation.
+///
+/// # Errors
+/// Unreadable sources or a malformed `analyze.allow`.
+pub fn run_lint(root: &Path) -> Result<Vec<String>, String> {
+    let ws = Workspace::load(root)?;
+    let baseline = Baseline::load(root)?;
+    let report = run_passes(&ws, &baseline, &policy_passes());
+    Ok(report_messages(&report, /*policy_only=*/ true))
+}
+
+/// The full analyzer gate. Prints the human report, optionally writes
+/// the JSON report, and returns whether the gate is clean.
+///
+/// # Errors
+/// Unreadable sources, a malformed `analyze.allow`, or an unwritable
+/// JSON path.
+pub fn run_full(root: &Path, json: Option<&Path>) -> Result<bool, String> {
+    let report = analyze_root(root)?;
+    print!("{}", report.render_human());
+    if let Some(path) = json {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, report.render_json(&etm_analyze::rules()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("json report -> {}", path.display());
+    }
+    Ok(report.is_clean())
+}
+
+/// Flattens a report into `check`-style violation strings. With
+/// `policy_only`, stale-baseline complaints about C-rules are kept out
+/// of the lint pass (the full gate owns them).
+fn report_messages(report: &Report, policy_only: bool) -> Vec<String> {
+    let mut out: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    for s in &report.stale {
+        // The lint pass runs only P-rules, so baseline entries for the
+        // concurrency rules are legitimately unused here; the full
+        // `analyze` gate owns their staleness.
+        if policy_only && !s.contains("`P") {
+            continue;
+        }
+        out.push(format!("stale analyze.allow: {s}"));
+    }
+    out
+}

@@ -6,10 +6,12 @@
 //! 1. **hermetic** — every dependency in every `Cargo.toml` is a path
 //!    (or workspace-inherited path) dependency; no registry or git
 //!    dependencies can sneak in.
-//! 2. **lint** — an in-tree source walker over `src/` trees: bans
-//!    `unwrap()` in non-test library code, `todo!`/`unimplemented!`
-//!    anywhere, `as f32` in the numerics crates, and missing
-//!    `#![deny(unsafe_code)]` / `#![warn(missing_docs)]` crate headers.
+//! 2. **lint** — the `etm-analyze` policy passes (token-aware
+//!    successors of the old line-regex lint): bans `unwrap()` in
+//!    non-test library code, `expect(` in binary roots,
+//!    `todo!`/`unimplemented!` anywhere, `as f32` in the numerics
+//!    crates, and missing `#![deny(unsafe_code)]` /
+//!    `#![warn(missing_docs)]` crate headers.
 //! 3. **toolchain** — `cargo clippy --workspace --all-targets -- -D
 //!    warnings` and `cargo fmt --all --check`.
 //! 4. **audit** — the model-validity audit (`etm_core::validate`): fits
@@ -30,14 +32,21 @@
 //! A third, `cargo xtask bench-trend [suite...]`, renders the store's
 //! history (`results/bench/index.log`) as one markdown table of medians
 //! per commit and suite, written to `results/bench/TREND.md`.
+//!
+//! A fourth, `cargo xtask analyze [--json PATH]`, runs the full
+//! `etm-analyze` static concurrency analyzer (lock-order,
+//! held-across-blocking, snapshot-discipline, panic-boundary, plus the
+//! policy rules) over the workspace and fails on any finding not
+//! covered by a justified `analyze.allow` entry — or on any stale
+//! entry.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod audit;
 mod benchdiff;
 mod hermetic;
-mod srclint;
 mod toolchain;
 mod trend;
 
@@ -60,8 +69,8 @@ const PASSES: [Pass; 4] = [
     },
     Pass {
         name: "lint",
-        what: "source lints (unwrap/todo!/as-f32/crate headers)",
-        run: srclint::run,
+        what: "policy lints via etm-analyze (unwrap/bin-expect/todo!/as-f32/crate headers)",
+        run: analyze::run_lint,
     },
     Pass {
         name: "toolchain",
@@ -78,6 +87,7 @@ const PASSES: [Pass; 4] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask check [pass...]\n       \
+         cargo xtask analyze [--json PATH]\n       \
          cargo xtask bench-diff <old.json> <new.json> [--threshold PCT]\n       \
          cargo xtask bench-diff --latest <new.json> [--threshold PCT]\n       \
          cargo xtask bench-trend [suite...]\n\n\
@@ -87,6 +97,41 @@ fn usage() -> ExitCode {
         eprintln!("  {:<10} {}", p.name, p.what);
     }
     ExitCode::from(2)
+}
+
+/// `analyze` argument parsing + execution.
+fn run_analyze(rest: &[String]) -> ExitCode {
+    let mut json: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            json = match it.next() {
+                Some(p) => Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path");
+                    return usage();
+                }
+            };
+        } else {
+            eprintln!("unknown analyze argument `{arg}`");
+            return usage();
+        }
+    }
+    println!("==> analyze (static concurrency + policy passes)");
+    match analyze::run_full(&workspace_root(), json.as_deref()) {
+        Ok(true) => {
+            println!("xtask analyze: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("xtask analyze: FAILED");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("analyze: ERROR: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `bench-diff` argument parsing + execution.
@@ -159,6 +204,9 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
+    if cmd == "analyze" {
+        return run_analyze(rest);
+    }
     if cmd == "bench-diff" {
         return run_bench_diff(rest);
     }
