@@ -16,6 +16,7 @@
 pub mod chaos;
 pub mod correlate;
 pub mod experiments;
+pub mod shards;
 pub mod stream;
 pub mod table;
 

@@ -1,0 +1,288 @@
+//! Sharded streaming ingest: throughput and bit-identity of the
+//! [`ShardedConsumer`] pool versus the single-consumer baseline.
+//!
+//! [`shards_experiment`] replays one construction campaign through a
+//! worker pool at several widths, times the drain, and checks the
+//! tentpole acceptance criterion: the merged [`EngineSnapshot`]
+//! (bank, quarantine set, fallback set) must be bit-identical to what
+//! the single consumer publishes, at every width. An
+//! [`OnlineOptimizer`] polls the merged snapshot slot through
+//! [`OnlineOptimizer::observe_fresh`], the generation-deduplicated
+//! entry point made for polled slots.
+//!
+//! Pacing: by default the source emits as fast as the pool can drain
+//! (a throughput measurement). When `pace` is set — the `repro`
+//! binary wires it to the `ETM_STREAM_PACE` environment variable —
+//! the source is wall-clock paced via
+//! [`TrialSource::spawn_paced`], honoring `TrialBatch::sim_time`
+//! scaled by the given factor, so the replay arrives at (scaled)
+//! campaign cadence. CI leaves the gate unset and stays fast.
+
+use std::time::{Duration, Instant};
+
+use etm_core::backend::{ModelBackend, PolyLsqBackend};
+use etm_core::engine::{Engine, EngineSnapshot, QuarantinePolicy};
+use etm_core::plan::{MeasurementPlan, PlanKind};
+use etm_core::stream::{
+    consume_with, replay, trials_of_db, ConsumeOptions, ShardedConsumer, StreamConfig, TrialBatch,
+    TrialSource,
+};
+use etm_core::MeasurementDb;
+use etm_search::OnlineOptimizer;
+
+use crate::experiments::campaign_db;
+use crate::stream::{banks_bit_equal, evaluation_space};
+
+/// One pool width's drain of the campaign stream.
+#[derive(Clone, Debug)]
+pub struct ShardRow {
+    /// Pool width (worker count).
+    pub width: usize,
+    /// Batches pulled off the source channel.
+    pub batches: usize,
+    /// Trials delivered (duplicates included).
+    pub samples: usize,
+    /// Wall seconds to drain and merge.
+    pub elapsed_s: f64,
+    /// Ingest throughput, trials per wall second.
+    pub samples_per_sec: f64,
+    /// Whether the merged bank (and fallback bookkeeping) is
+    /// bit-identical to the single consumer's — the acceptance
+    /// criterion.
+    pub bit_identical: bool,
+    /// Whether the union quarantine set equals the single consumer's.
+    pub quarantine_match: bool,
+    /// Decisions the slot-polling optimizer logged (deduplicated by
+    /// generation; polling more often must not inflate this).
+    pub decisions: usize,
+}
+
+/// The sharded-ingest experiment over one campaign.
+#[derive(Clone, Debug)]
+pub struct ShardsRun {
+    /// Which campaign was streamed.
+    pub plan: PlanKind,
+    /// One row per pool width, in the order requested.
+    pub rows: Vec<ShardRow>,
+    /// The wall-clock pacing factor in effect, if any.
+    pub pace: Option<f64>,
+}
+
+impl ShardsRun {
+    /// Whether every width met the bit-identity criterion.
+    pub fn all_identical(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.bit_identical && r.quarantine_match)
+    }
+}
+
+fn paper_backend() -> Box<dyn ModelBackend> {
+    Box::new(PolyLsqBackend::paper())
+}
+
+/// Consume options whose stall detector out-waits the paced schedule.
+///
+/// `sim_time` is the cumulative campaign wall clock, so at small
+/// `time_scale` the gap between consecutive batches can dwarf the
+/// default 30 s stall timeout — a healthy real-time replay would be
+/// declared dead mid-campaign. Stretch the timeout past twice the
+/// largest paced gap (never below the default, so the unpaced fast
+/// path keeps its usual detection latency).
+fn paced_options(batches: &[TrialBatch], pace: Option<f64>) -> ConsumeOptions {
+    let mut opts = ConsumeOptions::default();
+    if let Some(scale) = pace {
+        let mut last = 0.0f64;
+        let mut max_gap_s = 0.0f64;
+        for b in batches {
+            max_gap_s = max_gap_s.max((b.sim_time - last) / scale);
+            last = b.sim_time;
+        }
+        let floor = opts.stall_timeout.map_or(30.0, |d| d.as_secs_f64());
+        opts.stall_timeout = Some(Duration::from_secs_f64(
+            max_gap_s.mul_add(2.0, 1.0).max(floor),
+        ));
+    }
+    opts
+}
+
+/// A stale copy of the campaign (`ta` off by 10 %), so the stream
+/// actually rewrites every group instead of no-op upserting.
+fn stale_seed(db: &MeasurementDb) -> MeasurementDb {
+    let mut seed = MeasurementDb::new();
+    for key in db.keys() {
+        for s in db.samples(key) {
+            let mut stale = *s;
+            stale.ta *= 1.1;
+            seed.upsert(*key, stale);
+        }
+    }
+    seed
+}
+
+/// Streams `plan`'s construction campaign through a [`ShardedConsumer`]
+/// at each of `widths`, timing each drain and checking the merged
+/// snapshot bit-for-bit against the single-consumer baseline.
+///
+/// `pace` — `Some(scale)` paces the source on the wall clock
+/// (`sim_time / scale`); `None` streams at full speed.
+///
+/// # Panics
+/// Panics when the campaign cannot seed or drain — impossible for a
+/// completed construction campaign.
+pub fn shards_experiment(
+    plan: &MeasurementPlan,
+    cfg: StreamConfig,
+    widths: &[usize],
+    pace: Option<f64>,
+) -> ShardsRun {
+    let db = campaign_db(plan);
+    let trials = trials_of_db(&db);
+    let seed = stale_seed(&db);
+    let batches = replay(&trials, &cfg);
+    let samples: usize = batches.iter().map(|b| b.trials.len()).sum();
+    let opts = paced_options(&batches, pace);
+
+    // Single-consumer baseline: the bank every pool width must match.
+    let engine = Engine::new(paper_backend(), seed.clone(), None).expect("stale campaign fits");
+    let source = spawn(trials.clone(), cfg, pace);
+    consume_with(&engine, source.receiver(), opts, |_, _| {}).expect("single consumer drains");
+    source.join();
+    let single = engine.snapshot();
+
+    let rows = widths
+        .iter()
+        .map(|&width| {
+            let pool = ShardedConsumer::new(
+                width,
+                paper_backend,
+                seed.clone(),
+                None,
+                QuarantinePolicy::default(),
+                opts,
+            )
+            .expect("sharded seed fits");
+            // Poll the merged slot like an online controller would: the
+            // generation dedup keeps repeated polls out of the log.
+            let mut optimizer = OnlineOptimizer::new(evaluation_space(), 6400, 0.02);
+            optimizer.observe_fresh(&pool.snapshot());
+            optimizer.observe_fresh(&pool.snapshot()); // same generation: no-op
+            let source = spawn(trials.clone(), cfg, pace);
+            let start = Instant::now();
+            let report = pool.consume(source.receiver()).expect("pool drains");
+            let elapsed_s = start.elapsed().as_secs_f64();
+            source.join();
+            optimizer.observe_fresh(&pool.snapshot());
+            optimizer.observe_fresh(&pool.snapshot()); // still deduplicated
+            let merged = pool.snapshot();
+            ShardRow {
+                width,
+                batches: report.batches,
+                samples,
+                elapsed_s,
+                samples_per_sec: samples as f64 / elapsed_s.max(1e-9),
+                bit_identical: snapshots_bit_equal(&merged, &single),
+                quarantine_match: merged.health().quarantined == single.health().quarantined,
+                decisions: optimizer.log().len(),
+            }
+        })
+        .collect();
+    ShardsRun {
+        plan: plan.kind,
+        rows,
+        pace,
+    }
+}
+
+fn spawn(
+    trials: Vec<(etm_core::SampleKey, etm_core::Sample)>,
+    cfg: StreamConfig,
+    pace: Option<f64>,
+) -> TrialSource {
+    match pace {
+        Some(scale) => TrialSource::spawn_paced(trials, cfg, scale),
+        None => TrialSource::spawn(trials, cfg),
+    }
+}
+
+fn snapshots_bit_equal(a: &EngineSnapshot, b: &EngineSnapshot) -> bool {
+    banks_bit_equal(a.bank(), b.bank())
+        && a.health().composed_fallback == b.health().composed_fallback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `repro shards` acceptance at test scale: widths 1, 2, and 4
+    /// all bit-match the single consumer on the Basic campaign.
+    #[test]
+    fn shards_experiment_is_bit_identical_at_every_width() {
+        let cfg = StreamConfig {
+            batch_size: 32,
+            shuffle_seed: Some(2004),
+            duplicate_every: 7,
+            defer_every: 0,
+            channel_cap: 4,
+        };
+        let run = shards_experiment(&MeasurementPlan::basic(), cfg, &[1, 2, 4], None);
+        assert_eq!(run.rows.len(), 3);
+        assert!(run.all_identical(), "{:?}", run.rows);
+        for row in &run.rows {
+            assert!(row.batches > 0);
+            assert!(row.samples_per_sec > 0.0);
+            // Two distinct generations polled (seed, post-merge), with
+            // duplicate polls deduplicated.
+            assert_eq!(row.decisions, 2);
+        }
+    }
+
+    /// Pacing must stretch the stall detector past the schedule's real
+    /// gaps: a near-real-time replay of a campaign whose batches sit
+    /// minutes apart on the simulated clock is slow, not stalled
+    /// (`ETM_STREAM_PACE=1` used to trip `SourceStalled` at 30 s).
+    #[test]
+    fn paced_stall_timeout_outwaits_the_schedule() {
+        let cfg = StreamConfig::default();
+        let trials = trials_of_db(&campaign_db(&MeasurementPlan::basic()));
+        let batches = replay(&trials, &cfg);
+        let default = ConsumeOptions::default()
+            .stall_timeout
+            .expect("default detects stalls");
+        // Unpaced: the fast path keeps its usual detection latency.
+        assert_eq!(paced_options(&batches, None).stall_timeout, Some(default));
+        // Real-time pacing: the timeout out-waits every inter-batch gap.
+        let paced = paced_options(&batches, Some(1.0))
+            .stall_timeout
+            .expect("paced runs still detect stalls");
+        let mut last = 0.0;
+        for b in &batches {
+            assert!(
+                paced.as_secs_f64() > b.sim_time - last,
+                "timeout {paced:?} must exceed the {}s gap before batch {}",
+                b.sim_time - last,
+                b.seq
+            );
+            last = b.sim_time;
+        }
+        // A huge scale collapses the schedule: floored at the default.
+        assert_eq!(
+            paced_options(&batches, Some(1e12)).stall_timeout,
+            Some(default)
+        );
+    }
+
+    /// The paced path delivers the same bits, just slower — with a huge
+    /// scale factor so the test stays fast.
+    #[test]
+    fn paced_shards_run_matches_too() {
+        let cfg = StreamConfig {
+            batch_size: 64,
+            shuffle_seed: Some(7),
+            ..StreamConfig::default()
+        };
+        let run = shards_experiment(&MeasurementPlan::basic(), cfg, &[2], Some(1e9));
+        assert!(run.all_identical(), "{:?}", run.rows);
+        assert_eq!(run.pace, Some(1e9));
+    }
+}

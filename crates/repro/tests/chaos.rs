@@ -5,7 +5,9 @@
 //! and no decision ever backed by an untrusted model.
 
 use etm_core::plan::MeasurementPlan;
-use etm_repro::chaos::chaos_suite;
+use etm_core::stream::StreamConfig;
+use etm_repro::chaos::{chaos_scenarios, chaos_suite, run_sharded_chaos};
+use etm_repro::stream::banks_bit_equal;
 
 #[test]
 fn chaos_suite_holds_the_ladder_invariants() {
@@ -31,5 +33,61 @@ fn chaos_suite_holds_the_ladder_invariants() {
         assert!(!r.quarantined.is_empty(), "{r:?}");
         assert!(r.quarantine_matches_injection, "{r:?}");
         assert!(!r.converged, "poisoned groups cannot converge: {r:?}");
+    }
+}
+
+/// Shard-merge determinism under fault injection: every chaos scenario
+/// replayed at pool widths 1 and 4 must quarantine identical group
+/// sets and — since both ends see the same faulted batch sequence —
+/// publish bit-identical merged banks; recoverable scenarios must
+/// additionally converge on the clean one-shot fit at both widths.
+#[test]
+fn chaos_scenarios_are_deterministic_across_pool_widths() {
+    let plan = MeasurementPlan::nl();
+    let cfg = StreamConfig {
+        batch_size: 16,
+        shuffle_seed: Some(42),
+        duplicate_every: 0,
+        defer_every: 0,
+        channel_cap: 4,
+    };
+    for (name, fault) in chaos_scenarios() {
+        let narrow = run_sharded_chaos(&plan, &fault, cfg, 1);
+        let wide = run_sharded_chaos(&plan, &fault, cfg, 4);
+        assert_eq!(
+            narrow.quarantined, wide.quarantined,
+            "{name}: quarantine sets must match across pool widths"
+        );
+        assert!(
+            banks_bit_equal(narrow.snapshot.bank(), wide.snapshot.bank()),
+            "{name}: merged banks must be bit-identical across pool widths"
+        );
+        assert_eq!(
+            narrow.snapshot.health().composed_fallback,
+            wide.snapshot.health().composed_fallback,
+            "{name}: fallback bookkeeping must match across pool widths"
+        );
+        if narrow.recoverable {
+            assert!(
+                narrow.converged && wide.converged,
+                "{name}: recoverable banks must converge at both widths"
+            );
+            assert!(narrow.quarantined.is_empty(), "{name}");
+        } else {
+            assert!(
+                !narrow.quarantined.is_empty(),
+                "{name}: unrecoverable faults must quarantine"
+            );
+        }
+        // The transport rungs actually fire through the pool, too.
+        if fault.kill_at.is_some() || fault.stall_at.is_some() {
+            assert!(
+                narrow.restarts > 0 && wide.restarts > 0,
+                "{name}: the pool supervisor must restart the source"
+            );
+        }
+        if fault.stall_at.is_some() {
+            assert!(narrow.stalls > 0 && wide.stalls > 0, "{name}");
+        }
     }
 }

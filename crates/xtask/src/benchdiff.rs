@@ -5,7 +5,9 @@
 //! runs with `ETM_BENCH_OUT` set. The diff compares per-benchmark
 //! **median** ns/iter (the most noise-robust of the reported stats) and
 //! fails when any benchmark regresses by more than the threshold
-//! (default 25%, override with `--threshold <percent>`). Benchmarks
+//! (default 25%, override with `--threshold <percent>` globally or
+//! `--threshold <suite>=<percent>` for one suite — the flag repeats,
+//! and the per-suite value wins over the global one). Benchmarks
 //! present only in the new baseline are listed as informational;
 //! benchmarks that *disappeared* fail the gate — a silently dropped
 //! timing is how perf coverage rots.
@@ -19,6 +21,7 @@
 //! records without diffing. The record is kept even when the diff
 //! fails, so the history shows what each commit actually measured.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
@@ -28,6 +31,71 @@ use etm_support::json::{parse, Json};
 /// suites time whole simulated campaigns on shared CI machines; a real
 /// algorithmic regression shows up far above this.
 const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// The resolved `--threshold` flags: an optional global override plus
+/// per-suite overrides keyed by the suite name the baseline carries.
+/// Resolution order is per-suite, then global, then
+/// [`DEFAULT_THRESHOLD_PCT`] — so noisy suites (the thread-pool
+/// throughput timings, say) can run with a wide gate without loosening
+/// the single-threaded ones.
+#[derive(Default)]
+pub struct Thresholds {
+    global: Option<f64>,
+    per_suite: BTreeMap<String, f64>,
+}
+
+impl Thresholds {
+    /// A global-only threshold, for callers that never pass per-suite
+    /// flags (and for the pre-existing test surface).
+    #[cfg(test)]
+    pub fn global(pct: f64) -> Self {
+        Self {
+            global: Some(pct),
+            per_suite: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one `--threshold` operand in: either `PCT` (global) or
+    /// `SUITE=PCT` (per-suite). Percentages must be positive and
+    /// finite; repeated operands for the same target overwrite.
+    ///
+    /// # Errors
+    /// A malformed or non-positive percentage, or an empty suite name.
+    pub fn push_spec(&mut self, spec: &str) -> Result<(), String> {
+        let (suite, pct_text) = match spec.split_once('=') {
+            Some((suite, pct)) => (Some(suite), pct),
+            None => (None, spec),
+        };
+        let pct: f64 = pct_text
+            .parse()
+            .map_err(|_| format!("--threshold: `{pct_text}` is not a number"))?;
+        if !pct.is_finite() || pct <= 0.0 {
+            return Err(format!(
+                "--threshold: percentage must be positive and finite, got {pct}"
+            ));
+        }
+        match suite {
+            Some("") => Err("--threshold: empty suite name in `=` form".to_string()),
+            Some(suite) => {
+                self.per_suite.insert(suite.to_string(), pct);
+                Ok(())
+            }
+            None => {
+                self.global = Some(pct);
+                Ok(())
+            }
+        }
+    }
+
+    /// The allowed regression percentage for `suite`.
+    pub fn resolve(&self, suite: &str) -> f64 {
+        self.per_suite
+            .get(suite)
+            .copied()
+            .or(self.global)
+            .unwrap_or(DEFAULT_THRESHOLD_PCT)
+    }
+}
 
 /// One benchmark's stats pulled out of a baseline document.
 pub(crate) struct Entry {
@@ -52,17 +120,7 @@ pub(crate) fn load(path: &str) -> Result<(String, Vec<Entry>), String> {
 }
 
 /// Runs the diff. Returns one message per regression (empty = pass).
-pub fn run(
-    old_path: &str,
-    new_path: &str,
-    threshold_pct: Option<f64>,
-) -> Result<Vec<String>, String> {
-    let threshold = threshold_pct.unwrap_or(DEFAULT_THRESHOLD_PCT);
-    if !threshold.is_finite() || threshold <= 0.0 {
-        return Err(format!(
-            "threshold must be a positive percentage, got {threshold}"
-        ));
-    }
+pub fn run(old_path: &str, new_path: &str, thresholds: &Thresholds) -> Result<Vec<String>, String> {
     let (old_suite, old) = load(old_path)?;
     let (new_suite, new) = load(new_path)?;
     if old_suite != new_suite {
@@ -70,6 +128,8 @@ pub fn run(
             "baselines are from different suites: '{old_suite}' vs '{new_suite}'"
         ));
     }
+    let threshold = thresholds.resolve(&new_suite);
+    println!("    suite {new_suite}: threshold {threshold:.0}%");
 
     let mut failures = Vec::new();
     for o in &old {
@@ -167,7 +227,7 @@ fn store_baseline(store: &Path, sha: &str, basename: &str, new_path: &str) -> Re
 pub fn run_latest(
     root: &Path,
     new_path: &str,
-    threshold_pct: Option<f64>,
+    thresholds: &Thresholds,
 ) -> Result<Vec<String>, String> {
     let store = root.join(BENCH_STORE);
     let basename = Path::new(new_path)
@@ -180,7 +240,7 @@ pub fn run_latest(
         Some(prev_sha) => {
             let old = store.join(&prev_sha).join(&basename);
             println!("    baseline: {} (commit {prev_sha})", old.display());
-            run(&old.display().to_string(), new_path, threshold_pct)?
+            run(&old.display().to_string(), new_path, thresholds)?
         }
         None => {
             println!("    no stored baseline named {basename}; recording only");
@@ -226,7 +286,7 @@ mod tests {
         let dir = tempdir("pass");
         let old = write_baseline(&dir, "old.json", "s", &[("a", 100.0), ("b", 200.0)]);
         let new = write_baseline(&dir, "new.json", "s", &[("a", 110.0), ("b", 150.0)]);
-        let failures = run(&old, &new, None).unwrap();
+        let failures = run(&old, &new, &Thresholds::default()).unwrap();
         assert!(failures.is_empty(), "{failures:?}");
     }
 
@@ -235,11 +295,13 @@ mod tests {
         let dir = tempdir("fail");
         let old = write_baseline(&dir, "old.json", "s", &[("a", 100.0)]);
         let new = write_baseline(&dir, "new.json", "s", &[("a", 180.0)]);
-        let failures = run(&old, &new, None).unwrap();
+        let failures = run(&old, &new, &Thresholds::default()).unwrap();
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("regressed"), "{failures:?}");
         // A custom threshold wide enough lets the same delta through.
-        assert!(run(&old, &new, Some(90.0)).unwrap().is_empty());
+        assert!(run(&old, &new, &Thresholds::global(90.0))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -247,7 +309,7 @@ mod tests {
         let dir = tempdir("gone");
         let old = write_baseline(&dir, "old.json", "s", &[("a", 100.0), ("b", 50.0)]);
         let new = write_baseline(&dir, "new.json", "s", &[("a", 100.0), ("c", 10.0)]);
-        let failures = run(&old, &new, None).unwrap();
+        let failures = run(&old, &new, &Thresholds::default()).unwrap();
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("disappeared"), "{failures:?}");
     }
@@ -257,7 +319,48 @@ mod tests {
         let dir = tempdir("suites");
         let old = write_baseline(&dir, "old.json", "alpha", &[("a", 1.0)]);
         let new = write_baseline(&dir, "new.json", "beta", &[("a", 1.0)]);
-        assert!(run(&old, &new, None).is_err());
+        assert!(run(&old, &new, &Thresholds::default()).is_err());
+    }
+
+    #[test]
+    fn per_suite_threshold_overrides_global_and_default() {
+        let mut t = Thresholds::default();
+        t.push_spec("noisy=60").unwrap();
+        assert_eq!(t.resolve("noisy"), 60.0);
+        assert_eq!(t.resolve("quiet"), DEFAULT_THRESHOLD_PCT);
+        t.push_spec("10").unwrap();
+        assert_eq!(t.resolve("noisy"), 60.0, "per-suite beats global");
+        assert_eq!(t.resolve("quiet"), 10.0, "global beats default");
+        t.push_spec("noisy=80").unwrap();
+        assert_eq!(t.resolve("noisy"), 80.0, "latest repeat wins");
+    }
+
+    #[test]
+    fn threshold_specs_are_validated() {
+        let mut t = Thresholds::default();
+        assert!(t.push_spec("abc").is_err());
+        assert!(t.push_spec("s=abc").is_err());
+        assert!(t.push_spec("0").is_err());
+        assert!(t.push_spec("s=-5").is_err());
+        assert!(t.push_spec("=40").is_err());
+        assert!(t.push_spec("inf").is_err());
+    }
+
+    #[test]
+    fn per_suite_threshold_gates_the_matching_suite_only() {
+        let dir = tempdir("persuite");
+        // A 50% regression in suite `shards`.
+        let old = write_baseline(&dir, "old.json", "shards", &[("a", 100.0)]);
+        let new = write_baseline(&dir, "new.json", "shards", &[("a", 150.0)]);
+        // Default 25% gate fails it; `shards=60` lets it through; an
+        // override for some other suite leaves the default in force.
+        assert_eq!(run(&old, &new, &Thresholds::default()).unwrap().len(), 1);
+        let mut wide = Thresholds::default();
+        wide.push_spec("shards=60").unwrap();
+        assert!(run(&old, &new, &wide).unwrap().is_empty());
+        let mut other = Thresholds::default();
+        other.push_spec("streaming=60").unwrap();
+        assert_eq!(run(&old, &new, &other).unwrap().len(), 1);
     }
 
     #[test]
@@ -278,7 +381,7 @@ mod tests {
         let _ = fs::remove_dir_all(root.join(BENCH_STORE));
         let fresh = write_baseline(&root, "BENCH_s.json", "s", &[("a", 100.0)]);
         // First run: nothing stored yet, records only.
-        let failures = run_latest(&root, &fresh, None).unwrap();
+        let failures = run_latest(&root, &fresh, &Thresholds::default()).unwrap();
         assert!(failures.is_empty(), "{failures:?}");
         let index = fs::read_to_string(root.join(BENCH_STORE).join(INDEX_LOG)).unwrap();
         assert!(index.contains("BENCH_s.json"), "{index}");
@@ -289,27 +392,19 @@ mod tests {
             .is_file());
         // Second run, same numbers: diff against the store passes, and
         // the duplicate index line is skipped.
-        let failures = run_latest(&root, &fresh, None).unwrap();
+        let failures = run_latest(&root, &fresh, &Thresholds::default()).unwrap();
         assert!(failures.is_empty(), "{failures:?}");
         let index = fs::read_to_string(root.join(BENCH_STORE).join(INDEX_LOG)).unwrap();
         assert_eq!(index.lines().count(), 1, "{index}");
         // Third run regresses: the stored baseline catches it, but the
         // regressed run is still recorded for the history.
         let slow = write_baseline(&root, "BENCH_s.json", "s", &[("a", 250.0)]);
-        let failures = run_latest(&root, &slow, None).unwrap();
+        let failures = run_latest(&root, &slow, &Thresholds::default()).unwrap();
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("regressed"), "{failures:?}");
         let stored =
             fs::read_to_string(root.join(BENCH_STORE).join("nosha").join("BENCH_s.json")).unwrap();
         assert!(stored.contains("250"), "{stored}");
         let _ = fs::remove_dir_all(&root);
-    }
-
-    #[test]
-    fn bad_threshold_rejected() {
-        let dir = tempdir("thresh");
-        let old = write_baseline(&dir, "old.json", "s", &[("a", 1.0)]);
-        assert!(run(&old, &old, Some(0.0)).is_err());
-        assert!(run(&old, &old, Some(-5.0)).is_err());
     }
 }

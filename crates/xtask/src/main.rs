@@ -23,11 +23,13 @@
 //! Run a subset with e.g. `cargo xtask check hermetic lint`.
 //!
 //! A second subcommand, `cargo xtask bench-diff <old> <new>
-//! [--threshold PCT]`, compares two `BENCH_<suite>.json` baselines
-//! written by the `etm-bench` harness and fails on median regressions.
-//! `cargo xtask bench-diff --latest <new> [--threshold PCT]` instead
-//! diffs against — and then updates — the per-commit baseline store
-//! under `results/bench/<short-sha>/`.
+//! [--threshold [SUITE=]PCT]...`, compares two `BENCH_<suite>.json`
+//! baselines written by the `etm-bench` harness and fails on median
+//! regressions; `--threshold` repeats, and a `SUITE=PCT` form
+//! overrides the gate for that one suite. `cargo xtask bench-diff
+//! --latest <new> [--threshold [SUITE=]PCT]...` instead diffs against
+//! — and then updates — the per-commit baseline store under
+//! `results/bench/<short-sha>/`.
 //!
 //! A third, `cargo xtask bench-trend [suite...]`, renders the store's
 //! history (`results/bench/index.log`) as one markdown table of medians
@@ -88,8 +90,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask check [pass...]\n       \
          cargo xtask analyze [--json PATH]\n       \
-         cargo xtask bench-diff <old.json> <new.json> [--threshold PCT]\n       \
-         cargo xtask bench-diff --latest <new.json> [--threshold PCT]\n       \
+         cargo xtask bench-diff <old.json> <new.json> [--threshold [SUITE=]PCT]...\n       \
+         cargo xtask bench-diff --latest <new.json> [--threshold [SUITE=]PCT]...\n       \
          cargo xtask bench-trend [suite...]\n\n\
          check passes (default: all, in order):"
     );
@@ -137,18 +139,19 @@ fn run_analyze(rest: &[String]) -> ExitCode {
 /// `bench-diff` argument parsing + execution.
 fn run_bench_diff(rest: &[String]) -> ExitCode {
     let mut paths: Vec<&str> = Vec::new();
-    let mut threshold: Option<f64> = None;
+    let mut thresholds = benchdiff::Thresholds::default();
     let mut latest = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if arg == "--threshold" {
-            threshold = match it.next().map(|v| v.parse::<f64>()) {
-                Some(Ok(v)) => Some(v),
-                _ => {
-                    eprintln!("--threshold needs a numeric percentage");
-                    return usage();
-                }
+            let Some(spec) = it.next() else {
+                eprintln!("--threshold needs a percentage or SUITE=PCT");
+                return usage();
             };
+            if let Err(e) = thresholds.push_spec(spec) {
+                eprintln!("{e}");
+                return usage();
+            }
         } else if arg == "--latest" {
             latest = true;
         } else {
@@ -160,13 +163,13 @@ fn run_bench_diff(rest: &[String]) -> ExitCode {
             return usage();
         };
         println!("==> bench-diff --latest {new}");
-        benchdiff::run_latest(&workspace_root(), new, threshold)
+        benchdiff::run_latest(&workspace_root(), new, &thresholds)
     } else {
         let [old, new] = paths[..] else {
             return usage();
         };
         println!("==> bench-diff {old} -> {new}");
-        benchdiff::run(old, new, threshold)
+        benchdiff::run(old, new, &thresholds)
     };
     match result {
         Ok(failures) if failures.is_empty() => {

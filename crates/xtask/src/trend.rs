@@ -279,6 +279,48 @@ mod tests {
     }
 
     #[test]
+    fn single_commit_suite_still_renders_a_row() {
+        // Regression pin: a suite recorded under exactly one commit —
+        // the first run of any new bench, e.g. a fresh `shards`
+        // baseline — must still get its table and rows, with the delta
+        // column showing "–" (no earlier column to compare against)
+        // rather than being dropped from the trend entirely.
+        let root = store_with(
+            "single",
+            &[
+                (
+                    "aaa1111",
+                    "BENCH_old.json",
+                    &baseline("old", &[("steady", 10.0)]),
+                ),
+                (
+                    "bbb2222",
+                    "BENCH_old.json",
+                    &baseline("old", &[("steady", 10.0)]),
+                ),
+                (
+                    "bbb2222",
+                    "BENCH_shards.json",
+                    &baseline("shards", &[("shards/campaign_width_4", 1.5e7)]),
+                ),
+            ],
+        );
+        let md = render(&root, &[]).expect("renders");
+        assert!(md.contains("## shards"), "{md}");
+        assert!(
+            md.contains("| shards/campaign_width_4 | 15.00 ms | – |"),
+            "single-commit suite must render its medians with a dash delta: {md}"
+        );
+        // And the suite filter can select it on its own.
+        let only = render(&root, &["shards".to_string()]).expect("renders");
+        assert!(
+            only.contains("## shards") && !only.contains("## old"),
+            "{only}"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn empty_store_errors() {
         let root = store_with("empty", &[]);
         assert!(render(&root, &[]).is_err());

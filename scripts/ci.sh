@@ -15,12 +15,20 @@
 #                           degradation-ladder invariant breach and
 #                           writes results/chaos_report.csv), and a
 #                           bench smoke run that writes the substrates
-#                           + streaming + analyze baselines, gates
-#                           each against the per-commit store in
+#                           + streaming + shards + analyze baselines,
+#                           gates each against the per-commit store in
 #                           results/bench/ via `cargo xtask bench-diff
-#                           --latest`, and re-renders the median trend
+#                           --latest` (the thread-pool `shards` suite
+#                           gets a wider 40% gate via `--threshold
+#                           shards=40`; everything else keeps the 25%
+#                           default), and re-renders the median trend
 #                           table (`cargo xtask bench-trend` ->
 #                           results/bench/TREND.md).
+#
+# Both tiers write machine-readable per-stage wall times to
+# results/ci_timing.json (stage name, seconds, tier) next to the
+# human-readable summary, so CI dashboards can trend stage cost without
+# scraping the log.
 #
 # ETM_NET_TESTS=1 additionally opts the full tier into the preserved
 # legacy proptest suites (see proptest_legacy below); they need the
@@ -63,24 +71,44 @@ summary() {
   for i in "${!STAGE_NAMES[@]}"; do
     printf '  %-22s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
   done
+  # The same timings, machine-readable, for CI dashboards. Written on
+  # every exit path so a failed run still records what it paid for.
+  local tier="full"
+  [ "$QUICK" = 1 ] && tier="quick"
+  mkdir -p results
+  {
+    printf '{\n  "tier": "%s",\n  "stages": [\n' "$tier"
+    for i in "${!STAGE_NAMES[@]}"; do
+      printf '    {"stage": "%s", "wall_s": %s}' \
+        "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
+      if [ "$i" -lt $((${#STAGE_NAMES[@]} - 1)) ]; then printf ','; fi
+      printf '\n'
+    done
+    printf '  ]\n}\n'
+  } > results/ci_timing.json
+  echo "stage timing -> results/ci_timing.json"
 }
 trap summary EXIT
 
 bench_smoke() {
   # Time the suites fast enough for every CI run (substrate
-  # microbenches, streaming-ingestion throughput, and the static
-  # analyzer itself) and gate each against the per-commit baseline
-  # store: `bench-diff --latest` compares to the newest entry under
-  # results/bench/ and then records this run for the current commit.
-  # Finally re-render the median-per-commit trend table
-  # (informational, never gates).
+  # microbenches, streaming-ingestion throughput, sharded-pool
+  # throughput, and the static analyzer itself) and gate each against
+  # the per-commit baseline store: `bench-diff --latest` compares to
+  # the newest entry under results/bench/ and then records this run
+  # for the current commit. The `shards` suite times a whole thread
+  # pool per iteration and jitters with scheduler load, so it gets a
+  # wider per-suite gate; the `--threshold shards=40` flag is inert
+  # for every other suite. Finally re-render the median-per-commit
+  # trend table (informational, never gates).
   local out_dir="$PWD/target/etm-bench"
   mkdir -p "$out_dir"
   local suite
-  for suite in substrates streaming analyze; do
+  for suite in substrates streaming shards analyze; do
     ETM_BENCH_OUT="$out_dir" ETM_BENCH_SAMPLES=5 \
       cargo bench -q -p etm-bench --bench "$suite"
-    cargo xtask bench-diff --latest "$out_dir/BENCH_$suite.json"
+    cargo xtask bench-diff --latest "$out_dir/BENCH_$suite.json" \
+      --threshold shards=40
   done
   cargo xtask bench-trend
 }
