@@ -71,6 +71,11 @@ fn c003_fires_on_snapshot_fixture() {
         "expected transitive interior mutability: {got:?}"
     );
     assert!(
+        got.iter()
+            .any(|m| m.contains("CompiledSnapshot") && m.contains("AtomicUsize")),
+        "expected interior mutability inside the compiled serving layer: {got:?}"
+    );
+    assert!(
         got.iter().any(|m| m.contains("&mut self")),
         "expected the mutating method: {got:?}"
     );

@@ -2,6 +2,7 @@
 
 struct EngineSnapshot {
     estimator: Estimator,
+    compiled: CompiledSnapshot,
     generation: u64,
 }
 
@@ -12,6 +13,14 @@ struct Estimator {
 
 struct CoefCache {
     hits: AtomicU64,
+}
+
+// The compiled serving layer rides inside the published snapshot, so
+// it is held to the same frozen-deeply rule: a memo counter here is a
+// data race waiting for a reader.
+struct CompiledSnapshot {
+    banks: Vec<f64>,
+    memo_hits: AtomicUsize,
 }
 
 impl EngineSnapshot {

@@ -1,0 +1,112 @@
+//! Serving-layer throughput: one pinned snapshot of the fitted Basic
+//! campaign queried over the paper's §4 evaluation grid (62
+//! configurations × the plan's evaluation sizes = 310 requests per
+//! sweep) through every serving path:
+//!
+//! * `scalar_sweep` — the interpreted `ModelBank` walk, one request at
+//!   a time (the per-call baseline);
+//! * `compiled_sweep` — the compiled struct-of-arrays scalar path;
+//! * `batched_sweep` — one `estimate_batch` call for the whole grid;
+//! * `memo_prefill` — building and batch-prefilling a fresh
+//!   `MemoSurface` (the per-generation setup cost the optimizer pays);
+//! * `memo_sweep` — a full sweep over the warm surface,
+//!   single-threaded (the steady-state serving rate; every result is
+//!   bit-identical to `scalar_sweep` by the compiled-snapshot
+//!   invariant);
+//! * `memo_readers_{1,2,4,8}` — N reader threads sweeping the shared
+//!   warm surface 64 times each: per-iteration work grows linearly
+//!   with N, so a flat median across these rows means linear reader
+//!   scaling.
+
+use std::sync::Arc;
+
+use etm_bench::{black_box, Runner};
+use etm_cluster::Configuration;
+use etm_core::compiled::MemoSurface;
+use etm_core::plan::MeasurementPlan;
+use etm_repro::experiments::engine_for;
+use etm_repro::stream::evaluation_space;
+
+/// Sweeps per reader thread inside one `memo_readers_*` iteration —
+/// large enough to amortize thread spawn over the timed region.
+const SWEEPS_PER_READER: usize = 64;
+
+fn main() {
+    let mut r = Runner::new("serving");
+    let plan = MeasurementPlan::basic();
+    let engine = engine_for(&plan);
+    let snapshot = engine.snapshot();
+    let configs = evaluation_space().enumerate();
+    let ns = plan.evaluation_ns.clone();
+    let requests: Vec<(Configuration, usize)> = configs
+        .iter()
+        .flat_map(|c| ns.iter().map(move |&n| (c.clone(), n)))
+        .collect();
+
+    r.bench("serving/scalar_sweep", || {
+        let mut worst = 0.0f64;
+        for (config, n) in &requests {
+            if let Ok(t) = snapshot.estimate(config, *n) {
+                worst = worst.max(t);
+            }
+        }
+        worst
+    });
+
+    let compiled = snapshot.compiled();
+    r.bench("serving/compiled_sweep", || {
+        let mut worst = 0.0f64;
+        for (config, n) in &requests {
+            if let Ok(t) = compiled.estimate(config, *n) {
+                worst = worst.max(t);
+            }
+        }
+        worst
+    });
+
+    r.bench("serving/batched_sweep", || {
+        snapshot.estimate_batch(&requests)
+    });
+
+    r.bench("serving/memo_prefill", || {
+        let surface = MemoSurface::new(Arc::clone(&snapshot), configs.clone(), ns.clone());
+        surface.prefill();
+        surface.filled()
+    });
+
+    let surface = Arc::new(MemoSurface::new(
+        Arc::clone(&snapshot),
+        configs.clone(),
+        ns.clone(),
+    ));
+    surface.prefill();
+    let sweep = |surface: &MemoSurface| {
+        let mut worst = 0.0f64;
+        for ci in 0..surface.config_count() {
+            for ni in 0..surface.ns().len() {
+                if let Ok(t) = surface.estimate(ci, ni) {
+                    worst = worst.max(t);
+                }
+            }
+        }
+        worst
+    };
+    r.bench("serving/memo_sweep", || sweep(&surface));
+
+    for readers in [1usize, 2, 4, 8] {
+        r.bench(&format!("serving/memo_readers_{readers}"), || {
+            std::thread::scope(|scope| {
+                for _ in 0..readers {
+                    let surface = Arc::clone(&surface);
+                    scope.spawn(move || {
+                        for _ in 0..SWEEPS_PER_READER {
+                            black_box(sweep(&surface));
+                        }
+                    });
+                }
+            });
+        });
+    }
+
+    r.finish();
+}

@@ -1,0 +1,781 @@
+//! The compiled serving layer: snapshots flattened into
+//! struct-of-arrays form plus a lock-free per-generation memo surface.
+//!
+//! Every published [`EngineSnapshot`](crate::engine::EngineSnapshot)
+//! carries a [`CompiledSnapshot`]: the fitted
+//! [`ModelBank`](crate::pipeline::ModelBank) re-laid-out for serving.
+//! Dense `(kind, M)` slot tables replace the per-call `BTreeMap`
+//! probes, model coefficients live in flat
+//! [`CoefficientBank`](etm_lsq::CoefficientBank)s (including each P-T
+//! model's §3.5 composed/fallback donor reference polynomials, resolved
+//! at compile time), the §4.1 adjustment is pre-folded into three plain
+//! fields, and the quarantine ledger is pre-resolved into per-group
+//! health flag bits.
+//!
+//! **The invariant that makes this safe:** every compiled or batched
+//! estimate is bit-identical to the scalar
+//! [`Estimator::estimate`](crate::pipeline::Estimator::estimate) path
+//! on the same snapshot — same operation sequence, same error values —
+//! including quarantined, composed-fallback, and untrusted groups. The
+//! property tests in `crates/core/tests/serving.rs` and the
+//! `repro serve` gate both assert it with `f64::to_bits` equality.
+//!
+//! A [`CompiledSnapshot`] is pure data (integers, floats, `Vec`s): no
+//! interior mutability may ride inside the published
+//! `Arc<EngineSnapshot>` (the C003 snapshot-discipline analyzer pass
+//! enforces this). The mutable memoization lives *outside* the
+//! snapshot: a [`MemoSurface`] holds its own `Arc<EngineSnapshot>` plus
+//! an atomic cell table, so concurrent readers share one lazily filled
+//! `(config, N) → f64` surface lock-free while the engine publishes
+//! later generations underneath.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use etm_cluster::{Configuration, KindId};
+use etm_lsq::CoefficientBank;
+
+use crate::engine::{EngineHealth, EngineSnapshot};
+use crate::pipeline::{Estimator, PipelineError};
+use crate::SampleKey;
+
+/// Sentinel for "no model compiled at this dense slot".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Group health flag: served by a §3.5 composed-fallback model.
+const FLAG_FALLBACK: u8 = 1;
+/// Group health flag: quarantined with no composed fallback.
+const FLAG_UNTRUSTED: u8 = 2;
+
+/// One snapshot's models compiled to struct-of-arrays serving form.
+///
+/// Immutable by construction: plain data only, built once at snapshot
+/// publication and frozen inside the `Arc<EngineSnapshot>`.
+#[derive(Clone, Debug)]
+pub struct CompiledSnapshot {
+    /// Dense bound on PE-kind indices (`max kind + 1`).
+    kind_cap: usize,
+    /// Dense bound on per-PE multiplicities (`max M + 1`).
+    m_cap: usize,
+    /// `(kind · m_cap + m) →` N-T row or [`NO_SLOT`] (single-PE models,
+    /// the bank's `pes = 1` keys).
+    nt_slot: Vec<u32>,
+    /// `(kind · m_cap + m) →` P-T row or [`NO_SLOT`].
+    pt_slot: Vec<u32>,
+    /// N-T computation cubics (`ka`, stride 4), one row per N-T slot.
+    nt_ta: CoefficientBank,
+    /// N-T communication quadratics (`kc`, stride 3).
+    nt_tc: CoefficientBank,
+    /// P-T computation coefficients `[k_a0, k_a1]` per P-T slot.
+    pt_ka: Vec<[f64; 2]>,
+    /// P-T communication coefficients `[k_c0, k_c1, k_c2]` per P-T slot.
+    pt_kc: Vec<[f64; 3]>,
+    /// Each P-T slot's reference N-T computation cubic — for composed
+    /// groups this is the donor's reference, resolved at compile time.
+    pt_ref_ta: CoefficientBank,
+    /// Each P-T slot's reference N-T communication quadratic.
+    pt_ref_tc: CoefficientBank,
+    /// `(kind · m_cap + m) →` health flag bits.
+    flags: Vec<u8>,
+    /// §4.1 pre-folded: adjustment threshold on `M₁`.
+    min_m1: usize,
+    /// §4.1 pre-folded: coefficient on the raw estimate.
+    scale: f64,
+    /// §4.1 pre-folded: coefficient on the `M₁ = 1` baseline.
+    base_coeff: f64,
+    /// The adjustment's fast PE kind.
+    fast_kind: usize,
+}
+
+/// Per-request evaluation plan built by [`CompiledSnapshot::estimate_many`].
+enum PlanItem {
+    /// Result already recorded (a planning-time error).
+    Done,
+    /// Single-PE request: N-T terms `nt_terms[start..end]`.
+    Single {
+        /// First N-T term.
+        start: u32,
+        /// One past the last N-T term.
+        end: u32,
+    },
+    /// Multi-PE request: P-T terms plus optional §4.1 baseline terms.
+    Multi {
+        /// First raw P-T term in `pt_terms`.
+        start: u32,
+        /// One past the last raw P-T term.
+        end: u32,
+        /// The request's total process count.
+        p: f64,
+        /// Whether the §4.1 adjustment applies (`M₁ ≥ min_m1`).
+        adjust: bool,
+        /// First baseline P-T term (meaningful iff `base_ok`).
+        base_start: u32,
+        /// One past the last baseline P-T term.
+        base_end: u32,
+        /// Baseline total process count (fast kind at `M₁ = 1`).
+        base_p: f64,
+        /// Whether every baseline model resolved; otherwise the scalar
+        /// path's `unwrap_or(raw)` fallback applies.
+        base_ok: bool,
+    },
+}
+
+impl CompiledSnapshot {
+    /// Compiles a fitted estimator plus its health ledger into serving
+    /// form. Called once per snapshot publication.
+    pub fn compile(estimator: &Estimator, health: &EngineHealth) -> Self {
+        let bank = &estimator.bank;
+        let mut kind_cap = 0usize;
+        let mut m_cap = 0usize;
+        let mut cover = |kind: usize, m: usize| {
+            kind_cap = kind_cap.max(kind + 1);
+            m_cap = m_cap.max(m + 1);
+        };
+        for key in bank.nt.keys() {
+            if key.pes == 1 {
+                cover(key.kind, key.m);
+            }
+        }
+        for &(kind, m) in bank.pt.keys() {
+            cover(kind, m);
+        }
+        for &(kind, m) in health.quarantined.iter().chain(&health.composed_fallback) {
+            cover(kind, m);
+        }
+
+        let slots = kind_cap * m_cap;
+        let mut nt_slot = vec![NO_SLOT; slots];
+        let mut pt_slot = vec![NO_SLOT; slots];
+        let mut nt_ta = CoefficientBank::with_capacity(4, bank.nt.len());
+        let mut nt_tc = CoefficientBank::with_capacity(3, bank.nt.len());
+        for (key, nt) in &bank.nt {
+            if key.pes != 1 {
+                continue;
+            }
+            let row = nt_ta.push(&nt.ka);
+            nt_tc.push(&nt.kc);
+            nt_slot[key.kind * m_cap + key.m] = row as u32;
+        }
+        let mut pt_ka = Vec::with_capacity(bank.pt.len());
+        let mut pt_kc = Vec::with_capacity(bank.pt.len());
+        let mut pt_ref_ta = CoefficientBank::with_capacity(4, bank.pt.len());
+        let mut pt_ref_tc = CoefficientBank::with_capacity(3, bank.pt.len());
+        for (&(kind, m), pt) in &bank.pt {
+            let row = pt_ref_ta.push(&pt.reference.ka);
+            pt_ref_tc.push(&pt.reference.kc);
+            pt_ka.push(pt.ka);
+            pt_kc.push(pt.kc);
+            pt_slot[kind * m_cap + m] = row as u32;
+        }
+
+        let mut flags = vec![0u8; slots];
+        for &(kind, m) in &health.composed_fallback {
+            flags[kind * m_cap + m] |= FLAG_FALLBACK;
+        }
+        for &group in &health.quarantined {
+            if !health.composed_fallback.contains(&group) {
+                flags[group.0 * m_cap + group.1] |= FLAG_UNTRUSTED;
+            }
+        }
+
+        CompiledSnapshot {
+            kind_cap,
+            m_cap,
+            nt_slot,
+            pt_slot,
+            nt_ta,
+            nt_tc,
+            pt_ka,
+            pt_kc,
+            pt_ref_ta,
+            pt_ref_tc,
+            flags,
+            min_m1: estimator.adjustment.min_m1,
+            scale: estimator.adjustment.scale,
+            base_coeff: estimator.adjustment.base_coeff,
+            fast_kind: estimator.fast_kind,
+        }
+    }
+
+    /// Number of compiled N-T models (the bank's `pes = 1` keys).
+    pub fn nt_models(&self) -> usize {
+        self.nt_ta.len()
+    }
+
+    /// Number of compiled P-T models.
+    pub fn pt_models(&self) -> usize {
+        self.pt_ka.len()
+    }
+
+    fn nt_slot_of(&self, kind: usize, m: usize) -> Option<usize> {
+        if kind >= self.kind_cap || m >= self.m_cap {
+            return None;
+        }
+        match self.nt_slot[kind * self.m_cap + m] {
+            NO_SLOT => None,
+            s => Some(s as usize),
+        }
+    }
+
+    fn pt_slot_of(&self, kind: usize, m: usize) -> Option<usize> {
+        if kind >= self.kind_cap || m >= self.m_cap {
+            return None;
+        }
+        match self.pt_slot[kind * self.m_cap + m] {
+            NO_SLOT => None,
+            s => Some(s as usize),
+        }
+    }
+
+    fn flags_of(&self, kind: usize, m: usize) -> u8 {
+        if kind >= self.kind_cap || m >= self.m_cap {
+            0
+        } else {
+            self.flags[kind * self.m_cap + m]
+        }
+    }
+
+    /// The first `(kind, M)` group of `config` (in use order, the
+    /// scalar health scan's order) that is quarantined without a
+    /// composed fallback.
+    pub fn first_untrusted(&self, config: &Configuration) -> Option<(usize, usize)> {
+        config
+            .uses
+            .iter()
+            .filter(|u| u.pes > 0 && u.procs_per_pe > 0)
+            .map(|u| (u.kind.0, u.procs_per_pe))
+            .find(|&(kind, m)| self.flags_of(kind, m) & FLAG_UNTRUSTED != 0)
+    }
+
+    /// Whether any group of `config` is served by a composed fallback.
+    pub fn any_fallback(&self, config: &Configuration) -> bool {
+        config
+            .uses
+            .iter()
+            .filter(|u| u.pes > 0 && u.procs_per_pe > 0)
+            .any(|u| self.flags_of(u.kind.0, u.procs_per_pe) & FLAG_FALLBACK != 0)
+    }
+
+    /// The §3.4 P-T total at compiled slot `slot`, size `x = N as f64`,
+    /// process count `p` — the exact operation sequence of
+    /// `PtModel::total`.
+    fn pt_total(&self, slot: usize, x: f64, p: f64) -> f64 {
+        let ref_ta = self.pt_ref_ta.eval(slot, x);
+        let ref_tc = self.pt_ref_tc.eval(slot, x);
+        let ta = self.pt_ka[slot][0] * ref_ta / p + self.pt_ka[slot][1];
+        let tc = self.pt_kc[slot][0] * p * ref_tc
+            + self.pt_kc[slot][1] * ref_tc / p
+            + self.pt_kc[slot][2];
+        ta + tc
+    }
+
+    /// The N-T total at compiled slot `slot` — the exact operation
+    /// sequence of `NtModel::total`.
+    fn nt_total(&self, slot: usize, x: f64) -> f64 {
+        self.nt_ta.eval(slot, x) + self.nt_tc.eval(slot, x)
+    }
+
+    /// Compiled §3.4 raw estimate — bit-identical to
+    /// [`raw_estimate`](crate::pipeline::raw_estimate) on the source
+    /// bank, including its error values.
+    ///
+    /// # Errors
+    /// Exactly the scalar path's: [`PipelineError::EmptyConfiguration`],
+    /// [`PipelineError::MissingNt`], [`PipelineError::MissingPt`].
+    pub fn estimate_raw(&self, config: &Configuration, n: usize) -> Result<f64, PipelineError> {
+        let p_total = config.total_processes();
+        if p_total == 0 {
+            return Err(PipelineError::EmptyConfiguration);
+        }
+        let single = config.is_single_pe();
+        let x = n as f64;
+        let p = p_total as f64;
+        let mut worst: f64 = 0.0;
+        for u in config.uses.iter().filter(|u| u.pes > 0) {
+            let t =
+                if single {
+                    let slot = self.nt_slot_of(u.kind.0, u.procs_per_pe).ok_or(
+                        PipelineError::MissingNt(SampleKey::new(u.kind, 1, u.procs_per_pe)),
+                    )?;
+                    self.nt_total(slot, x)
+                } else {
+                    let slot = self.pt_slot_of(u.kind.0, u.procs_per_pe).ok_or(
+                        PipelineError::MissingPt {
+                            kind: u.kind.0,
+                            m: u.procs_per_pe,
+                        },
+                    )?;
+                    self.pt_total(slot, x, p)
+                };
+            worst = worst.max(t);
+        }
+        Ok(worst)
+    }
+
+    /// The §4.1 baseline (fast kind dialled back to `M₁ = 1`) without
+    /// cloning the configuration — bit-identical to the scalar
+    /// `baseline_estimate`, `None` exactly when that returns `None`.
+    fn baseline_raw(&self, config: &Configuration, n: usize) -> Option<f64> {
+        let base_m = |u: &etm_cluster::KindUse| {
+            if u.kind.0 == self.fast_kind && u.pes > 0 {
+                1
+            } else {
+                u.procs_per_pe
+            }
+        };
+        let p_total: usize = config.uses.iter().map(|u| u.pes * base_m(u)).sum();
+        if p_total == 0 {
+            return None;
+        }
+        // The baseline configuration shares the original's PE counts, so
+        // it is multi-PE exactly when the original is — and this path is
+        // only reached for multi-PE configurations.
+        let x = n as f64;
+        let p = p_total as f64;
+        let mut worst: f64 = 0.0;
+        for u in config.uses.iter().filter(|u| u.pes > 0) {
+            let m = base_m(u);
+            let slot = self.pt_slot_of(u.kind.0, m)?;
+            worst = worst.max(self.pt_total(slot, x, p));
+        }
+        Some(worst)
+    }
+
+    /// Compiled adjusted estimate — bit-identical to
+    /// [`Estimator::estimate`] on the source snapshot.
+    ///
+    /// # Errors
+    /// Exactly the scalar path's (see
+    /// [`CompiledSnapshot::estimate_raw`]).
+    pub fn estimate(&self, config: &Configuration, n: usize) -> Result<f64, PipelineError> {
+        let raw = self.estimate_raw(config, n)?;
+        if config.is_single_pe() {
+            return Ok(raw);
+        }
+        let m1 = config.procs_per_pe(KindId(self.fast_kind));
+        if m1 < self.min_m1 {
+            return Ok(raw);
+        }
+        let baseline = self.baseline_raw(config, n).unwrap_or(raw);
+        Ok(self.scale * raw + self.base_coeff * baseline)
+    }
+
+    /// Evaluates many `(configuration, N)` requests through the batched
+    /// Horner kernels: the needed polynomial evaluations are gathered
+    /// per compiled model row, evaluated with
+    /// [`CoefficientBank::eval_many`] (coefficients outer, points
+    /// inner), and scattered back — so each result is bit-identical to
+    /// the corresponding scalar call while the hot loop touches flat
+    /// arrays only.
+    pub fn estimate_many(
+        &self,
+        requests: &[(Configuration, usize)],
+    ) -> Vec<Result<f64, PipelineError>> {
+        let mut results: Vec<Result<f64, PipelineError>> = Vec::with_capacity(requests.len());
+        let mut plan: Vec<PlanItem> = Vec::with_capacity(requests.len());
+        // Gather lists: (compiled row, x) per needed polynomial value.
+        let mut nt_terms: Vec<(u32, f64)> = Vec::new();
+        let mut pt_terms: Vec<(u32, f64)> = Vec::new();
+
+        // Planning sweep: resolve every request's slots in use order,
+        // recording scalar-identical errors immediately. One pass over
+        // the uses gathers everything the scalar path derives from
+        // three separate traversals (`total_processes`, `is_single_pe`,
+        // `procs_per_pe(fast_kind)`).
+        for (config, n) in requests {
+            let x = *n as f64;
+            let mut p_total = 0usize;
+            let mut total_pes = 0usize;
+            let mut m1 = 0usize;
+            let mut m1_seen = false;
+            for u in &config.uses {
+                p_total += u.pes * u.procs_per_pe;
+                total_pes += u.pes;
+                if !m1_seen && u.kind.0 == self.fast_kind && u.pes > 0 {
+                    m1 = u.procs_per_pe;
+                    m1_seen = true;
+                }
+            }
+            if p_total == 0 {
+                results.push(Err(PipelineError::EmptyConfiguration));
+                plan.push(PlanItem::Done);
+                continue;
+            }
+            results.push(Ok(0.0)); // placeholder, overwritten below
+            let single = total_pes == 1;
+            if single {
+                let start = nt_terms.len() as u32;
+                let mut failed = None;
+                for u in config.uses.iter().filter(|u| u.pes > 0) {
+                    match self.nt_slot_of(u.kind.0, u.procs_per_pe) {
+                        Some(slot) => nt_terms.push((slot as u32, x)),
+                        None => {
+                            failed = Some(PipelineError::MissingNt(SampleKey::new(
+                                u.kind,
+                                1,
+                                u.procs_per_pe,
+                            )));
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = failed {
+                    nt_terms.truncate(start as usize);
+                    *results.last_mut().expect("just pushed") = Err(e);
+                    plan.push(PlanItem::Done);
+                } else {
+                    plan.push(PlanItem::Single {
+                        start,
+                        end: nt_terms.len() as u32,
+                    });
+                }
+                continue;
+            }
+
+            let start = pt_terms.len() as u32;
+            let mut failed = None;
+            for u in config.uses.iter().filter(|u| u.pes > 0) {
+                match self.pt_slot_of(u.kind.0, u.procs_per_pe) {
+                    Some(slot) => pt_terms.push((slot as u32, x)),
+                    None => {
+                        failed = Some(PipelineError::MissingPt {
+                            kind: u.kind.0,
+                            m: u.procs_per_pe,
+                        });
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                pt_terms.truncate(start as usize);
+                *results.last_mut().expect("just pushed") = Err(e);
+                plan.push(PlanItem::Done);
+                continue;
+            }
+            let end = pt_terms.len() as u32;
+            let adjust = m1 >= self.min_m1;
+            let base_start = end;
+            let mut base_end = end;
+            let mut base_p = 0.0;
+            let mut base_ok = false;
+            if adjust {
+                let base_m = |u: &etm_cluster::KindUse| {
+                    if u.kind.0 == self.fast_kind && u.pes > 0 {
+                        1
+                    } else {
+                        u.procs_per_pe
+                    }
+                };
+                let base_total: usize = config.uses.iter().map(|u| u.pes * base_m(u)).sum();
+                if base_total > 0 {
+                    base_ok = true;
+                    base_p = base_total as f64;
+                    for u in config.uses.iter().filter(|u| u.pes > 0) {
+                        match self.pt_slot_of(u.kind.0, base_m(u)) {
+                            Some(slot) => pt_terms.push((slot as u32, x)),
+                            None => {
+                                base_ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !base_ok {
+                        pt_terms.truncate(base_start as usize);
+                    }
+                    base_end = pt_terms.len() as u32;
+                }
+            }
+            plan.push(PlanItem::Multi {
+                start,
+                end,
+                p: p_total as f64,
+                adjust,
+                base_start,
+                base_end,
+                base_p,
+                base_ok,
+            });
+        }
+
+        // Batched evaluation: bucket terms per compiled row, run the
+        // coefficients-outer kernels, scatter values back.
+        let (nt_a, nt_c) = self.eval_term_block(&self.nt_ta, &self.nt_tc, &nt_terms);
+        let (pt_a, pt_c) = self.eval_term_block(&self.pt_ref_ta, &self.pt_ref_tc, &pt_terms);
+
+        // Combine sweep: per request, the scalar path's exact fold.
+        for (i, item) in plan.iter().enumerate() {
+            match item {
+                PlanItem::Done => {}
+                PlanItem::Single { start, end } => {
+                    let mut worst: f64 = 0.0;
+                    for t in *start as usize..*end as usize {
+                        worst = worst.max(nt_a[t] + nt_c[t]);
+                    }
+                    results[i] = Ok(worst);
+                }
+                PlanItem::Multi {
+                    start,
+                    end,
+                    p,
+                    adjust,
+                    base_start,
+                    base_end,
+                    base_p,
+                    base_ok,
+                } => {
+                    let fold = |range: std::ops::Range<usize>, p: f64| {
+                        let mut worst: f64 = 0.0;
+                        for t in range {
+                            let slot = pt_terms[t].0 as usize;
+                            let ta = self.pt_ka[slot][0] * pt_a[t] / p + self.pt_ka[slot][1];
+                            let tc = self.pt_kc[slot][0] * p * pt_c[t]
+                                + self.pt_kc[slot][1] * pt_c[t] / p
+                                + self.pt_kc[slot][2];
+                            worst = worst.max(ta + tc);
+                        }
+                        worst
+                    };
+                    let raw = fold(*start as usize..*end as usize, *p);
+                    results[i] = Ok(if !*adjust {
+                        raw
+                    } else {
+                        let baseline = if *base_ok {
+                            fold(*base_start as usize..*base_end as usize, *base_p)
+                        } else {
+                            raw
+                        };
+                        self.scale * raw + self.base_coeff * baseline
+                    });
+                }
+            }
+        }
+        results
+    }
+
+    /// Evaluates every gathered `(row, x)` term against a computation /
+    /// communication bank pair, returning the two value arrays aligned
+    /// with `terms`.
+    fn eval_term_block(
+        &self,
+        bank_a: &CoefficientBank,
+        bank_c: &CoefficientBank,
+        terms: &[(u32, f64)],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let n = terms.len();
+        let mut out_a = vec![0.0; n];
+        let mut out_c = vec![0.0; n];
+        if n == 0 {
+            return (out_a, out_c);
+        }
+        // Counting sort of the terms by row: flat arrays only, no
+        // per-row heap buckets.
+        let rows = bank_a.len();
+        let mut offsets = vec![0u32; rows + 1];
+        for &(row, _) in terms {
+            offsets[row as usize + 1] += 1;
+        }
+        for r in 0..rows {
+            offsets[r + 1] += offsets[r];
+        }
+        let mut cursor = offsets.clone();
+        let mut perm = vec![0u32; n];
+        let mut xs = vec![0.0f64; n];
+        for (t, &(row, x)) in terms.iter().enumerate() {
+            let c = &mut cursor[row as usize];
+            perm[*c as usize] = t as u32;
+            xs[*c as usize] = x;
+            *c += 1;
+        }
+        let mut ys = vec![0.0f64; n];
+        for r in 0..rows {
+            let (lo, hi) = (offsets[r] as usize, offsets[r + 1] as usize);
+            if lo < hi {
+                bank_a.eval_many(r, &xs[lo..hi], &mut ys[lo..hi]);
+            }
+        }
+        for (k, &t) in perm.iter().enumerate() {
+            out_a[t as usize] = ys[k];
+        }
+        for r in 0..rows {
+            let (lo, hi) = (offsets[r] as usize, offsets[r + 1] as usize);
+            if lo < hi {
+                bank_c.eval_many(r, &xs[lo..hi], &mut ys[lo..hi]);
+            }
+        }
+        for (k, &t) in perm.iter().enumerate() {
+            out_c[t as usize] = ys[k];
+        }
+        (out_a, out_c)
+    }
+}
+
+/// Memo cell state: not yet computed.
+const CELL_EMPTY: u8 = 0;
+/// Memo cell state: value published.
+const CELL_READY: u8 = 1;
+
+/// A lazily filled, lock-free `(config, N) → estimate` surface over one
+/// pinned snapshot generation.
+///
+/// The surface *holds* its `Arc<EngineSnapshot>` (it is not part of the
+/// snapshot — published snapshots stay pure data), so it pins the
+/// generation it memoizes: engines may publish later generations
+/// underneath without disturbing readers. Cells are `(state, bits)`
+/// atomic pairs: a writer stores the value then releases the state, a
+/// reader acquires the state then loads the value. Racing writers are
+/// benign — estimates are deterministic, so both write identical bits.
+/// Inestimable cells are not cached; their (deterministic) error is
+/// recomputed per query.
+pub struct MemoSurface {
+    snapshot: Arc<EngineSnapshot>,
+    configs: Vec<Configuration>,
+    ns: Vec<usize>,
+    index: HashMap<Configuration, usize>,
+    first_untrusted: Vec<Option<(usize, usize)>>,
+    any_fallback: Vec<bool>,
+    states: Vec<AtomicU8>,
+    values: Vec<AtomicU64>,
+}
+
+impl MemoSurface {
+    /// Builds an empty surface over `configs × ns` against `snapshot`.
+    /// Per-configuration health (untrusted / fallback groups) is
+    /// resolved eagerly; estimates fill lazily (or via
+    /// [`MemoSurface::prefill`]).
+    pub fn new(snapshot: Arc<EngineSnapshot>, configs: Vec<Configuration>, ns: Vec<usize>) -> Self {
+        let compiled = snapshot.compiled();
+        let index = configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i))
+            .collect();
+        let first_untrusted = configs
+            .iter()
+            .map(|c| compiled.first_untrusted(c))
+            .collect();
+        let any_fallback = configs.iter().map(|c| compiled.any_fallback(c)).collect();
+        let cells = configs.len() * ns.len();
+        MemoSurface {
+            snapshot,
+            configs,
+            ns,
+            index,
+            first_untrusted,
+            any_fallback,
+            states: (0..cells).map(|_| AtomicU8::new(CELL_EMPTY)).collect(),
+            values: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The pinned snapshot.
+    pub fn snapshot(&self) -> &Arc<EngineSnapshot> {
+        &self.snapshot
+    }
+
+    /// The pinned snapshot's generation.
+    pub fn generation(&self) -> u64 {
+        self.snapshot.generation()
+    }
+
+    /// Number of interned configurations.
+    pub fn config_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// The interned configurations, in intern order.
+    pub fn configs(&self) -> &[Configuration] {
+        &self.configs
+    }
+
+    /// The problem sizes of the surface.
+    pub fn ns(&self) -> &[usize] {
+        &self.ns
+    }
+
+    /// The intern index of `config`, if it is on the surface.
+    pub fn lookup(&self, config: &Configuration) -> Option<usize> {
+        self.index.get(config).copied()
+    }
+
+    /// Number of cells currently holding a published value.
+    pub fn filled(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| s.load(Ordering::Acquire) == CELL_READY)
+            .count()
+    }
+
+    /// The memoized estimate of configuration `ci` at size index `ni` —
+    /// bit-identical to the scalar path, computed at most once per cell
+    /// (errors are recomputed, never cached).
+    ///
+    /// # Errors
+    /// Exactly the scalar `estimate` path's errors.
+    ///
+    /// # Panics
+    /// If `ci` or `ni` is out of range.
+    pub fn estimate(&self, ci: usize, ni: usize) -> Result<f64, PipelineError> {
+        let cell = ci * self.ns.len() + ni;
+        if self.states[cell].load(Ordering::Acquire) == CELL_READY {
+            return Ok(f64::from_bits(self.values[cell].load(Ordering::Relaxed)));
+        }
+        let result = self
+            .snapshot
+            .compiled()
+            .estimate(&self.configs[ci], self.ns[ni]);
+        if let Ok(t) = result {
+            self.values[cell].store(t.to_bits(), Ordering::Relaxed);
+            self.states[cell].store(CELL_READY, Ordering::Release);
+        }
+        result
+    }
+
+    /// The health-aware memoized estimate: untrusted groups refuse with
+    /// [`PipelineError::ModelUntrusted`], composed-fallback groups pay
+    /// `fallback_penalty` — the exact semantics of the scalar
+    /// health-aware objective.
+    ///
+    /// # Errors
+    /// [`PipelineError::ModelUntrusted`] for untrusted groups, else the
+    /// scalar `estimate` path's errors.
+    pub fn health_estimate(
+        &self,
+        ci: usize,
+        ni: usize,
+        fallback_penalty: f64,
+    ) -> Result<f64, PipelineError> {
+        if let Some((kind, m)) = self.first_untrusted[ci] {
+            return Err(PipelineError::ModelUntrusted { kind, m });
+        }
+        let t = self.estimate(ci, ni)?;
+        Ok(if self.any_fallback[ci] && fallback_penalty > 1.0 {
+            t * fallback_penalty
+        } else {
+            t
+        })
+    }
+
+    /// Fills every cell in one batched pass over
+    /// [`EngineSnapshot::estimate_batch`]. Safe to race with readers
+    /// and repeated calls: all writers publish identical bits.
+    pub fn prefill(&self) {
+        let mut requests = Vec::with_capacity(self.configs.len() * self.ns.len());
+        for config in &self.configs {
+            for &n in &self.ns {
+                requests.push((config.clone(), n));
+            }
+        }
+        for (cell, result) in self
+            .snapshot
+            .estimate_batch(&requests)
+            .into_iter()
+            .enumerate()
+        {
+            if let Ok(t) = result {
+                self.values[cell].store(t.to_bits(), Ordering::Relaxed);
+                self.states[cell].store(CELL_READY, Ordering::Release);
+            }
+        }
+    }
+}

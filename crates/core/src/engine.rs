@@ -48,6 +48,7 @@ use etm_support::sync::Mutex;
 
 use crate::adjust::AdjustmentRule;
 use crate::backend::ModelBackend;
+use crate::compiled::CompiledSnapshot;
 use crate::measurement::{MeasurementDb, Sample, SampleKey};
 use crate::pipeline::{
     paper_adjustment_policy, AdjustmentPolicy, Estimator, ModelBank, PipelineError,
@@ -147,9 +148,32 @@ pub struct EngineSnapshot {
     backend: &'static str,
     refit: Vec<(usize, usize)>,
     health: EngineHealth,
+    compiled: CompiledSnapshot,
 }
 
 impl EngineSnapshot {
+    /// Assembles a snapshot, compiling the estimator and health ledger
+    /// into the struct-of-arrays serving form as part of publication —
+    /// the single constructor every publication site funnels through,
+    /// so a snapshot can never exist without its compiled twin.
+    fn assemble(
+        estimator: Estimator,
+        generation: u64,
+        backend: &'static str,
+        refit: Vec<(usize, usize)>,
+        health: EngineHealth,
+    ) -> Self {
+        let compiled = CompiledSnapshot::compile(&estimator, &health);
+        EngineSnapshot {
+            estimator,
+            generation,
+            backend,
+            refit,
+            health,
+            compiled,
+        }
+    }
+
     /// The snapshot's estimator (bank + §4.1 adjustment).
     pub fn estimator(&self) -> &Estimator {
         &self.estimator
@@ -206,6 +230,24 @@ impl EngineSnapshot {
     /// See `Estimator::estimate`.
     pub fn estimate(&self, config: &Configuration, n: usize) -> Result<f64, PipelineError> {
         self.estimator.estimate(config, n)
+    }
+
+    /// The struct-of-arrays serving form compiled at publication —
+    /// bit-identical to the scalar path (see
+    /// [`CompiledSnapshot`](crate::compiled::CompiledSnapshot)).
+    pub fn compiled(&self) -> &CompiledSnapshot {
+        &self.compiled
+    }
+
+    /// Evaluates many `(configuration, N)` requests through the
+    /// compiled batched kernels. Each element is bit-identical
+    /// (value and error alike) to the corresponding
+    /// [`EngineSnapshot::estimate`] call on this snapshot.
+    pub fn estimate_batch(
+        &self,
+        requests: &[(Configuration, usize)],
+    ) -> Vec<Result<f64, PipelineError>> {
+        self.compiled.estimate_many(requests)
     }
 }
 
@@ -307,13 +349,13 @@ impl Engine {
         let fingerprints = EngineState::fingerprints_of(&db);
         let pristine = bank.clone();
         let estimator = assemble_estimator(bank, policy.as_ref())?;
-        let snapshot = Arc::new(EngineSnapshot {
+        let snapshot = Arc::new(EngineSnapshot::assemble(
             estimator,
-            generation: 0,
-            backend: backend.name(),
-            refit: Vec::new(),
-            health: EngineHealth::default(),
-        });
+            0,
+            backend.name(),
+            Vec::new(),
+            EngineHealth::default(),
+        ));
         Ok(Engine {
             backend,
             policy,
@@ -499,13 +541,13 @@ impl Engine {
             healthy_generation: state.last_healthy_gen,
             rejected_samples: state.rejected,
         };
-        let snapshot = Arc::new(EngineSnapshot {
+        let snapshot = Arc::new(EngineSnapshot::assemble(
             estimator,
             generation,
-            backend: self.backend.name(),
-            refit: dirty.into_iter().collect(),
+            self.backend.name(),
+            dirty.into_iter().collect(),
             health,
-        });
+        ));
         *self.current.lock() = Arc::clone(&snapshot);
         Ok(snapshot)
     }
@@ -549,13 +591,13 @@ impl Engine {
             healthy_generation: state.last_healthy_gen,
             rejected_samples: state.rejected,
         };
-        let snapshot = Arc::new(EngineSnapshot {
+        let snapshot = Arc::new(EngineSnapshot::assemble(
             estimator,
             generation,
-            backend: self.backend.name(),
-            refit: Vec::new(),
+            self.backend.name(),
+            Vec::new(),
             health,
-        });
+        ));
         *self.current.lock() = Arc::clone(&snapshot);
         Ok(snapshot)
     }
@@ -587,13 +629,13 @@ pub(crate) fn merged_snapshot(
         healthy_generation: last_healthy_gen,
         rejected_samples: rejected,
     };
-    Ok(Arc::new(EngineSnapshot {
+    Ok(Arc::new(EngineSnapshot::assemble(
         estimator,
         generation,
-        backend: backend.name(),
-        refit: Vec::new(),
+        backend.name(),
+        Vec::new(),
         health,
-    }))
+    )))
 }
 
 /// Builds the bank a (possibly degraded) snapshot serves: `pristine`

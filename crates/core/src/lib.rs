@@ -53,6 +53,7 @@
 pub mod adjust;
 pub mod backend;
 pub mod cache;
+pub mod compiled;
 pub mod compose;
 pub mod engine;
 pub mod faults;
@@ -67,6 +68,7 @@ pub mod validate;
 
 pub use adjust::AdjustmentRule;
 pub use backend::{BinnedPolyBackend, ModelBackend, PolyLsqBackend, RobustPolyBackend};
+pub use compiled::{CompiledSnapshot, MemoSurface};
 pub use engine::{Engine, EngineSnapshot};
 pub use measurement::{MeasurementDb, Sample, SampleKey};
 pub use ntmodel::{MemoryBinnedNt, NtModel};

@@ -1,0 +1,347 @@
+//! Bit-identity and concurrency contracts of the compiled serving
+//! layer (`CompiledSnapshot` + `MemoSurface`).
+//!
+//! The refactor's merge invariant: every compiled or batched estimate —
+//! value and error alike — is bit-identical to the scalar
+//! `EngineSnapshot::estimate` path on the same snapshot, across healthy,
+//! quarantined-with-fallback, and untrusted snapshots, and a memo
+//! surface pinned to one generation keeps answering bit-identically
+//! while the engine publishes later generations underneath.
+
+use std::sync::Arc;
+
+use etm_cluster::{Configuration, KindId, KindUse};
+use etm_core::backend::PolyLsqBackend;
+use etm_core::engine::{Engine, QuarantinePolicy};
+use etm_core::pipeline::AdjustmentPolicy;
+use etm_core::{EngineSnapshot, MeasurementDb, MemoSurface, Sample, SampleKey};
+use etm_support::prop;
+use etm_support::rng::Rng64;
+
+const NS: [usize; 6] = [400, 800, 1600, 2400, 3200, 6400];
+
+fn synth_sample(kind: usize, pes: usize, m: usize, n: usize) -> Sample {
+    let x = n as f64;
+    let p = (pes * m) as f64;
+    let speed = if kind == 0 { 2.0 } else { 1.0 };
+    let ta = (2e-9 * x * x * x / p + 1e-5 * x) / speed + 0.05;
+    let tc = 1e-7 * x * x * (0.3 * p + 0.7 / p) + 0.01;
+    Sample {
+        n,
+        ta,
+        tc,
+        wall: ta + tc,
+        multi_node: pes > 1,
+    }
+}
+
+/// Two-kind database: fast kind 0 with multiplicities up to 6 (so the
+/// §4.1 adjustment's reference groups exist), slow kind 1 across PE
+/// counts.
+fn synth_db() -> MeasurementDb {
+    let mut db = MeasurementDb::new();
+    for m in 1..=6usize {
+        for n in NS {
+            db.record(SampleKey { kind: 0, pes: 1, m }, synth_sample(0, 1, m, n));
+        }
+    }
+    for pes in [1usize, 2, 4, 8] {
+        for m in 1..=6usize {
+            for n in NS {
+                db.record(SampleKey { kind: 1, pes, m }, synth_sample(1, pes, m, n));
+            }
+        }
+    }
+    db
+}
+
+/// Single-kind database: a quarantined group here has no donor kind, so
+/// it stays untrusted instead of getting a composed fallback.
+fn single_kind_db() -> MeasurementDb {
+    let mut db = MeasurementDb::new();
+    for pes in [1usize, 2, 4] {
+        for m in 1..=3usize {
+            for n in NS {
+                db.record(SampleKey { kind: 0, pes, m }, synth_sample(0, pes, m, n));
+            }
+        }
+    }
+    db
+}
+
+/// An adjustment policy whose gate (`M₁ ≥ 3`) is reachable by the
+/// candidate configurations, so the compiled §4.1 fold is exercised.
+fn adjustment_policy() -> AdjustmentPolicy {
+    AdjustmentPolicy {
+        min_m1: 3,
+        ref_n: 3200,
+        ref_p2: 4,
+        fast_kind: 0,
+        walls: vec![(3, 5.0), (4, 5.2), (5, 5.6), (6, 6.3)],
+    }
+}
+
+/// A candidate mix covering every serving branch: single-PE (N-T),
+/// multi-PE (P-T), adjustment-gated (`M₁ ≥ 3`), missing models, and the
+/// empty configuration.
+fn candidates() -> Vec<(Configuration, usize)> {
+    let mut out = Vec::new();
+    for m1 in 0..=7usize {
+        for p2 in [0usize, 1, 2, 4, 8] {
+            for m2 in 0..=3usize {
+                let cfg = Configuration::p1m1_p2m2(usize::from(m1 > 0), m1, p2, m2);
+                for n in [400usize, 1600, 6400, 9999] {
+                    out.push((cfg.clone(), n));
+                }
+            }
+        }
+    }
+    // A kind the bank has never seen.
+    out.push((
+        Configuration {
+            uses: vec![KindUse {
+                kind: KindId(7),
+                pes: 2,
+                procs_per_pe: 1,
+            }],
+        },
+        1600,
+    ));
+    out
+}
+
+/// Asserts `estimate_batch` over `requests` is element-wise
+/// bit-identical (values) and equal (errors) to the scalar loop.
+fn assert_batch_matches_scalar(
+    snapshot: &Arc<EngineSnapshot>,
+    requests: &[(Configuration, usize)],
+) {
+    let batched = snapshot.estimate_batch(requests);
+    assert_eq!(batched.len(), requests.len());
+    for (i, (config, n)) in requests.iter().enumerate() {
+        let scalar = snapshot.estimate(config, *n);
+        match (&batched[i], &scalar) {
+            (Ok(b), Ok(s)) => assert_eq!(
+                b.to_bits(),
+                s.to_bits(),
+                "request {i}: batched {b} != scalar {s}"
+            ),
+            (Err(b), Err(s)) => assert_eq!(b, s, "request {i}: error mismatch"),
+            (b, s) => panic!("request {i}: batched {b:?} vs scalar {s:?}"),
+        }
+        // The compiled scalar kernel (the memo-miss path) too.
+        let compiled = snapshot.compiled().estimate(config, *n);
+        match (&compiled, &scalar) {
+            (Ok(c), Ok(s)) => assert_eq!(c.to_bits(), s.to_bits(), "request {i}"),
+            (Err(c), Err(s)) => assert_eq!(c, s, "request {i}"),
+            (c, s) => panic!("request {i}: compiled {c:?} vs scalar {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_on_healthy_snapshots() {
+    // Unadjusted and adjusted engines: the latter exercises the
+    // pre-folded §4.1 baseline path.
+    let plain =
+        Engine::new(Box::new(PolyLsqBackend::paper()), synth_db(), None).expect("synth db fits");
+    let adjusted = Engine::new(
+        Box::new(PolyLsqBackend::paper()),
+        synth_db(),
+        Some(adjustment_policy()),
+    )
+    .expect("synth db fits with adjustment");
+    assert!(adjusted.snapshot().adjustment().min_m1 == 3);
+    prop::check(16, 0x5e21_0001, |rng| {
+        let mut requests = candidates();
+        rng.shuffle(&mut requests);
+        let take = rng.range_inclusive(1, requests.len());
+        requests.truncate(take);
+        assert_batch_matches_scalar(&plain.snapshot(), &requests);
+        assert_batch_matches_scalar(&adjusted.snapshot(), &requests);
+    });
+}
+
+/// Poisons `budget + 1` distinct `(key, N)` slots of one group.
+fn quarantine_group(engine: &Engine, key: SampleKey, budget: usize) {
+    for (i, &n) in NS.iter().enumerate().take(budget + 1) {
+        let mut bad = synth_sample(key.kind, key.pes, key.m, n);
+        if i % 2 == 0 {
+            bad.wall = f64::NAN;
+        } else {
+            bad.tc = f64::INFINITY;
+        }
+        engine
+            .ingest(&[(key, bad)])
+            .expect("rejection is not an error");
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_on_fallback_and_untrusted_snapshots() {
+    // Two-kind engine: the poisoned slow-kind group gets a §3.5
+    // composed fallback from the healthy fast kind.
+    let with_donor = Engine::new(Box::new(PolyLsqBackend::paper()), synth_db(), None)
+        .expect("synth db fits")
+        .with_quarantine_policy(QuarantinePolicy {
+            budget: 2,
+            max_seconds: 1e6,
+        });
+    quarantine_group(
+        &with_donor,
+        SampleKey {
+            kind: 0,
+            pes: 1,
+            m: 2,
+        },
+        2,
+    );
+    let fallback_snap = with_donor.snapshot();
+    assert!(
+        fallback_snap.health().is_fallback((0, 2)),
+        "expected a composed fallback, health: {:?}",
+        fallback_snap.health()
+    );
+
+    // Single-kind engine: no donor exists, so the group stays
+    // quarantined without a fallback — untrusted.
+    let no_donor = Engine::new(Box::new(PolyLsqBackend::paper()), single_kind_db(), None)
+        .expect("single-kind db fits")
+        .with_quarantine_policy(QuarantinePolicy {
+            budget: 2,
+            max_seconds: 1e6,
+        });
+    quarantine_group(
+        &no_donor,
+        SampleKey {
+            kind: 0,
+            pes: 2,
+            m: 2,
+        },
+        2,
+    );
+    let untrusted_snap = no_donor.snapshot();
+    assert!(
+        untrusted_snap.health().is_untrusted((0, 2)),
+        "expected an untrusted group, health: {:?}",
+        untrusted_snap.health()
+    );
+
+    // The compiled health flags agree with the scalar ledger, and the
+    // estimates stay bit-identical on both degraded snapshots.
+    let probe = Configuration::p1m1_p2m2(1, 2, 4, 1);
+    assert!(fallback_snap.compiled().any_fallback(&probe));
+    assert_eq!(fallback_snap.compiled().first_untrusted(&probe), None);
+    let single_probe = Configuration {
+        uses: vec![KindUse {
+            kind: KindId(0),
+            pes: 2,
+            procs_per_pe: 2,
+        }],
+    };
+    assert_eq!(
+        untrusted_snap.compiled().first_untrusted(&single_probe),
+        Some((0, 2))
+    );
+
+    prop::check(16, 0x5e21_0002, |rng| {
+        let mut requests = candidates();
+        rng.shuffle(&mut requests);
+        assert_batch_matches_scalar(&fallback_snap, &requests);
+        assert_batch_matches_scalar(&untrusted_snap, &requests);
+    });
+}
+
+#[test]
+fn memo_surface_survives_refits_and_concurrent_readers() {
+    let engine =
+        Engine::new(Box::new(PolyLsqBackend::paper()), synth_db(), None).expect("synth db fits");
+    let pinned = engine.snapshot();
+    let configs: Vec<Configuration> = (1..=6usize)
+        .flat_map(|m1| {
+            [0usize, 2, 4, 8]
+                .into_iter()
+                .map(move |p2| Configuration::p1m1_p2m2(1, m1, p2, 1))
+        })
+        .collect();
+    let ns = vec![800usize, 1600, 3200];
+    // The scalar truth on the pinned snapshot, captured before any
+    // concurrent traffic.
+    let expected: Vec<Vec<Result<f64, _>>> = configs
+        .iter()
+        .map(|c| ns.iter().map(|&n| pinned.estimate(c, n)).collect())
+        .collect();
+    let surface = Arc::new(MemoSurface::new(
+        Arc::clone(&pinned),
+        configs.clone(),
+        ns.clone(),
+    ));
+
+    std::thread::scope(|scope| {
+        // Four readers hammer the surface in shuffled cell orders.
+        for reader in 0..4u64 {
+            let surface = Arc::clone(&surface);
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut rng = Rng64::seed_from_u64(0xbeef ^ reader);
+                let mut cells: Vec<(usize, usize)> = (0..surface.config_count())
+                    .flat_map(|ci| (0..3usize).map(move |ni| (ci, ni)))
+                    .collect();
+                for _ in 0..50 {
+                    rng.shuffle(&mut cells);
+                    for &(ci, ni) in &cells {
+                        let got = surface.estimate(ci, ni);
+                        match (&got, &expected[ci][ni]) {
+                            (Ok(g), Ok(e)) => assert_eq!(g.to_bits(), e.to_bits()),
+                            (Err(g), Err(e)) => assert_eq!(g, e),
+                            (g, e) => panic!("cell ({ci},{ni}): {g:?} vs {e:?}"),
+                        }
+                    }
+                }
+            });
+        }
+        // Meanwhile the engine publishes later generations: perturbed
+        // samples force refits while readers hold the pinned surface.
+        let writer_engine = &engine;
+        scope.spawn(move || {
+            for round in 0..10usize {
+                let mut s = synth_sample(1, 2, 1, 1600);
+                s.ta *= 1.0 + 0.01 * (round + 1) as f64;
+                writer_engine
+                    .ingest(&[(
+                        SampleKey {
+                            kind: 1,
+                            pes: 2,
+                            m: 1,
+                        },
+                        s,
+                    )])
+                    .expect("clean ingest");
+            }
+        });
+    });
+
+    // The engine moved on; the surface stayed pinned to generation 0.
+    assert!(engine.snapshot().generation() > 0);
+    assert_eq!(surface.generation(), 0);
+    assert_eq!(surface.snapshot().generation(), pinned.generation());
+
+    // Prefill is idempotent and fills exactly the estimable cells.
+    surface.prefill();
+    let estimable = expected
+        .iter()
+        .flat_map(|row| row.iter())
+        .filter(|r| r.is_ok())
+        .count();
+    assert_eq!(surface.filled(), estimable);
+    // And cells still answer with the pinned generation's bits.
+    for (ci, row) in expected.iter().enumerate() {
+        for (ni, e) in row.iter().enumerate() {
+            match (surface.estimate(ci, ni), e) {
+                (Ok(g), Ok(e)) => assert_eq!(g.to_bits(), e.to_bits()),
+                (Err(g), Err(e)) => assert_eq!(&g, e),
+                (g, e) => panic!("cell ({ci},{ni}): {g:?} vs {e:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Struct-of-arrays polynomial coefficient storage with scalar and
+//! batched Horner kernels — the vectorized serving hot path.
+//!
+//! A [`CoefficientBank`] holds many fixed-degree polynomials in one
+//! flat `Vec<f64>` (row `i` occupies `coeffs[i*stride .. (i+1)*stride]`,
+//! highest power first, exactly like [`eval_poly`](crate::eval_poly)'s
+//! argument order). Two kernels evaluate rows:
+//!
+//! * [`CoefficientBank::eval`] — one point, the plain Horner recurrence
+//!   seeded with the leading coefficient:
+//!   `((c₀·x + c₁)·x + c₂)·x + …`. This is the exact operation sequence
+//!   of the model structs' hand-written evaluators (`NtModel::ta`
+//!   etc.), so compiled serving stays bit-identical to them.
+//! * [`CoefficientBank::eval_many`] — one row over a slice of points,
+//!   iterating **coefficients outer, points inner**: every point's
+//!   accumulator performs the same `acc·x + c` sequence as the scalar
+//!   kernel, so batching is bit-identical per point while the inner
+//!   loop is a dependency-free fused multiply-add sweep the compiler
+//!   can unroll and vectorize.
+//!
+//! The bank is pure data (`usize` + `Vec<f64>`): freezing one inside an
+//! immutable snapshot keeps the snapshot-discipline analyzer (C003)
+//! silent.
+
+/// Flat storage for many polynomials of one fixed degree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoefficientBank {
+    /// Coefficients per row (`degree + 1`). Always ≥ 1.
+    stride: usize,
+    /// Row-major coefficient storage, highest power first per row.
+    coeffs: Vec<f64>,
+}
+
+impl CoefficientBank {
+    /// An empty bank of polynomials with `stride` coefficients each
+    /// (degree `stride - 1`).
+    ///
+    /// # Panics
+    /// If `stride` is zero — a zero-coefficient polynomial has no
+    /// meaningful evaluation.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "CoefficientBank stride must be at least 1");
+        CoefficientBank {
+            stride,
+            coeffs: Vec::new(),
+        }
+    }
+
+    /// Like [`CoefficientBank::new`] with capacity for `rows` rows.
+    pub fn with_capacity(stride: usize, rows: usize) -> Self {
+        assert!(stride > 0, "CoefficientBank stride must be at least 1");
+        CoefficientBank {
+            stride,
+            coeffs: Vec::with_capacity(stride * rows),
+        }
+    }
+
+    /// Appends one polynomial (highest power first) and returns its row
+    /// index.
+    ///
+    /// # Panics
+    /// If `row.len() != self.stride()`.
+    pub fn push(&mut self, row: &[f64]) -> usize {
+        assert_eq!(
+            row.len(),
+            self.stride,
+            "coefficient row length must equal the bank stride"
+        );
+        let index = self.len();
+        self.coeffs.extend_from_slice(row);
+        index
+    }
+
+    /// Coefficients per row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Polynomial degree of every row.
+    pub fn degree(&self) -> usize {
+        self.stride - 1
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.coeffs.len() / self.stride
+    }
+
+    /// Whether the bank holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The coefficient row `i`, highest power first.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.coeffs[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Evaluates row `i` at `x` by the seeded Horner recurrence
+    /// `((c₀·x + c₁)·x + …)`.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn eval(&self, i: usize, x: f64) -> f64 {
+        let row = self.row(i);
+        let mut acc = row[0];
+        for &c in &row[1..] {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates row `i` at every point of `xs` into `out`, iterating
+    /// coefficients outer / points inner. Each `out[j]` undergoes the
+    /// exact scalar-kernel operation sequence, so
+    /// `out[j].to_bits() == self.eval(i, xs[j]).to_bits()` for every
+    /// point.
+    ///
+    /// # Panics
+    /// If `i` is out of range or `out.len() != xs.len()`.
+    pub fn eval_many(&self, i: usize, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            xs.len(),
+            out.len(),
+            "eval_many output length must match the input points"
+        );
+        let row = self.row(i);
+        out.fill(row[0]);
+        for &c in &row[1..] {
+            for (acc, &x) in out.iter_mut().zip(xs) {
+                *acc = *acc * x + c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::eval_poly;
+    use etm_support::prop;
+    use etm_support::rng::Rng64;
+
+    #[test]
+    fn rows_round_trip() {
+        let mut bank = CoefficientBank::new(3);
+        assert!(bank.is_empty());
+        assert_eq!(bank.degree(), 2);
+        let a = bank.push(&[1.0, 2.0, 3.0]);
+        let b = bank.push(&[-4.0, 0.5, 0.0]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.row(1), &[-4.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn mismatched_row_rejected() {
+        CoefficientBank::new(3).push(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_kernel_matches_the_model_expression() {
+        // The hand-written cubic of NtModel::ta, bit for bit.
+        let ka = [2e-9, 1e-5, 3e-3, 0.05];
+        let mut bank = CoefficientBank::new(4);
+        let row = bank.push(&ka);
+        for n in [0usize, 1, 400, 1600, 6400] {
+            let x = n as f64;
+            let direct = ((ka[0] * x + ka[1]) * x + ka[2]) * x + ka[3];
+            assert_eq!(bank.eval(row, x).to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_kernel_bit_identical_to_scalar() {
+        prop::check(64, 0x5eba_1357, |rng| {
+            let stride = rng.range_inclusive(1, 6);
+            let mut bank = CoefficientBank::new(stride);
+            let rows = rng.range_inclusive(1, 5);
+            for _ in 0..rows {
+                let row: Vec<f64> = (0..stride)
+                    .map(|_| {
+                        rng.range_f64(-1.0, 1.0) * 10f64.powi(rng.range_inclusive(0, 6) as i32 - 3)
+                    })
+                    .collect();
+                bank.push(&row);
+            }
+            let xs: Vec<f64> = (0..rng.range_inclusive(1, 33))
+                .map(|_| rng.range_f64(0.0, 8000.0))
+                .collect();
+            let mut out = vec![0.0; xs.len()];
+            for i in 0..bank.len() {
+                bank.eval_many(i, &xs, &mut out);
+                for (j, &x) in xs.iter().enumerate() {
+                    assert_eq!(
+                        out[j].to_bits(),
+                        bank.eval(i, x).to_bits(),
+                        "row {i} point {j}"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn matches_eval_poly_on_ordinary_coefficients() {
+        // eval_poly seeds its fold at 0.0; the bank seeds at the leading
+        // coefficient. For finite x the two differ only when the leading
+        // coefficient is -0.0, which fitted models never produce.
+        let mut rng = Rng64::seed_from_u64(0xba9c);
+        let mut bank = CoefficientBank::new(4);
+        let row: Vec<f64> = (0..4).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+        let i = bank.push(&row);
+        for n in [0usize, 7, 400, 6400] {
+            let x = n as f64;
+            assert_eq!(bank.eval(i, x).to_bits(), eval_poly(&row, x).to_bits());
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! Usage: `repro <experiment>` where experiment is one of
 //! `table1 plans fig1 fig2 fig3 table3 table6 fig6_7 table4 fig8_11
 //! table7 fig12_15 table9 timings ablations models baselines stream ab
-//! chaos shards all`.
+//! chaos shards serve all`.
 //!
 //! `shards` honors `ETM_STREAM_PACE=<scale>`: when set, the source is
 //! wall-clock paced at `sim_time / scale` (1.0 = real campaign time);
@@ -82,6 +82,9 @@ fn main() {
     if all || which == "shards" {
         shards();
     }
+    if all || which == "serve" {
+        serve();
+    }
     if !all
         && ![
             "table1",
@@ -105,6 +108,7 @@ fn main() {
             "ab",
             "chaos",
             "shards",
+            "serve",
         ]
         .contains(&which.as_str())
     {
@@ -647,6 +651,47 @@ fn shards() {
     );
     if !run.all_identical() {
         eprintln!("sharded merge diverged from the single-consumer bank");
+        std::process::exit(1);
+    }
+}
+
+fn serve() {
+    use etm_repro::serve::serve_experiment;
+    println!("\n== Serving layer: compiled-snapshot predictions/sec + bit-identity gate ==");
+    let report = serve_experiment(&MeasurementPlan::basic(), 0.2);
+    println!(
+        "{} configs x {} sizes = {} requests/sweep ({} estimable); bitwise mismatches: {}",
+        report.configs, report.sizes, report.requests, report.estimable, report.mismatches
+    );
+    let mut t = TextTable::new(vec!["mode", "readers", "predictions/s", "vs scalar"]);
+    let mut csv = Vec::new();
+    let push =
+        |t: &mut TextTable, csv: &mut Vec<String>, mode: &str, readers: usize, per_sec: f64| {
+            t.row(vec![
+                mode.to_string(),
+                readers.to_string(),
+                format!("{per_sec:.0}"),
+                format!("{:.2}x", per_sec / report.scalar_per_sec),
+            ]);
+            csv.push(format!("{mode},{readers},{per_sec:.1}"));
+        };
+    push(&mut t, &mut csv, "scalar", 1, report.scalar_per_sec);
+    push(&mut t, &mut csv, "compiled", 1, report.compiled_per_sec);
+    push(&mut t, &mut csv, "batched", 1, report.batched_per_sec);
+    for row in &report.thread_rows {
+        push(&mut t, &mut csv, "memo", row.readers, row.per_sec);
+    }
+    print!("{}", t.render());
+    println!(
+        "batched/scalar speedup: {:.2}x (single-threaded)",
+        report.speedup()
+    );
+    write_csv("serve_throughput", "mode,readers,predictions_per_sec", &csv);
+    if !report.bit_identical() {
+        eprintln!(
+            "compiled serving layer diverged from the scalar model walk on {} request(s)",
+            report.mismatches
+        );
         std::process::exit(1);
     }
 }

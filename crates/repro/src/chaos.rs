@@ -287,6 +287,68 @@ pub fn run_chaos_scenario(
     }
 }
 
+/// Streams one fault scenario under the same supervision shape as
+/// [`run_chaos_scenario`] (stale seed, faults on the first source
+/// incarnation only, 100 ms stall timeout, 3 restarts) and captures
+/// every published snapshot, in publication order.
+///
+/// The trace lets callers drive *alternative serving paths* — e.g. the
+/// batched memoized [`OnlineOptimizer`] against its scalar
+/// reference-eval twin — over the identical snapshot sequence and diff
+/// the decision logs bit-for-bit.
+///
+/// # Panics
+/// Panics when the supervisor's restart budget is exhausted — which
+/// does not happen for the fixed scenario sweep.
+pub fn chaos_snapshot_trace(
+    plan: &MeasurementPlan,
+    fault: &FaultPlan,
+    cfg: StreamConfig,
+) -> Vec<Arc<EngineSnapshot>> {
+    let db = campaign_db(plan);
+    let trials = trials_of_db(&db);
+    let mut seed_db = MeasurementDb::new();
+    for (k, s) in &trials {
+        let mut stale = *s;
+        stale.ta *= 1.1;
+        seed_db.upsert(*k, stale);
+    }
+    let engine =
+        Engine::new(Box::new(PolyLsqBackend::paper()), seed_db, None).expect("stale campaign fits");
+    let (faulted, _log) = fault.apply(&replay(&trials, &cfg));
+    let expected = faulted.len() as u64;
+    let mut incarnation = 0usize;
+    let opts = ConsumeOptions {
+        stall_timeout: Some(Duration::from_millis(100)),
+        ..ConsumeOptions::default()
+    };
+    let mut trace: Vec<Arc<EngineSnapshot>> = Vec::new();
+    consume_supervised(
+        &engine,
+        opts,
+        expected,
+        3,
+        |next_seq| {
+            incarnation += 1;
+            let tail: Vec<TrialBatch> = faulted
+                .iter()
+                .filter(|b| b.seq >= next_seq)
+                .cloned()
+                .collect();
+            let (stall, kill) = if incarnation == 1 {
+                (fault.stall_at, fault.kill_at)
+            } else {
+                (None, None)
+            };
+            Box::new(FaultySource::spawn(tail, cfg.channel_cap, stall, kill))
+                as Box<dyn BatchSource>
+        },
+        |_, snap| trace.push(Arc::clone(snap)),
+    )
+    .expect("the supervisor absorbs every injected transport fault");
+    trace
+}
+
 /// The end state of one fault plan replayed through a
 /// [`ShardedConsumer`] pool — what the shard-determinism acceptance
 /// compares across pool widths.

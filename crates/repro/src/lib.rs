@@ -8,7 +8,9 @@
 //! online measurement streams with §4 re-optimization and A/B-compares
 //! fitting backends on pinned snapshots. [`chaos`] injects seeded
 //! faults into those streams and scores the degradation ladder's
-//! invariants.
+//! invariants. [`serve`] audits the compiled serving layer for
+//! bit-identity with the interpreted model walk and measures
+//! predictions/sec scalar vs batched vs memoized multi-reader.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,6 +18,7 @@
 pub mod chaos;
 pub mod correlate;
 pub mod experiments;
+pub mod serve;
 pub mod shards;
 pub mod stream;
 pub mod table;

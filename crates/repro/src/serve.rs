@@ -1,0 +1,234 @@
+//! The serving-layer experiment: predictions/sec of the compiled
+//! snapshot, gated on bit-identity with the interpreted model walk.
+//!
+//! [`serve_experiment`] pins one snapshot of a fitted campaign engine
+//! and measures three ways of serving the §4 evaluation grid
+//! (62 configurations × the plan's evaluation sizes):
+//!
+//! * **scalar** — the interpreted `ModelBank` walk
+//!   ([`EngineSnapshot::estimate`]), one request at a time;
+//! * **batched** — [`EngineSnapshot::estimate_batch`], the whole grid
+//!   through the compiled coefficient tables per sweep;
+//! * **memo** — 1/2/4/8 reader threads hammering a prefetched
+//!   [`MemoSurface`] in independently shuffled orders.
+//!
+//! Before any clock starts, every request is served through all three
+//! paths and compared *bitwise* (errors compared structurally): a
+//! single mismatch fails the experiment — speed bought by drifting off
+//! the paper's §3 math would be a bug, not a feature.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use etm_cluster::Configuration;
+use etm_core::compiled::MemoSurface;
+use etm_core::engine::EngineSnapshot;
+use etm_core::plan::MeasurementPlan;
+use etm_support::rng::Rng64;
+
+use crate::experiments::engine_for;
+use crate::stream::evaluation_space;
+
+/// Throughput of one reader-thread count against the memo surface.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadRow {
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Aggregate memoized predictions per second across all readers.
+    pub per_sec: f64,
+}
+
+/// Outcome of [`serve_experiment`]: the bit-identity audit and the
+/// measured serving rates.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Configurations on the evaluation grid.
+    pub configs: usize,
+    /// Problem sizes per configuration.
+    pub sizes: usize,
+    /// Total requests per sweep (`configs × sizes`).
+    pub requests: usize,
+    /// Requests the model can estimate (the rest error identically on
+    /// every path).
+    pub estimable: usize,
+    /// Requests where any path disagreed with the interpreted walk.
+    pub mismatches: usize,
+    /// Interpreted scalar predictions per second, single-threaded.
+    pub scalar_per_sec: f64,
+    /// Compiled scalar (per-call, no batching) predictions per second,
+    /// single-threaded.
+    pub compiled_per_sec: f64,
+    /// Batched compiled predictions per second, single-threaded.
+    pub batched_per_sec: f64,
+    /// Memoized-surface throughput per reader-thread count.
+    pub thread_rows: Vec<ThreadRow>,
+}
+
+impl ServeReport {
+    /// Single-threaded speedup of the batched path over the scalar
+    /// walk.
+    pub fn speedup(&self) -> f64 {
+        self.batched_per_sec / self.scalar_per_sec
+    }
+
+    /// Whether every request agreed bit-for-bit across all paths.
+    pub fn bit_identical(&self) -> bool {
+        self.mismatches == 0
+    }
+}
+
+/// Runs each timed section for at least `window_s` wall-clock seconds.
+fn throughput(window_s: f64, mut sweep: impl FnMut() -> usize) -> f64 {
+    // One untimed sweep warms caches and pays lazy initialization.
+    sweep();
+    let start = Instant::now();
+    let mut served = 0usize;
+    loop {
+        served += sweep();
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= window_s {
+            return served as f64 / elapsed;
+        }
+    }
+}
+
+/// Aggregate throughput of `readers` threads reading a prefilled memo
+/// surface in independently shuffled orders for `window_s` seconds.
+fn memo_throughput(
+    snapshot: &Arc<EngineSnapshot>,
+    configs: &[Configuration],
+    ns: &[usize],
+    readers: usize,
+    window_s: f64,
+) -> f64 {
+    let surface = Arc::new(MemoSurface::new(
+        Arc::clone(snapshot),
+        configs.to_vec(),
+        ns.to_vec(),
+    ));
+    surface.prefill();
+    let cells: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|ci| (0..ns.len()).map(move |ni| (ci, ni)))
+        .collect();
+    let served = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for reader in 0..readers {
+            let surface = Arc::clone(&surface);
+            let cells = &cells;
+            let served = &served;
+            scope.spawn(move || {
+                // Each reader walks its own fixed shuffled order —
+                // random access, but the shuffle cost stays outside
+                // the timed loop.
+                let mut order: Vec<usize> = (0..cells.len()).collect();
+                let mut rng = Rng64::seed_from_u64(0x5e21_0000 + reader as u64);
+                rng.shuffle(&mut order);
+                let mut local = 0usize;
+                while start.elapsed().as_secs_f64() < window_s {
+                    for &i in &order {
+                        let (ci, ni) = cells[i];
+                        let _ = std::hint::black_box(surface.estimate(ci, ni));
+                    }
+                    local += order.len();
+                }
+                served.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    served.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Audits bit-identity of the scalar, compiled-scalar, and batched
+/// paths on one pinned snapshot and measures predictions/sec of each
+/// serving mode; each timed section runs for about `window_s` seconds.
+pub fn serve_experiment(plan: &MeasurementPlan, window_s: f64) -> ServeReport {
+    let engine = engine_for(plan);
+    let snapshot = engine.snapshot();
+    let configs = evaluation_space().enumerate();
+    let ns = plan.evaluation_ns.clone();
+    let requests: Vec<(Configuration, usize)> = configs
+        .iter()
+        .flat_map(|c| ns.iter().map(move |&n| (c.clone(), n)))
+        .collect();
+
+    // The gate: every request through all three paths, compared
+    // bitwise before anything is timed.
+    let batched = snapshot.estimate_batch(&requests);
+    let mut estimable = 0usize;
+    let mut mismatches = 0usize;
+    for ((config, n), b) in requests.iter().zip(&batched) {
+        let interpreted = snapshot.estimate(config, *n);
+        let compiled = snapshot.compiled().estimate(config, *n);
+        let agree = match (&interpreted, &compiled, b) {
+            (Ok(x), Ok(y), Ok(z)) => {
+                estimable += 1;
+                x.to_bits() == y.to_bits() && y.to_bits() == z.to_bits()
+            }
+            _ => interpreted == compiled && compiled == *b,
+        };
+        if !agree {
+            mismatches += 1;
+        }
+    }
+
+    let scalar_per_sec = throughput(window_s, || {
+        for (config, n) in &requests {
+            let _ = std::hint::black_box(snapshot.estimate(config, *n));
+        }
+        requests.len()
+    });
+    let compiled_per_sec = throughput(window_s, || {
+        let compiled = snapshot.compiled();
+        for (config, n) in &requests {
+            let _ = std::hint::black_box(compiled.estimate(config, *n));
+        }
+        requests.len()
+    });
+    let batched_per_sec = throughput(window_s, || {
+        std::hint::black_box(snapshot.estimate_batch(&requests)).len()
+    });
+    let thread_rows = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&readers| ThreadRow {
+            readers,
+            per_sec: memo_throughput(&snapshot, &configs, &ns, readers, window_s),
+        })
+        .collect();
+
+    ServeReport {
+        configs: configs.len(),
+        sizes: ns.len(),
+        requests: requests.len(),
+        estimable,
+        mismatches,
+        scalar_per_sec,
+        compiled_per_sec,
+        batched_per_sec,
+        thread_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short window keeps the test cheap; the audit itself is
+    /// window-independent.
+    #[test]
+    fn serve_experiment_is_bit_identical_on_the_paper_grid() {
+        let report = serve_experiment(&MeasurementPlan::basic(), 0.02);
+        assert_eq!(report.configs, 62);
+        assert!(report.sizes > 0);
+        assert_eq!(report.requests, report.configs * report.sizes);
+        assert!(report.estimable > 0, "the fitted grid must be estimable");
+        assert!(report.bit_identical(), "{} mismatches", report.mismatches);
+        assert!(report.scalar_per_sec > 0.0);
+        assert!(report.batched_per_sec > 0.0);
+        assert_eq!(report.thread_rows.len(), 4);
+        for row in &report.thread_rows {
+            assert!(row.per_sec > 0.0, "readers={}", row.readers);
+        }
+    }
+}

@@ -4,10 +4,12 @@
 //! fit, unrecoverable runs quarantined exactly on the injected groups,
 //! and no decision ever backed by an untrusted model.
 
+use etm_core::faults::FaultPlan;
 use etm_core::plan::MeasurementPlan;
 use etm_core::stream::StreamConfig;
-use etm_repro::chaos::{chaos_scenarios, chaos_suite, run_sharded_chaos};
-use etm_repro::stream::banks_bit_equal;
+use etm_repro::chaos::{chaos_scenarios, chaos_snapshot_trace, chaos_suite, run_sharded_chaos};
+use etm_repro::stream::{banks_bit_equal, evaluation_space};
+use etm_search::OnlineOptimizer;
 
 #[test]
 fn chaos_suite_holds_the_ladder_invariants() {
@@ -34,6 +36,74 @@ fn chaos_suite_holds_the_ladder_invariants() {
         assert!(r.quarantine_matches_injection, "{r:?}");
         assert!(!r.converged, "poisoned groups cannot converge: {r:?}");
     }
+}
+
+/// The batched serving path under chaos: replay the poison-group
+/// scenario (a group quarantined mid-stream onto its §3.5 fallback),
+/// then drive the memoized batched optimizer and its scalar
+/// reference-eval twin over the identical published-snapshot sequence.
+/// The decision logs must match bit-for-bit — generation,
+/// recommendation, estimated time bits, switched and degraded flags —
+/// through healthy, degrading, and degraded generations alike.
+#[test]
+fn batched_optimizer_matches_scalar_log_through_chaos() {
+    let plan = MeasurementPlan::nl();
+    let cfg = StreamConfig {
+        batch_size: 16,
+        shuffle_seed: Some(42),
+        duplicate_every: 0,
+        defer_every: 0,
+        channel_cap: 4,
+    };
+    let fault = FaultPlan {
+        seed: 17,
+        corrupt_every: 1,
+        target: Some((1, 1)),
+        redeliver: false,
+        ..FaultPlan::default()
+    };
+    let trace = chaos_snapshot_trace(&plan, &fault, cfg);
+    assert!(trace.len() > 1, "the scenario must publish snapshots");
+    let mut batched = OnlineOptimizer::new(evaluation_space(), 3200, 0.05);
+    let mut reference = OnlineOptimizer::new(evaluation_space(), 3200, 0.05).with_reference_eval();
+    for snap in &trace {
+        let a = batched.observe(snap).cloned();
+        let b = reference.observe(snap).cloned();
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.generation, b.generation);
+                assert_eq!(a.recommended, b.recommended, "gen {}", a.generation);
+                assert_eq!(
+                    a.recommended_time.to_bits(),
+                    b.recommended_time.to_bits(),
+                    "gen {}",
+                    a.generation
+                );
+                assert_eq!(a.switched, b.switched, "gen {}", a.generation);
+                assert_eq!(a.degraded, b.degraded, "gen {}", a.generation);
+                assert_eq!(a.best.config, b.best.config, "gen {}", a.generation);
+                assert_eq!(
+                    a.best.time.to_bits(),
+                    b.best.time.to_bits(),
+                    "gen {}",
+                    a.generation
+                );
+                assert_eq!(a.best.evaluations, b.best.evaluations);
+            }
+            (None, None) => {}
+            (a, b) => panic!("paths diverged: batched {a:?} vs reference {b:?}"),
+        }
+    }
+    assert_eq!(batched.log().len(), reference.log().len());
+    assert_eq!(batched.switches(), reference.switches());
+    // The scenario actually degrades the engine: the trace ends with
+    // the targeted group quarantined (the optimizer may still steer to
+    // fully healthy configurations — that is the point of the penalty).
+    let last = trace.last().expect("non-empty trace");
+    assert!(
+        !last.health().quarantined.is_empty(),
+        "poison-group must quarantine the targeted group"
+    );
 }
 
 /// Shard-merge determinism under fault injection: every chaos scenario

@@ -12,15 +12,28 @@
 //! of the held configuration*, and records every observation in a
 //! decision log of (generation, best config, estimated time).
 //!
-//! The optimizer is **health-aware**: it evaluates candidates through
-//! [`health_aware_objective`], so configurations backed by an untrusted
-//! quarantined group are never recommended, and configurations served by
-//! a §3.5 composed fallback are discounted by `fallback_penalty` (and
-//! the decision tagged [`OnlineDecision::degraded`]).
+//! The optimizer is **health-aware**: it evaluates candidates with the
+//! semantics of [`health_aware_objective`], so configurations backed by
+//! an untrusted quarantined group are never recommended, and
+//! configurations served by a §3.5 composed fallback are discounted by
+//! `fallback_penalty` (and the decision tagged
+//! [`OnlineDecision::degraded`]).
+//!
+//! Per observed generation the optimizer builds (and caches) a
+//! [`MemoSurface`] over its candidate space: the first observation of a
+//! snapshot prefills the surface through one batched
+//! [`EngineSnapshot::estimate_batch`] pass, and every later probe of
+//! the same generation — the hysteresis re-estimate of the held
+//! configuration included — is a memoized read. The surface is
+//! bit-identical to the scalar objective (the core crate pins that
+//! invariant down), so the decision log is unchanged;
+//! [`OnlineOptimizer::with_reference_eval`] keeps the scalar closure
+//! path alive for exactly that comparison.
 
 use std::sync::Arc;
 
 use etm_cluster::Configuration;
+use etm_core::compiled::MemoSurface;
 use etm_core::engine::EngineSnapshot;
 use etm_core::pipeline::groups_of;
 
@@ -58,6 +71,13 @@ pub struct OnlineOptimizer {
     held: Option<Configuration>,
     log: Vec<OnlineDecision>,
     last_seen: Option<u64>,
+    /// Memoized objective surface over the candidate space, pinned to
+    /// the last snapshot observed; rebuilt when a new generation
+    /// arrives (`Arc::ptr_eq` on the snapshot detects reuse).
+    surface: Option<Arc<MemoSurface>>,
+    /// When set, evaluate through the scalar closure path instead of
+    /// the memo surface — the reference for bit-identity comparisons.
+    reference_eval: bool,
 }
 
 impl OnlineOptimizer {
@@ -82,6 +102,8 @@ impl OnlineOptimizer {
             held: None,
             log: Vec::new(),
             last_seen: None,
+            surface: None,
+            reference_eval: false,
         }
     }
 
@@ -102,6 +124,36 @@ impl OnlineOptimizer {
         self
     }
 
+    /// Switches the optimizer to the scalar closure path
+    /// ([`health_aware_objective`] + [`exhaustive`]) instead of the
+    /// memoized batched surface. The two paths are bit-identical by
+    /// construction; this toggle exists so tests and chaos replays can
+    /// *prove* it by running both and diffing the decision logs.
+    #[must_use]
+    pub fn with_reference_eval(mut self) -> Self {
+        self.reference_eval = true;
+        self
+    }
+
+    /// The memo surface pinned to `snapshot`, building (and batch-
+    /// prefilling) a fresh one when the cached surface belongs to a
+    /// different snapshot.
+    fn surface_for(&mut self, snapshot: &Arc<EngineSnapshot>) -> Arc<MemoSurface> {
+        match &self.surface {
+            Some(s) if Arc::ptr_eq(s.snapshot(), snapshot) => Arc::clone(s),
+            _ => {
+                let s = Arc::new(MemoSurface::new(
+                    Arc::clone(snapshot),
+                    self.space.enumerate(),
+                    vec![self.n],
+                ));
+                s.prefill();
+                self.surface = Some(Arc::clone(&s));
+                s
+            }
+        }
+    }
+
     /// Observes one published snapshot: runs the exhaustive §4 search
     /// against it, applies hysteresis, appends to the decision log, and
     /// returns the new entry. `None` when nothing in the space is
@@ -109,21 +161,51 @@ impl OnlineOptimizer {
     /// no decision to record).
     pub fn observe(&mut self, snapshot: &Arc<EngineSnapshot>) -> Option<&OnlineDecision> {
         self.last_seen = Some(snapshot.generation());
-        // The health-aware objective refuses untrusted groups (so they
+        // The health-aware evaluation refuses untrusted groups (so they
         // are skipped like any other inestimable candidate) and
         // penalizes composed fallbacks; on a healthy snapshot it is
-        // bit-identical to the plain snapshot objective.
-        let objective = health_aware_objective(snapshot, self.n, self.fallback_penalty);
-        let best = exhaustive(&self.space.enumerate(), &objective)?;
-        // Re-estimate the held configuration under *this* generation's
-        // model: hysteresis compares like with like. A held config the
-        // new model cannot estimate (its group vanished) forces a
+        // bit-identical to the plain snapshot objective. The held
+        // configuration is re-estimated under *this* generation's
+        // model: hysteresis compares like with like, and a held config
+        // the new model cannot estimate (its group vanished) forces a
         // switch.
-        let held_time = self
-            .held
-            .as_ref()
-            .and_then(|cfg| objective(cfg).ok())
-            .filter(|t| t.is_finite());
+        let (best, held_time) = if self.reference_eval {
+            let objective = health_aware_objective(snapshot, self.n, self.fallback_penalty);
+            let best = exhaustive(&self.space.enumerate(), &objective)?;
+            let held_time = self
+                .held
+                .as_ref()
+                .and_then(|cfg| objective(cfg).ok())
+                .filter(|t| t.is_finite());
+            (best, held_time)
+        } else {
+            let surface = self.surface_for(snapshot);
+            let mut best: Option<SearchResult> = None;
+            for (ci, cfg) in surface.configs().iter().enumerate() {
+                if let Ok(t) = surface.health_estimate(ci, 0, self.fallback_penalty) {
+                    if best.as_ref().is_none_or(|b| t < b.time) {
+                        best = Some(SearchResult {
+                            config: cfg.clone(),
+                            time: t,
+                            evaluations: 0,
+                        });
+                    }
+                }
+            }
+            let mut best = best?;
+            best.evaluations = surface.config_count();
+            let held_time = self
+                .held
+                .as_ref()
+                .and_then(|cfg| match surface.lookup(cfg) {
+                    Some(ci) => surface.health_estimate(ci, 0, self.fallback_penalty).ok(),
+                    None => {
+                        health_aware_objective(snapshot, self.n, self.fallback_penalty)(cfg).ok()
+                    }
+                })
+                .filter(|t| t.is_finite());
+            (best, held_time)
+        };
         let switched = match held_time {
             None => true,
             Some(current) => best.time < current * (1.0 - self.hysteresis),
@@ -430,6 +512,66 @@ mod tests {
         let t0 = objective(&healthy_cfg).expect("estimable");
         let plain0 = snap.estimate(&healthy_cfg, 1600).expect("estimable");
         assert_eq!(t0.to_bits(), plain0.to_bits());
+    }
+
+    /// The memoized batched path and the scalar reference path
+    /// ([`OnlineOptimizer::with_reference_eval`]) must produce
+    /// identical decision logs — generation, recommendation, time bits,
+    /// switched and degraded flags — across drifting and degraded
+    /// generations alike.
+    #[test]
+    fn memoized_path_matches_reference_eval_bit_for_bit() {
+        let e = Engine::new(
+            Box::new(PolyLsqBackend::paper()),
+            synth_db_two_measured(),
+            None,
+        )
+        .expect("synth db fits");
+        let mut batched = OnlineOptimizer::new(space(), 1600, 0.02).with_fallback_penalty(1.25);
+        let mut reference = OnlineOptimizer::new(space(), 1600, 0.02)
+            .with_fallback_penalty(1.25)
+            .with_reference_eval();
+        let mut snaps = vec![e.snapshot()];
+        for round in 1..=3 {
+            let drift = 1.0 - 0.12 * round as f64;
+            let key = SampleKey {
+                kind: 0,
+                pes: 1,
+                m: 2,
+            };
+            let updates: Vec<(SampleKey, Sample)> = [400usize, 800, 1600, 2400, 3200]
+                .iter()
+                .map(|&n| (key, synth_sample(0, 1, 2, n, drift)))
+                .collect();
+            snaps.push(e.ingest(&updates).expect("refit ok"));
+        }
+        // A degraded generation: (1, 1) quarantined onto its §3.5
+        // composed fallback.
+        snaps.push(quarantine_group(&e, 1, 1));
+        for snap in &snaps {
+            // Observe each snapshot twice: the second pass exercises
+            // the cached (already-prefilled) surface.
+            for _ in 0..2 {
+                let a = batched.observe(snap).cloned();
+                let b = reference.observe(snap).cloned();
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.generation, b.generation);
+                        assert_eq!(a.recommended, b.recommended);
+                        assert_eq!(a.recommended_time.to_bits(), b.recommended_time.to_bits());
+                        assert_eq!(a.switched, b.switched);
+                        assert_eq!(a.degraded, b.degraded);
+                        assert_eq!(a.best.config, b.best.config);
+                        assert_eq!(a.best.time.to_bits(), b.best.time.to_bits());
+                        assert_eq!(a.best.evaluations, b.best.evaluations);
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("paths diverged: batched {a:?} vs reference {b:?}"),
+                }
+            }
+        }
+        assert_eq!(batched.log().len(), reference.log().len());
+        assert_eq!(batched.switches(), reference.switches());
     }
 
     #[test]

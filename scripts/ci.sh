@@ -15,15 +15,17 @@
 #                           degradation-ladder invariant breach and
 #                           writes results/chaos_report.csv), and a
 #                           bench smoke run that writes the substrates
-#                           + streaming + shards + analyze baselines,
-#                           gates each against the per-commit store in
-#                           results/bench/ via `cargo xtask bench-diff
-#                           --latest` (the thread-pool `shards` suite
-#                           gets a wider 40% gate via `--threshold
-#                           shards=40`; everything else keeps the 25%
-#                           default), and re-renders the median trend
-#                           table (`cargo xtask bench-trend` ->
-#                           results/bench/TREND.md).
+#                           + streaming + shards + analyze + serving
+#                           baselines, gates each against the
+#                           per-commit store in results/bench/ via
+#                           `cargo xtask bench-diff --latest` (the
+#                           thread-pool `shards`, reader-thread
+#                           `serving`, and workspace-sized `analyze`
+#                           suites get a wider 40% gate via repeated
+#                           `--threshold` flags; everything else
+#                           keeps the 25% default), and re-renders
+#                           the median trend table (`cargo xtask
+#                           bench-trend` -> results/bench/TREND.md).
 #
 # Both tiers write machine-readable per-stage wall times to
 # results/ci_timing.json (stage name, seconds, tier) next to the
@@ -93,22 +95,26 @@ trap summary EXIT
 bench_smoke() {
   # Time the suites fast enough for every CI run (substrate
   # microbenches, streaming-ingestion throughput, sharded-pool
-  # throughput, and the static analyzer itself) and gate each against
-  # the per-commit baseline store: `bench-diff --latest` compares to
-  # the newest entry under results/bench/ and then records this run
-  # for the current commit. The `shards` suite times a whole thread
-  # pool per iteration and jitters with scheduler load, so it gets a
-  # wider per-suite gate; the `--threshold shards=40` flag is inert
-  # for every other suite. Finally re-render the median-per-commit
-  # trend table (informational, never gates).
+  # throughput, the static analyzer itself, and the compiled serving
+  # layer) and gate each against the per-commit baseline store:
+  # `bench-diff --latest` compares to the newest entry under
+  # results/bench/ and then records this run for the current commit.
+  # The `shards` and `serving` suites time whole thread pools /
+  # reader-thread fans per iteration and jitter with scheduler load,
+  # and the `analyze` suite times the analyzer over the live
+  # workspace — a corpus that legitimately grows a few percent every
+  # PR, compounding with that jitter — so all three get a wider
+  # per-suite gate; the repeated `--threshold` flags are inert for
+  # every other suite. Finally re-render the median-per-commit trend
+  # table (informational, never gates).
   local out_dir="$PWD/target/etm-bench"
   mkdir -p "$out_dir"
   local suite
-  for suite in substrates streaming shards analyze; do
+  for suite in substrates streaming shards analyze serving; do
     ETM_BENCH_OUT="$out_dir" ETM_BENCH_SAMPLES=5 \
       cargo bench -q -p etm-bench --bench "$suite"
     cargo xtask bench-diff --latest "$out_dir/BENCH_$suite.json" \
-      --threshold shards=40
+      --threshold shards=40 --threshold serving=40 --threshold analyze=40
   done
   cargo xtask bench-trend
 }
