@@ -76,6 +76,11 @@ fn c003_fires_on_snapshot_fixture() {
         "expected interior mutability inside the compiled serving layer: {got:?}"
     );
     assert!(
+        got.iter()
+            .any(|m| m.contains("MonotoneCertificate") && m.contains("AtomicU32")),
+        "expected interior mutability inside the monotonicity certificate: {got:?}"
+    );
+    assert!(
         got.iter().any(|m| m.contains("&mut self")),
         "expected the mutating method: {got:?}"
     );

@@ -3,7 +3,16 @@
 struct EngineSnapshot {
     estimator: Estimator,
     compiled: CompiledSnapshot,
+    certificate: MonotoneCertificate,
     generation: u64,
+}
+
+// Monotonicity certificates ride inside the published snapshot as pure
+// data; a lazily-refreshed hit counter here would be written while the
+// optimizer's bound scans read it.
+struct MonotoneCertificate {
+    monotone_in_p: Vec<bool>,
+    bound_hits: AtomicU32,
 }
 
 // Interior mutability two hops from the snapshot root.

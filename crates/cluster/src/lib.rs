@@ -12,6 +12,8 @@
 //! * [`commlib`] — communication-library profiles: the MPICH-1.2.1 /
 //!   1.2.2 intra-node throughput gap of Figs. 1–2;
 //! * [`config`] — cluster configurations `(Pᵢ, Mᵢ)` and process placement;
+//! * [`energy`] — per-kind power draws and the `Ta/Tc → joules` model
+//!   behind the bi-criteria (time × energy) optimizer objective;
 //! * [`perf`] — compute/communication cost functions: DGEMM efficiency
 //!   versus working set, multiprocessing overhead, memory-pressure (swap)
 //!   penalty, NIC/link parameters.
@@ -23,10 +25,12 @@
 
 pub mod commlib;
 pub mod config;
+pub mod energy;
 pub mod perf;
 pub mod spec;
 
 pub use commlib::CommLibProfile;
 pub use config::{ConfigError, Configuration, KindUse, Placement, ProcSlot};
+pub use energy::EnergyModel;
 pub use perf::PerfModel;
-pub use spec::{ClusterSpec, KindId, NetworkSpec, NodeSpec, PeKind};
+pub use spec::{ClusterSpec, KindId, NetworkSpec, NodeSpec, PeKind, PePower};

@@ -60,6 +60,24 @@ pub struct PeKind {
     /// others stalls about `(m − 1)` timeslices waiting to be scheduled —
     /// the dominant per-iteration cost of multiprocessing at small N.
     pub sched_quantum: f64,
+    /// Electrical power draw of one PE of this kind, for the bi-criteria
+    /// (time × energy) objective.
+    pub power: PePower,
+}
+
+/// Power draw of a single PE in its two model states.
+///
+/// The execution-time model splits a run into arithmetic time `Ta`
+/// (pipelines saturated) and communication time `Tc` (cores mostly
+/// stalled on the NIC or on peers), so two draw levels are enough to
+/// turn a `(Ta, Tc)` estimate into joules — see
+/// [`crate::energy::EnergyModel`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PePower {
+    /// Draw in watts while executing arithmetic (the `Ta` phase).
+    pub busy_watts: f64,
+    /// Draw in watts while communicating or waiting (the `Tc` phase).
+    pub comm_watts: f64,
 }
 
 /// Calibrated AMD Athlon 1.33 GHz analogue (paper Node 1).
@@ -74,6 +92,12 @@ pub fn athlon_1333() -> PeKind {
         mem_bw: 650e6,
         mp_overhead: 0.080,
         sched_quantum: 0.040,
+        // Thunderbird-era Athlons were notoriously hot: ~72 W under
+        // full arithmetic load, roughly 30 W stalled on the NIC.
+        power: PePower {
+            busy_watts: 72.0,
+            comm_watts: 30.0,
+        },
     }
 }
 
@@ -89,6 +113,11 @@ pub fn pentium2_400() -> PeKind {
         mem_bw: 220e6,
         mp_overhead: 0.060,
         sched_quantum: 0.040,
+        // Deschutes P-II 400: ~24 W busy, ~12 W waiting on communication.
+        power: PePower {
+            busy_watts: 24.0,
+            comm_watts: 12.0,
+        },
     }
 }
 
@@ -203,6 +232,11 @@ json_struct!(PeKind {
     mem_bw,
     mp_overhead,
     sched_quantum,
+    power,
+});
+json_struct!(PePower {
+    busy_watts,
+    comm_watts
 });
 json_struct!(NodeSpec {
     name,
@@ -271,6 +305,23 @@ mod tests {
     fn network_presets_ordered() {
         assert!(NetworkSpec::gigabit().bandwidth > NetworkSpec::fast_ethernet().bandwidth);
         assert!(NetworkSpec::gigabit().latency < NetworkSpec::fast_ethernet().latency);
+    }
+
+    #[test]
+    fn power_specs_are_sane() {
+        let c = paper_cluster(CommLibProfile::mpich122());
+        for k in &c.kinds {
+            assert!(
+                k.power.busy_watts > k.power.comm_watts,
+                "{}: arithmetic must draw more than communication",
+                k.name
+            );
+            assert!(k.power.comm_watts > 0.0, "{}: PEs never draw zero", k.name);
+        }
+        assert!(
+            c.kind(KindId(0)).power.busy_watts > c.kind(KindId(1)).power.busy_watts,
+            "the Athlon is the hotter part"
+        );
     }
 
     #[test]

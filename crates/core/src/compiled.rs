@@ -88,6 +88,60 @@ pub struct CompiledSnapshot {
     fast_kind: usize,
 }
 
+/// The §3 component split of a raw estimate, as returned by
+/// [`CompiledSnapshot::estimate_raw_parts`]: the makespan kind's
+/// arithmetic / communication decomposition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawParts {
+    /// `ta + tc` of the makespan kind (the raw §3.4 max-fold value).
+    pub total: f64,
+    /// Arithmetic time `Ta` of the makespan kind, in seconds.
+    pub ta: f64,
+    /// Communication time `Tc` of the makespan kind, in seconds.
+    pub tc: f64,
+}
+
+/// Certified monotone-in-P regions of the compiled P-T rows, derived
+/// from the [`CoefficientBank`] coefficient signs at snapshot
+/// publication.
+///
+/// Every P-T total is `t(P) = A/P + B + C·P` with
+/// `A = k_a0·TaRef(N) + k_c1·TcRef(N)`, `C = k_c0·TcRef(N)` and `B`
+/// independent of `P`, so whenever `k_a0 ≥ 0`, `k_c1 ≥ 0`, `k_c0 ≥ 0`
+/// (recorded here per slot) and the reference polynomials are
+/// non-negative at the query size, `t` is non-increasing on
+/// `P ∈ [1, √(A/C)]` (on all of `P ≥ 1` when `C = 0`). The
+/// branch-and-bound optimizer uses this to take a P-range's minimum at
+/// the range's upper end without scanning — see
+/// [`CompiledSnapshot::monotone_p_limit`].
+///
+/// Pure data (a flag per compiled P-T row): certificates ride inside
+/// the published `Arc<EngineSnapshot>`, so the C003 snapshot-discipline
+/// analyzer walks this struct too.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonotoneCertificate {
+    /// Per P-T slot: the coefficient-sign preconditions hold.
+    eligible: Vec<bool>,
+}
+
+impl MonotoneCertificate {
+    /// Number of P-T slots covered (one flag per compiled P-T row).
+    pub fn slots(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// Whether `slot`'s coefficient signs admit the closed-form
+    /// monotonicity analysis (out-of-range slots are never eligible).
+    pub fn eligible(&self, slot: usize) -> bool {
+        self.eligible.get(slot).copied().unwrap_or(false)
+    }
+
+    /// How many slots are certified.
+    pub fn certified_slots(&self) -> usize {
+        self.eligible.iter().filter(|&&e| e).count()
+    }
+}
+
 /// Per-request evaluation plan built by [`CompiledSnapshot::estimate_many`].
 enum PlanItem {
     /// Result already recorded (a planning-time error).
@@ -208,6 +262,60 @@ impl CompiledSnapshot {
         self.pt_ka.len()
     }
 
+    /// The compiled P-T row serving `(kind, m)`, if one exists — the
+    /// handle the branch-and-bound optimizer uses to tabulate per-kind
+    /// lower bounds straight from the coefficient banks.
+    pub fn pt_slot(&self, kind: usize, m: usize) -> Option<usize> {
+        self.pt_slot_of(kind, m)
+    }
+
+    /// The §3.4 P-T total of compiled row `slot` at size `x = N as f64`
+    /// and total process count `p` — the exact operation sequence the
+    /// estimate paths use, exposed so search lower bounds price
+    /// hypothetical process counts without building configurations.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn pt_time(&self, slot: usize, x: f64, p: f64) -> f64 {
+        self.pt_total(slot, x, p)
+    }
+
+    /// The `(Ta, Tc)` component pair of compiled row `slot` at `(x, p)`
+    /// — the same operands [`CompiledSnapshot::pt_time`] sums, split so
+    /// energy bounds can certify each phase non-negative.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn pt_parts(&self, slot: usize, x: f64, p: f64) -> (f64, f64) {
+        let ref_ta = self.pt_ref_ta.eval(slot, x);
+        let ref_tc = self.pt_ref_tc.eval(slot, x);
+        let ta = self.pt_ka[slot][0] * ref_ta / p + self.pt_ka[slot][1];
+        let tc = self.pt_kc[slot][0] * p * ref_tc
+            + self.pt_kc[slot][1] * ref_tc / p
+            + self.pt_kc[slot][2];
+        (ta, tc)
+    }
+
+    /// §4.1 pre-folded adjustment threshold on `M₁`.
+    pub fn adjustment_min_m1(&self) -> usize {
+        self.min_m1
+    }
+
+    /// §4.1 pre-folded coefficient on the raw estimate.
+    pub fn adjustment_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// §4.1 pre-folded coefficient on the `M₁ = 1` baseline.
+    pub fn adjustment_base_coeff(&self) -> f64 {
+        self.base_coeff
+    }
+
+    /// The adjustment's fast PE kind index.
+    pub fn fast_kind(&self) -> usize {
+        self.fast_kind
+    }
+
     fn nt_slot_of(&self, kind: usize, m: usize) -> Option<usize> {
         if kind >= self.kind_cap || m >= self.m_cap {
             return None;
@@ -313,6 +421,66 @@ impl CompiledSnapshot {
         Ok(worst)
     }
 
+    /// The §3 component split of the raw estimate: the makespan (worst)
+    /// kind's arithmetic time `ta` and communication time `tc`, plus
+    /// their total. This is the `(Ta, Tc)` pair the energy model
+    /// converts to joules; the §4.1 adjustment corrects the *time*
+    /// objective's communication bias but does not re-attribute time
+    /// between phases, so energy follows this un-adjusted split.
+    ///
+    /// `total` repeats the same slot walk as
+    /// [`CompiledSnapshot::estimate_raw`]; ties between kinds resolve to
+    /// the first use in configuration order.
+    ///
+    /// # Errors
+    /// Exactly [`CompiledSnapshot::estimate_raw`]'s errors.
+    pub fn estimate_raw_parts(
+        &self,
+        config: &Configuration,
+        n: usize,
+    ) -> Result<RawParts, PipelineError> {
+        let p_total = config.total_processes();
+        if p_total == 0 {
+            return Err(PipelineError::EmptyConfiguration);
+        }
+        let single = config.is_single_pe();
+        let x = n as f64;
+        let p = p_total as f64;
+        let mut worst = RawParts {
+            total: 0.0,
+            ta: 0.0,
+            tc: 0.0,
+        };
+        for u in config.uses.iter().filter(|u| u.pes > 0) {
+            let (ta, tc) =
+                if single {
+                    let slot = self.nt_slot_of(u.kind.0, u.procs_per_pe).ok_or(
+                        PipelineError::MissingNt(SampleKey::new(u.kind, 1, u.procs_per_pe)),
+                    )?;
+                    (self.nt_ta.eval(slot, x), self.nt_tc.eval(slot, x))
+                } else {
+                    let slot = self.pt_slot_of(u.kind.0, u.procs_per_pe).ok_or(
+                        PipelineError::MissingPt {
+                            kind: u.kind.0,
+                            m: u.procs_per_pe,
+                        },
+                    )?;
+                    let ref_ta = self.pt_ref_ta.eval(slot, x);
+                    let ref_tc = self.pt_ref_tc.eval(slot, x);
+                    let ta = self.pt_ka[slot][0] * ref_ta / p + self.pt_ka[slot][1];
+                    let tc = self.pt_kc[slot][0] * p * ref_tc
+                        + self.pt_kc[slot][1] * ref_tc / p
+                        + self.pt_kc[slot][2];
+                    (ta, tc)
+                };
+            let t = ta + tc;
+            if t > worst.total {
+                worst = RawParts { total: t, ta, tc };
+            }
+        }
+        Ok(worst)
+    }
+
     /// The §4.1 baseline (fast kind dialled back to `M₁ = 1`) without
     /// cloning the configuration — bit-identical to the scalar
     /// `baseline_estimate`, `None` exactly when that returns `None`.
@@ -359,6 +527,50 @@ impl CompiledSnapshot {
         }
         let baseline = self.baseline_raw(config, n).unwrap_or(raw);
         Ok(self.scale * raw + self.base_coeff * baseline)
+    }
+
+    /// Derives the [`MonotoneCertificate`] for this snapshot's P-T rows
+    /// from the compiled coefficient signs. Called once at snapshot
+    /// publication (`EngineSnapshot` stores the result).
+    pub fn certify(&self) -> MonotoneCertificate {
+        MonotoneCertificate {
+            eligible: self
+                .pt_ka
+                .iter()
+                .zip(&self.pt_kc)
+                .map(|(ka, kc)| ka[0] >= 0.0 && kc[0] >= 0.0 && kc[1] >= 0.0)
+                .collect(),
+        }
+    }
+
+    /// The largest process count up to which `slot`'s P-T total is
+    /// certified non-increasing at size `x`, or `None` when the
+    /// certificate cannot vouch (ineligible coefficient signs, or a
+    /// reference polynomial negative / non-finite at `x`).
+    ///
+    /// `Some(f64::INFINITY)` means non-increasing for every `P ≥ 1`
+    /// (the `C = 0` case).
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range for this snapshot.
+    pub fn monotone_p_limit(&self, cert: &MonotoneCertificate, slot: usize, x: f64) -> Option<f64> {
+        if !cert.eligible(slot) {
+            return None;
+        }
+        let ref_ta = self.pt_ref_ta.eval(slot, x);
+        let ref_tc = self.pt_ref_tc.eval(slot, x);
+        // `>= 0.0` is false for NaN, so this also rejects NaN refs.
+        let sane = ref_ta.is_finite() && ref_tc.is_finite() && ref_ta >= 0.0 && ref_tc >= 0.0;
+        if !sane {
+            return None;
+        }
+        let a = self.pt_ka[slot][0] * ref_ta + self.pt_kc[slot][1] * ref_tc;
+        let c = self.pt_kc[slot][0] * ref_tc;
+        if c == 0.0 {
+            Some(f64::INFINITY)
+        } else {
+            Some((a / c).sqrt())
+        }
     }
 
     /// Evaluates many `(configuration, N)` requests through the batched
@@ -614,6 +826,46 @@ impl CompiledSnapshot {
 const CELL_EMPTY: u8 = 0;
 /// Memo cell state: value published.
 const CELL_READY: u8 = 1;
+/// Memo cell state: fails with [`PipelineError::EmptyConfiguration`].
+const CELL_ERR_EMPTY: u8 = 2;
+/// Memo cell state: fails with [`PipelineError::MissingNt`]; the cell
+/// value packs the key's `(kind, m)` (`pes` is 1 on this path).
+const CELL_ERR_MISSING_NT: u8 = 3;
+/// Memo cell state: fails with [`PipelineError::MissingPt`]; the cell
+/// value packs `(kind, m)`.
+const CELL_ERR_MISSING_PT: u8 = 4;
+
+/// Packs a deterministic estimate error into a `(state, value)` cell
+/// pair, or `None` if the error kind cannot be cell-encoded (never the
+/// case for the errors `CompiledSnapshot::estimate` produces, but kept
+/// total so an unexpected kind degrades to recomputation, not a panic).
+fn encode_error(e: &PipelineError) -> Option<(u8, u64)> {
+    let pack = |kind: usize, m: usize| {
+        (kind <= u32::MAX as usize && m <= u32::MAX as usize)
+            .then_some(((kind as u64) << 32) | m as u64)
+    };
+    match e {
+        PipelineError::EmptyConfiguration => Some((CELL_ERR_EMPTY, 0)),
+        PipelineError::MissingNt(key) if key.pes == 1 => {
+            pack(key.kind, key.m).map(|bits| (CELL_ERR_MISSING_NT, bits))
+        }
+        PipelineError::MissingPt { kind, m } => {
+            pack(*kind, *m).map(|bits| (CELL_ERR_MISSING_PT, bits))
+        }
+        _ => None,
+    }
+}
+
+/// Reconstructs the exact error a cell's `(state, value)` pair encodes.
+fn decode_error(state: u8, bits: u64) -> PipelineError {
+    let kind = (bits >> 32) as usize;
+    let m = (bits & u64::from(u32::MAX)) as usize;
+    match state {
+        CELL_ERR_EMPTY => PipelineError::EmptyConfiguration,
+        CELL_ERR_MISSING_NT => PipelineError::MissingNt(SampleKey { kind, pes: 1, m }),
+        _ => PipelineError::MissingPt { kind, m },
+    }
+}
 
 /// A lazily filled, lock-free `(config, N) → estimate` surface over one
 /// pinned snapshot generation.
@@ -625,8 +877,10 @@ const CELL_READY: u8 = 1;
 /// atomic pairs: a writer stores the value then releases the state, a
 /// reader acquires the state then loads the value. Racing writers are
 /// benign — estimates are deterministic, so both write identical bits.
-/// Inestimable cells are not cached; their (deterministic) error is
-/// recomputed per query.
+/// Inestimable cells cache their error *kind* in the state byte (with
+/// the offending `(kind, m)` packed into the value word), so a hot
+/// degraded sweep reconstructs the identical `PipelineError` without
+/// re-running the scalar walk.
 pub struct MemoSurface {
     snapshot: Arc<EngineSnapshot>,
     configs: Vec<Configuration>,
@@ -636,6 +890,7 @@ pub struct MemoSurface {
     any_fallback: Vec<bool>,
     states: Vec<AtomicU8>,
     values: Vec<AtomicU64>,
+    walks: AtomicU64,
 }
 
 impl MemoSurface {
@@ -665,7 +920,16 @@ impl MemoSurface {
             any_fallback,
             states: (0..cells).map(|_| AtomicU8::new(CELL_EMPTY)).collect(),
             values: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            walks: AtomicU64::new(0),
         }
+    }
+
+    /// Number of full scalar model walks the surface has run so far —
+    /// the cache-miss counter. Bounded by the cell count no matter how
+    /// many reads hit the surface (racing readers may each walk a cell
+    /// once, so concurrent tests should bound rather than equate).
+    pub fn walks(&self) -> u64 {
+        self.walks.load(Ordering::Relaxed)
     }
 
     /// The pinned snapshot.
@@ -707,8 +971,9 @@ impl MemoSurface {
     }
 
     /// The memoized estimate of configuration `ci` at size index `ni` —
-    /// bit-identical to the scalar path, computed at most once per cell
-    /// (errors are recomputed, never cached).
+    /// bit-identical to the scalar path (including error values),
+    /// computed at most once per cell: successful cells cache the value
+    /// bits, inestimable cells cache the error kind and payload.
     ///
     /// # Errors
     /// Exactly the scalar `estimate` path's errors.
@@ -717,16 +982,34 @@ impl MemoSurface {
     /// If `ci` or `ni` is out of range.
     pub fn estimate(&self, ci: usize, ni: usize) -> Result<f64, PipelineError> {
         let cell = ci * self.ns.len() + ni;
-        if self.states[cell].load(Ordering::Acquire) == CELL_READY {
-            return Ok(f64::from_bits(self.values[cell].load(Ordering::Relaxed)));
+        match self.states[cell].load(Ordering::Acquire) {
+            CELL_READY => {
+                return Ok(f64::from_bits(self.values[cell].load(Ordering::Relaxed)));
+            }
+            CELL_EMPTY => {}
+            state => {
+                return Err(decode_error(
+                    state,
+                    self.values[cell].load(Ordering::Relaxed),
+                ));
+            }
         }
+        self.walks.fetch_add(1, Ordering::Relaxed);
         let result = self
             .snapshot
             .compiled()
             .estimate(&self.configs[ci], self.ns[ni]);
-        if let Ok(t) = result {
-            self.values[cell].store(t.to_bits(), Ordering::Relaxed);
-            self.states[cell].store(CELL_READY, Ordering::Release);
+        match &result {
+            Ok(t) => {
+                self.values[cell].store(t.to_bits(), Ordering::Relaxed);
+                self.states[cell].store(CELL_READY, Ordering::Release);
+            }
+            Err(e) => {
+                if let Some((state, bits)) = encode_error(e) {
+                    self.values[cell].store(bits, Ordering::Relaxed);
+                    self.states[cell].store(state, Ordering::Release);
+                }
+            }
         }
         result
     }
@@ -772,9 +1055,17 @@ impl MemoSurface {
             .into_iter()
             .enumerate()
         {
-            if let Ok(t) = result {
-                self.values[cell].store(t.to_bits(), Ordering::Relaxed);
-                self.states[cell].store(CELL_READY, Ordering::Release);
+            match result {
+                Ok(t) => {
+                    self.values[cell].store(t.to_bits(), Ordering::Relaxed);
+                    self.states[cell].store(CELL_READY, Ordering::Release);
+                }
+                Err(e) => {
+                    if let Some((state, bits)) = encode_error(&e) {
+                        self.values[cell].store(bits, Ordering::Relaxed);
+                        self.states[cell].store(state, Ordering::Release);
+                    }
+                }
             }
         }
     }

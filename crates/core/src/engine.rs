@@ -48,7 +48,7 @@ use etm_support::sync::Mutex;
 
 use crate::adjust::AdjustmentRule;
 use crate::backend::ModelBackend;
-use crate::compiled::CompiledSnapshot;
+use crate::compiled::{CompiledSnapshot, MonotoneCertificate};
 use crate::measurement::{MeasurementDb, Sample, SampleKey};
 use crate::pipeline::{
     paper_adjustment_policy, AdjustmentPolicy, Estimator, ModelBank, PipelineError,
@@ -149,6 +149,7 @@ pub struct EngineSnapshot {
     refit: Vec<(usize, usize)>,
     health: EngineHealth,
     compiled: CompiledSnapshot,
+    certificate: MonotoneCertificate,
 }
 
 impl EngineSnapshot {
@@ -164,6 +165,7 @@ impl EngineSnapshot {
         health: EngineHealth,
     ) -> Self {
         let compiled = CompiledSnapshot::compile(&estimator, &health);
+        let certificate = compiled.certify();
         EngineSnapshot {
             estimator,
             generation,
@@ -171,6 +173,7 @@ impl EngineSnapshot {
             refit,
             health,
             compiled,
+            certificate,
         }
     }
 
@@ -237,6 +240,14 @@ impl EngineSnapshot {
     /// [`CompiledSnapshot`](crate::compiled::CompiledSnapshot)).
     pub fn compiled(&self) -> &CompiledSnapshot {
         &self.compiled
+    }
+
+    /// The monotone-in-P certificate derived from the compiled
+    /// coefficient rows at publication — what lets the anytime
+    /// optimizer prune P-extension branches without scanning (see
+    /// [`MonotoneCertificate`]).
+    pub fn certificate(&self) -> &MonotoneCertificate {
+        &self.certificate
     }
 
     /// Evaluates many `(configuration, N)` requests through the

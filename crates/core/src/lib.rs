@@ -68,7 +68,7 @@ pub mod validate;
 
 pub use adjust::AdjustmentRule;
 pub use backend::{BinnedPolyBackend, ModelBackend, PolyLsqBackend, RobustPolyBackend};
-pub use compiled::{CompiledSnapshot, MemoSurface};
+pub use compiled::{CompiledSnapshot, MemoSurface, MonotoneCertificate, RawParts};
 pub use engine::{Engine, EngineSnapshot};
 pub use measurement::{MeasurementDb, Sample, SampleKey};
 pub use ntmodel::{MemoryBinnedNt, NtModel};

@@ -152,6 +152,35 @@ pub fn replay(trials: &[(SampleKey, Sample)], cfg: &StreamConfig) -> Vec<TrialBa
     batches
 }
 
+/// Rejected time-compression scale for [`TrialSource::spawn_paced`].
+///
+/// The pacer divides every batch deadline by the scale, so the scale
+/// must be a positive finite factor; anything else is refused up front
+/// instead of spinning, stalling, or dividing by zero in the source
+/// thread.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PaceError {
+    /// The scale was NaN or ±∞.
+    NonFinite(f64),
+    /// The scale was zero or negative.
+    NonPositive(f64),
+}
+
+impl std::fmt::Display for PaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaceError::NonFinite(s) => {
+                write!(f, "pacing time_scale must be finite, got {s}")
+            }
+            PaceError::NonPositive(s) => {
+                write!(f, "pacing time_scale must be positive, got {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PaceError {}
+
 /// A source thread replaying trials as [`TrialBatch`]es over the
 /// workspace mpmc channel. Dropping every receiver stops the source
 /// early (the send error is swallowed; the thread just exits).
@@ -177,18 +206,23 @@ impl TrialSource {
     /// Dropping every receiver or calling [`TrialSource::join`] stops
     /// the pacer promptly even mid-sleep.
     ///
-    /// # Panics
-    /// Panics when `time_scale` is not a positive finite number.
+    /// # Errors
+    /// [`PaceError`]: a zero or negative scale would make the pacer
+    /// divide-by-zero into an infinite (or negated) deadline, and a
+    /// NaN/infinite scale would spin or stall it — both are rejected
+    /// before any thread is spawned.
     pub fn spawn_paced(
         trials: Vec<(SampleKey, Sample)>,
         cfg: StreamConfig,
         time_scale: f64,
-    ) -> Self {
-        assert!(
-            time_scale.is_finite() && time_scale > 0.0,
-            "time_scale must be a positive finite factor"
-        );
-        Self::spawn_inner(trials, cfg, Some(time_scale))
+    ) -> Result<Self, PaceError> {
+        if !time_scale.is_finite() {
+            return Err(PaceError::NonFinite(time_scale));
+        }
+        if time_scale <= 0.0 {
+            return Err(PaceError::NonPositive(time_scale));
+        }
+        Ok(Self::spawn_inner(trials, cfg, Some(time_scale)))
     }
 
     fn spawn_inner(
@@ -1872,7 +1906,7 @@ mod tests {
         let total_sim = expected.last().expect("non-empty replay").sim_time;
         // Compress the whole campaign into ~50 ms of wall time.
         let scale = total_sim / 0.05;
-        let source = TrialSource::spawn_paced(trials.clone(), cfg, scale);
+        let source = TrialSource::spawn_paced(trials.clone(), cfg, scale).expect("valid scale");
         let start = Instant::now();
         let received: Vec<TrialBatch> = source.receiver().clone().iter().collect();
         let elapsed = start.elapsed();
@@ -1904,12 +1938,44 @@ mod tests {
             .sim_time;
         // Pace the campaign out over ~several minutes of wall time.
         let scale = total_sim / 300.0;
-        let source = TrialSource::spawn_paced(trials, cfg, scale);
+        let source = TrialSource::spawn_paced(trials, cfg, scale).expect("valid scale");
         let start = Instant::now();
         source.join();
         assert!(
             start.elapsed() < Duration::from_secs(5),
             "join must interrupt the pacer promptly"
         );
+    }
+
+    /// A zero (or negative) scale would divide every deadline into
+    /// infinity and stall the stream forever; the typed error refuses
+    /// it before any thread exists.
+    #[test]
+    fn paced_source_rejects_zero_and_negative_scales() {
+        let trials = trials_of_db(&synth_db());
+        for scale in [0.0, -0.0, -1.0, -1e300] {
+            let err = TrialSource::spawn_paced(trials.clone(), StreamConfig::default(), scale)
+                .err()
+                .expect("non-positive scale must be refused");
+            assert_eq!(err, PaceError::NonPositive(scale), "scale {scale}");
+        }
+    }
+
+    /// A NaN or infinite scale would make the pacer spin on a garbage
+    /// deadline; the typed error refuses it up front.
+    #[test]
+    fn paced_source_rejects_non_finite_scales() {
+        let trials = trials_of_db(&synth_db());
+        for scale in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = TrialSource::spawn_paced(trials.clone(), StreamConfig::default(), scale)
+                .err()
+                .expect("non-finite scale must be refused");
+            match err {
+                PaceError::NonFinite(s) => {
+                    assert_eq!(s.to_bits(), scale.to_bits(), "scale {scale}")
+                }
+                other => panic!("expected NonFinite, got {other:?}"),
+            }
+        }
     }
 }

@@ -345,3 +345,146 @@ fn memo_surface_survives_refits_and_concurrent_readers() {
         }
     }
 }
+
+/// A hot degraded sweep must not re-run the scalar walk per read:
+/// inestimable cells cache their error kind, so each cell — value or
+/// error — is walked exactly once no matter how often it is read, and
+/// the reconstructed errors equal the scalar path's.
+#[test]
+fn memo_surface_caches_error_kinds_on_degraded_sweeps() {
+    let engine =
+        Engine::new(Box::new(PolyLsqBackend::paper()), synth_db(), None).expect("synth db fits");
+    let pinned = engine.snapshot();
+    // A deliberately degraded sweep: healthy cells, a missing N-T group
+    // (kind 0 at M₁ = 7 was never measured), a missing P-T group (slow
+    // kind at M₂ = 7), an unknown kind, and the empty configuration.
+    let configs = vec![
+        Configuration::p1m1_p2m2(1, 2, 4, 1),
+        Configuration::p1m1_p2m2(1, 7, 0, 0),
+        Configuration::p1m1_p2m2(1, 1, 8, 7),
+        Configuration {
+            uses: vec![KindUse {
+                kind: KindId(7),
+                pes: 2,
+                procs_per_pe: 1,
+            }],
+        },
+        Configuration::p1m1_p2m2(0, 0, 0, 0),
+    ];
+    let ns = vec![800usize, 3200];
+    let expected: Vec<Vec<Result<f64, _>>> = configs
+        .iter()
+        .map(|c| ns.iter().map(|&n| pinned.estimate(c, n)).collect())
+        .collect();
+    let errors = expected
+        .iter()
+        .flat_map(|row| row.iter())
+        .filter(|r| r.is_err())
+        .count();
+    assert!(errors >= 4, "the sweep must actually be degraded");
+
+    let surface = MemoSurface::new(Arc::clone(&pinned), configs.clone(), ns.clone());
+    assert_eq!(surface.walks(), 0);
+    for round in 0..100u32 {
+        for (ci, row) in expected.iter().enumerate() {
+            for (ni, e) in row.iter().enumerate() {
+                match (surface.estimate(ci, ni), e) {
+                    (Ok(g), Ok(e)) => assert_eq!(g.to_bits(), e.to_bits()),
+                    (Err(g), Err(e)) => assert_eq!(&g, e, "round {round} cell ({ci},{ni})"),
+                    (g, e) => panic!("cell ({ci},{ni}): {g:?} vs {e:?}"),
+                }
+            }
+        }
+        // Every cell — including every error cell — walked once, on the
+        // first round, then served from the cache.
+        assert_eq!(
+            surface.walks(),
+            (configs.len() * ns.len()) as u64,
+            "round {round} re-walked a cached cell"
+        );
+    }
+}
+
+/// `estimate_raw_parts` returns the makespan kind's `Ta`/`Tc` split with
+/// a total bit-identical to `estimate_raw`, and fails with exactly the
+/// same errors.
+#[test]
+fn raw_parts_split_is_bit_identical_to_the_raw_estimate() {
+    let engine =
+        Engine::new(Box::new(PolyLsqBackend::paper()), synth_db(), None).expect("synth db fits");
+    let snapshot = engine.snapshot();
+    let compiled = snapshot.compiled();
+    for (config, n) in candidates() {
+        let raw = compiled.estimate_raw(&config, n);
+        let parts = compiled.estimate_raw_parts(&config, n);
+        match (raw, parts) {
+            (Ok(t), Ok(p)) => {
+                assert_eq!(t.to_bits(), p.total.to_bits(), "{config:?} at {n}");
+                assert_eq!(
+                    (p.ta + p.tc).to_bits(),
+                    p.total.to_bits(),
+                    "split must sum to the total"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{config:?} at {n}"),
+            (a, b) => panic!("{config:?} at {n}: raw {a:?} vs parts {b:?}"),
+        }
+    }
+}
+
+/// The publication-time monotone certificate is honest: within every
+/// certified region the P-T total is non-increasing in P (checked
+/// against the compiled evaluation itself), and the synthetic database's
+/// communication growth keeps at least one slot's region bounded.
+#[test]
+fn monotone_certificate_regions_are_honest() {
+    let engine =
+        Engine::new(Box::new(PolyLsqBackend::paper()), synth_db(), None).expect("synth db fits");
+    let snapshot = engine.snapshot();
+    let compiled = snapshot.compiled();
+    let cert = snapshot.certificate();
+    assert_eq!(cert.slots(), compiled.pt_models());
+    assert!(
+        cert.certified_slots() > 0,
+        "the synthetic models must certify at least one slot"
+    );
+
+    let mut bounded_regions = 0usize;
+    for kind in 0..2usize {
+        for m in 1..=6usize {
+            let Some(slot) = compiled.pt_slot(kind, m) else {
+                continue;
+            };
+            for n in [400usize, 1600, 6400] {
+                let x = n as f64;
+                let Some(limit) = compiled.monotone_p_limit(cert, slot, x) else {
+                    continue;
+                };
+                assert!(limit >= 0.0 && !limit.is_nan());
+                if limit.is_finite() {
+                    bounded_regions += 1;
+                }
+                let hi = if limit.is_finite() {
+                    (limit.floor() as usize).min(54)
+                } else {
+                    54
+                };
+                let mut prev = f64::INFINITY;
+                for p in 1..=hi {
+                    let t = compiled.pt_time(slot, x, p as f64);
+                    assert!(
+                        t <= prev * (1.0 + 1e-12) + 1e-12,
+                        "slot {slot} x {x}: t({p}) = {t} rose above t({}) = {prev} \
+                         inside the certified region [1, {limit}]",
+                        p - 1
+                    );
+                    prev = t;
+                }
+            }
+        }
+    }
+    assert!(
+        bounded_regions > 0,
+        "communication growth must bound at least one certified region"
+    );
+}

@@ -3,7 +3,7 @@
 //! Usage: `repro <experiment>` where experiment is one of
 //! `table1 plans fig1 fig2 fig3 table3 table6 fig6_7 table4 fig8_11
 //! table7 fig12_15 table9 timings ablations models baselines stream ab
-//! chaos shards serve all`.
+//! chaos shards serve pareto all`.
 //!
 //! `shards` honors `ETM_STREAM_PACE=<scale>`: when set, the source is
 //! wall-clock paced at `sim_time / scale` (1.0 = real campaign time);
@@ -85,6 +85,9 @@ fn main() {
     if all || which == "serve" {
         serve();
     }
+    if all || which == "pareto" {
+        pareto();
+    }
     if !all
         && ![
             "table1",
@@ -109,6 +112,7 @@ fn main() {
             "chaos",
             "shards",
             "serve",
+            "pareto",
         ]
         .contains(&which.as_str())
     {
@@ -691,6 +695,77 @@ fn serve() {
         eprintln!(
             "compiled serving layer diverged from the scalar model walk on {} request(s)",
             report.mismatches
+        );
+        std::process::exit(1);
+    }
+}
+
+fn pareto() {
+    use etm_repro::pareto::pareto_experiment;
+    println!("\n== Anytime optimizer: pruned argmin audit + time x energy Pareto fronts ==");
+    let spec = paper_cluster(CommLibProfile::mpich122());
+    let report = pareto_experiment(&MeasurementPlan::basic());
+    let mut t = TextTable::new(vec![
+        "n",
+        "argmin",
+        "tau [s]",
+        "front",
+        "evaluated",
+        "pruned",
+        "cert hits",
+        "identical",
+    ]);
+    let mut csv = Vec::new();
+    for row in &report.rows {
+        t.row(vec![
+            row.n.to_string(),
+            row.best
+                .as_ref()
+                .map_or("(none)".to_string(), |b| b.config.label(&spec)),
+            row.best
+                .as_ref()
+                .map_or("-".to_string(), |b| format!("{:.1}", b.time)),
+            row.front.len().to_string(),
+            format!("{}/{}", row.evaluated, row.candidates),
+            row.pruned.to_string(),
+            row.certificate_hits.to_string(),
+            if row.identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        for (i, p) in row.front.iter().enumerate() {
+            csv.push(format!(
+                "{},{},{},{:.6},{:.3},{},{},{},{}",
+                row.n,
+                i,
+                p.config.label(&spec),
+                p.time,
+                p.energy,
+                row.candidates,
+                row.evaluated,
+                row.pruned,
+                row.certificate_hits
+            ));
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "totals: {} evaluated / {} candidates, {} pruned across {} sizes",
+        report.evaluated(),
+        report.candidates(),
+        report.pruned(),
+        report.rows.len()
+    );
+    write_csv(
+        "pareto",
+        "n,point,config,time_s,energy_j,candidates,evaluated,pruned,certificate_hits",
+        &csv,
+    );
+    if !report.ok() {
+        eprintln!(
+            "anytime optimizer gate breached: identical={} evaluated={} candidates={} pruned={}",
+            report.identical(),
+            report.evaluated(),
+            report.candidates(),
+            report.pruned()
         );
         std::process::exit(1);
     }

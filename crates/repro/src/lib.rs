@@ -11,6 +11,8 @@
 //! invariants. [`serve`] audits the compiled serving layer for
 //! bit-identity with the interpreted model walk and measures
 //! predictions/sec scalar vs batched vs memoized multi-reader.
+//! [`pareto`] audits the anytime pruned optimizer against the
+//! exhaustive §4 sweep and emits the time×energy Pareto front.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +20,7 @@
 pub mod chaos;
 pub mod correlate;
 pub mod experiments;
+pub mod pareto;
 pub mod serve;
 pub mod shards;
 pub mod stream;

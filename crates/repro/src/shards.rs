@@ -200,7 +200,10 @@ fn spawn(
     pace: Option<f64>,
 ) -> TrialSource {
     match pace {
-        Some(scale) => TrialSource::spawn_paced(trials, cfg, scale),
+        // The scale comes straight from the CLI; the harness fails
+        // loudly on a rejected factor like it does on I/O errors.
+        Some(scale) => TrialSource::spawn_paced(trials, cfg, scale)
+            .unwrap_or_else(|e| panic!("sharded replay pacing: {e}")),
         None => TrialSource::spawn(trials, cfg),
     }
 }

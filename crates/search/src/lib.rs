@@ -15,7 +15,10 @@
 //! * [`local_search`] — hill-climb over ±1 neighbours in each `Pᵢ`/`Mᵢ`
 //!   coordinate from a seed configuration;
 //! * [`annealing`] — simulated annealing over the same neighbourhood,
-//!   able to escape the local optima that trap the greedy climb.
+//!   able to escape the local optima that trap the greedy climb;
+//! * [`anytime_search`] — exact branch-and-bound with certified
+//!   monotone pruning, an anytime incumbent stream, warm starts, and
+//!   an optional time × energy Pareto front (the [`anytime`] module).
 //!
 //! All optimizers are generic over the objective `f(config) → time`, so
 //! they work with the model estimator, the simulator itself, or any
@@ -30,9 +33,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anytime;
 pub mod engine;
 pub mod online;
 
+pub use anytime::{
+    anytime_search, pareto_front_of, AnytimeOptions, AnytimeReport, Incumbent, ParetoPoint,
+};
 pub use engine::{best_config, health_aware_objective, snapshot_objective};
 pub use online::{OnlineDecision, OnlineOptimizer};
 
@@ -558,6 +565,50 @@ mod tests {
         assert_eq!(a.time, b.time);
         let p2 = AnnealParams { rng_seed: 7, ..p };
         let _c = annealing(&s, seed, p2, objective).unwrap(); // different walk, still valid
+    }
+
+    /// Tie-breaking audit: with a plateau objective where many
+    /// candidates share the exact minimum, `exhaustive` must keep the
+    /// *first enumerated* minimum — strict `<` means later exact ties
+    /// never displace it.
+    #[test]
+    fn exhaustive_keeps_the_first_enumerated_exact_tie() {
+        let s = space();
+        let all = s.enumerate();
+        // Exact ties: every config with ≥ 4 processes costs exactly 1.0
+        // (bit-identical), everything else costs 2.0.
+        let tied = |cfg: &Configuration| -> Result<f64, Infallible> {
+            Ok(if cfg.total_processes() >= 4 { 1.0 } else { 2.0 })
+        };
+        let best = exhaustive(&all, tied).unwrap();
+        let first_tied = all
+            .iter()
+            .find(|c| c.total_processes() >= 4)
+            .expect("space has a ≥4-process candidate");
+        assert_eq!(&best.config, first_tied);
+        assert_eq!(best.time, 1.0);
+        assert_eq!(best.evaluations, all.len());
+    }
+
+    /// Greedy on an all-tied plateau: strict `<` accepts no "improving"
+    /// move, so the climb keeps its seed (the first enumerated best
+    /// single-PE config) and terminates instead of wandering the
+    /// plateau.
+    #[test]
+    fn greedy_holds_its_seed_on_an_exact_tie_plateau() {
+        let s = space();
+        let flat = |_: &Configuration| -> Result<f64, Infallible> { Ok(7.5) };
+        let gr = greedy(&s, flat).unwrap();
+        // The seed scan keeps the first single-PE candidate (kind 0,
+        // m = 1); one neighbourhood sweep finds no strict improvement.
+        assert_eq!(gr.time, 7.5);
+        assert_eq!(gr.config.total_pes(), 1);
+        assert_eq!(gr.config.uses[0].pes, 1);
+        assert_eq!(gr.config.uses[0].procs_per_pe, 1);
+        let neighbourhood = neighbours_of(&gr.config, &s).len();
+        // Seed evaluations (all single-PE candidates) plus exactly one
+        // full plateau sweep: termination, not a plateau walk.
+        assert_eq!(gr.evaluations, 12 + neighbourhood);
     }
 
     #[test]

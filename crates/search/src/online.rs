@@ -32,11 +32,12 @@
 
 use std::sync::Arc;
 
-use etm_cluster::Configuration;
+use etm_cluster::{Configuration, EnergyModel};
 use etm_core::compiled::MemoSurface;
 use etm_core::engine::EngineSnapshot;
 use etm_core::pipeline::groups_of;
 
+use crate::anytime::{pareto_front_of, ParetoPoint};
 use crate::{exhaustive, health_aware_objective, ConfigSpace, SearchResult};
 
 /// One entry of the decision log: what the §4 search found at a
@@ -59,6 +60,11 @@ pub struct OnlineDecision {
     /// model — the snapshot was degraded and the estimate carries the
     /// optimizer's fallback penalty.
     pub degraded: bool,
+    /// The time × energy Pareto front over this generation's evaluated
+    /// candidates (health-aware times, so the front's fastest point is
+    /// exactly [`OnlineDecision::best`]). Empty unless the optimizer
+    /// was built [`OnlineOptimizer::with_energy`].
+    pub front: Vec<ParetoPoint>,
 }
 
 /// Re-runs the §4 exhaustive selection per snapshot, switching its
@@ -78,6 +84,9 @@ pub struct OnlineOptimizer {
     /// When set, evaluate through the scalar closure path instead of
     /// the memo surface — the reference for bit-identity comparisons.
     reference_eval: bool,
+    /// When set, every decision carries the time × energy Pareto front
+    /// over the evaluated candidates.
+    energy: Option<EnergyModel>,
 }
 
 impl OnlineOptimizer {
@@ -104,7 +113,22 @@ impl OnlineOptimizer {
             last_seen: None,
             surface: None,
             reference_eval: false,
+            energy: None,
         }
+    }
+
+    /// Attaches an energy model: every decision then carries the time ×
+    /// energy Pareto front over the generation's evaluated candidates
+    /// (see [`OnlineDecision::front`]). The recommendation rule is
+    /// unchanged — the optimizer still selects the front's time-argmin
+    /// under the existing hysteresis — so attaching a model never
+    /// alters the decision log, only enriches it.
+    ///
+    /// The model must cover every kind of the optimizer's space.
+    #[must_use]
+    pub fn with_energy(mut self, model: EnergyModel) -> Self {
+        self.energy = Some(model);
+        self
     }
 
     /// Sets the multiplicative discount applied to estimates served by a
@@ -206,6 +230,44 @@ impl OnlineOptimizer {
                 .filter(|t| t.is_finite());
             (best, held_time)
         };
+        // With an energy model attached, price the same health-aware
+        // candidate set in joules and extract the Pareto front. The
+        // surface pass is memoized (the best-scan above already filled
+        // it), so this costs one raw-parts walk per estimable
+        // candidate.
+        let front = match self.energy.clone() {
+            Some(em) => {
+                let compiled = snapshot.compiled();
+                let mut pts: Vec<(Configuration, f64, f64)> = Vec::new();
+                if self.reference_eval {
+                    let objective = health_aware_objective(snapshot, self.n, self.fallback_penalty);
+                    for cfg in self.space.enumerate() {
+                        if let Ok(t) = objective(&cfg) {
+                            if let Ok(parts) = compiled.estimate_raw_parts(&cfg, self.n) {
+                                let e = em.joules(&cfg, parts.ta, parts.tc);
+                                if t.is_finite() && e.is_finite() {
+                                    pts.push((cfg, t, e));
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    let surface = self.surface_for(snapshot);
+                    for (ci, cfg) in surface.configs().iter().enumerate() {
+                        if let Ok(t) = surface.health_estimate(ci, 0, self.fallback_penalty) {
+                            if let Ok(parts) = compiled.estimate_raw_parts(cfg, self.n) {
+                                let e = em.joules(cfg, parts.ta, parts.tc);
+                                if t.is_finite() && e.is_finite() {
+                                    pts.push((cfg.clone(), t, e));
+                                }
+                            }
+                        }
+                    }
+                }
+                pareto_front_of(&pts)
+            }
+            None => Vec::new(),
+        };
         let switched = match held_time {
             None => true,
             Some(current) => best.time < current * (1.0 - self.hysteresis),
@@ -229,6 +291,7 @@ impl OnlineOptimizer {
             recommended_time,
             switched,
             degraded,
+            front,
         });
         self.log.last()
     }
@@ -423,6 +486,69 @@ mod tests {
         opt.observe(&next).expect("estimable");
         assert!(opt.observe_fresh(&next).is_none());
         assert_eq!(opt.log().len(), 3);
+    }
+
+    /// A merged snapshot slot can republish the *same* generation as a
+    /// distinct `Arc` — the sharded consumer's merge path rebuilds the
+    /// snapshot object without bumping the generation when the
+    /// underlying model is unchanged. Deduplication is by generation
+    /// *value*, not pointer identity, so the republished slot must not
+    /// add a duplicate decision-log entry.
+    #[test]
+    fn observe_fresh_dedups_a_republished_generation_across_slots() {
+        let first = engine();
+        let second = engine(); // same db, same model: generation 0 again
+        let a = first.snapshot();
+        let b = second.snapshot();
+        assert!(!Arc::ptr_eq(&a, &b), "distinct slots");
+        assert_eq!(a.generation(), b.generation());
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0);
+        assert!(opt.observe_fresh(&a).is_some(), "first slot observes");
+        assert!(
+            opt.observe_fresh(&b).is_none(),
+            "republished generation must be a no-op"
+        );
+        assert_eq!(opt.log().len(), 1, "no duplicate decision-log entries");
+    }
+
+    #[test]
+    fn with_energy_attaches_the_pareto_front_without_changing_decisions() {
+        use crate::anytime::{anytime_search, AnytimeOptions};
+        use etm_cluster::EnergyModel;
+
+        let e = engine();
+        let snap = e.snapshot();
+        let em = EnergyModel::from_spec(&paper_cluster(CommLibProfile::mpich122()));
+        let mut plain = OnlineOptimizer::new(space(), 1600, 0.02);
+        let mut priced = OnlineOptimizer::new(space(), 1600, 0.02).with_energy(em.clone());
+        let d0 = plain.observe(&snap).expect("estimable").clone();
+        let d1 = priced.observe(&snap).expect("estimable").clone();
+        // Same decision either way; the model only enriches the entry.
+        assert_eq!(d0.recommended, d1.recommended);
+        assert_eq!(d0.recommended_time.to_bits(), d1.recommended_time.to_bits());
+        assert_eq!(d0.switched, d1.switched);
+        assert!(d0.front.is_empty());
+        assert!(!d1.front.is_empty());
+        // The recommendation is the front's time-argmin (healthy
+        // snapshot: health-aware times equal the plain estimates, so
+        // the front matches the anytime searcher's bit for bit).
+        assert_eq!(d1.front[0].config, d1.recommended);
+        assert_eq!(d1.front[0].time.to_bits(), d1.recommended_time.to_bits());
+        let reference = anytime_search(
+            &snap,
+            &space(),
+            1600,
+            &AnytimeOptions {
+                energy: Some(em),
+                ..AnytimeOptions::default()
+            },
+        );
+        assert_eq!(d1.front.len(), reference.front.len());
+        for (a, b) in d1.front.iter().zip(&reference.front) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
     }
 
     /// Like [`synth_db`] but with multi-PE measurements for *both*

@@ -57,10 +57,15 @@ impl Thresholds {
 
     /// Folds one `--threshold` operand in: either `PCT` (global) or
     /// `SUITE=PCT` (per-suite). Percentages must be positive and
-    /// finite; repeated operands for the same target overwrite.
+    /// finite. Repeating a suite key is a hard error — a CI script
+    /// that says `shards=40` twice with different numbers has a bug,
+    /// and silently letting the later flag win would hide which gate
+    /// actually applied.
     ///
     /// # Errors
-    /// A malformed or non-positive percentage, or an empty suite name.
+    /// A malformed or non-positive percentage, an empty or
+    /// whitespace-only suite name, or a suite key that was already
+    /// given.
     pub fn push_spec(&mut self, spec: &str) -> Result<(), String> {
         let (suite, pct_text) = match spec.split_once('=') {
             Some((suite, pct)) => (Some(suite), pct),
@@ -75,12 +80,25 @@ impl Thresholds {
             ));
         }
         match suite {
-            Some("") => Err("--threshold: empty suite name in `=` form".to_string()),
+            Some(suite) if suite.trim().is_empty() => {
+                Err("--threshold: empty suite name in `=` form".to_string())
+            }
             Some(suite) => {
+                if self.per_suite.contains_key(suite) {
+                    return Err(format!(
+                        "--threshold: suite `{suite}` was already given; \
+                         repeated per-suite thresholds are ambiguous"
+                    ));
+                }
                 self.per_suite.insert(suite.to_string(), pct);
                 Ok(())
             }
             None => {
+                if self.global.is_some() {
+                    return Err("--threshold: a global percentage was already given; \
+                         repeated global thresholds are ambiguous"
+                        .to_string());
+                }
                 self.global = Some(pct);
                 Ok(())
             }
@@ -331,8 +349,6 @@ mod tests {
         t.push_spec("10").unwrap();
         assert_eq!(t.resolve("noisy"), 60.0, "per-suite beats global");
         assert_eq!(t.resolve("quiet"), 10.0, "global beats default");
-        t.push_spec("noisy=80").unwrap();
-        assert_eq!(t.resolve("noisy"), 80.0, "latest repeat wins");
     }
 
     #[test]
@@ -343,7 +359,25 @@ mod tests {
         assert!(t.push_spec("0").is_err());
         assert!(t.push_spec("s=-5").is_err());
         assert!(t.push_spec("=40").is_err());
+        assert!(t.push_spec("  =40").is_err(), "whitespace-only suite");
         assert!(t.push_spec("inf").is_err());
+    }
+
+    #[test]
+    fn repeated_threshold_targets_are_hard_errors() {
+        let mut t = Thresholds::default();
+        t.push_spec("shards=40").unwrap();
+        let err = t.push_spec("shards=60").unwrap_err();
+        assert!(err.contains("already given"), "{err}");
+        // The rejected repeat must not clobber the original value.
+        assert_eq!(t.resolve("shards"), 40.0);
+        // A different suite is still fine after the error.
+        t.push_spec("streaming=60").unwrap();
+        assert_eq!(t.resolve("streaming"), 60.0);
+        // The global percentage is single-shot too.
+        t.push_spec("15").unwrap();
+        assert!(t.push_spec("20").unwrap_err().contains("already given"));
+        assert_eq!(t.resolve("quiet"), 15.0);
     }
 
     #[test]

@@ -15,13 +15,14 @@
 #                           degradation-ladder invariant breach and
 #                           writes results/chaos_report.csv), and a
 #                           bench smoke run that writes the substrates
-#                           + streaming + shards + analyze + serving
-#                           baselines, gates each against the
+#                           + streaming + shards + analyze + serving +
+#                           optimizer baselines, gates each against the
 #                           per-commit store in results/bench/ via
 #                           `cargo xtask bench-diff --latest` (the
 #                           thread-pool `shards`, reader-thread
-#                           `serving`, and workspace-sized `analyze`
-#                           suites get a wider 40% gate via repeated
+#                           `serving`, workspace-sized `analyze`, and
+#                           microsecond-scale `optimizer` suites get a
+#                           wider 40% gate via repeated
 #                           `--threshold` flags; everything else
 #                           keeps the 25% default), and re-renders
 #                           the median trend table (`cargo xtask
@@ -101,20 +102,24 @@ bench_smoke() {
   # results/bench/ and then records this run for the current commit.
   # The `shards` and `serving` suites time whole thread pools /
   # reader-thread fans per iteration and jitter with scheduler load,
-  # and the `analyze` suite times the analyzer over the live
+  # the `analyze` suite times the analyzer over the live
   # workspace — a corpus that legitimately grows a few percent every
-  # PR, compounding with that jitter — so all three get a wider
-  # per-suite gate; the repeated `--threshold` flags are inert for
-  # every other suite. Finally re-render the median-per-commit trend
-  # table (informational, never gates).
+  # PR, compounding with that jitter — and the `optimizer` suite's
+  # pruned searches finish in single-digit microseconds where a few
+  # nanoseconds of scheduler noise is a whole percentage point, so all
+  # four get a wider per-suite gate; the repeated `--threshold` flags
+  # are inert for every other suite (and bench-diff hard-errors if a
+  # suite key is ever repeated). Finally re-render the
+  # median-per-commit trend table (informational, never gates).
   local out_dir="$PWD/target/etm-bench"
   mkdir -p "$out_dir"
   local suite
-  for suite in substrates streaming shards analyze serving; do
+  for suite in substrates streaming shards analyze serving optimizer; do
     ETM_BENCH_OUT="$out_dir" ETM_BENCH_SAMPLES=5 \
       cargo bench -q -p etm-bench --bench "$suite"
     cargo xtask bench-diff --latest "$out_dir/BENCH_$suite.json" \
-      --threshold shards=40 --threshold serving=40 --threshold analyze=40
+      --threshold shards=40 --threshold serving=40 --threshold analyze=40 \
+      --threshold optimizer=40
   done
   cargo xtask bench-trend
 }
