@@ -43,6 +43,12 @@
 //!   quarantine ladder ([`engine::QuarantinePolicy`],
 //!   [`engine::EngineHealth`]) degrades to §3.5 composed fallbacks
 //!   instead of crashing.
+//! * [`loopback`] — the execution side of the predict → execute →
+//!   learn loop: a seeded [`loopback::ExecutionFaultPlan`] crashes,
+//!   straggles, degrades, loses, or poisons closed-loop executions of
+//!   recommended configurations, and a per-configuration
+//!   [`loopback::CircuitBreaker`] holds failing or flapping
+//!   configurations out of the decision stream.
 //! * [`validate`] — the model-validity audit: registered invariant
 //!   checks (finite coefficients, non-negative predictions, basis
 //!   conditioning) that `cargo xtask check` runs over a fitted bank.
@@ -57,6 +63,7 @@ pub mod compiled;
 pub mod compose;
 pub mod engine;
 pub mod faults;
+pub mod loopback;
 pub mod measurement;
 pub mod ntmodel;
 pub mod pipeline;
@@ -70,6 +77,10 @@ pub use adjust::AdjustmentRule;
 pub use backend::{BinnedPolyBackend, ModelBackend, PolyLsqBackend, RobustPolyBackend};
 pub use compiled::{CompiledSnapshot, MemoSurface, MonotoneCertificate, RawParts};
 pub use engine::{Engine, EngineSnapshot};
+pub use loopback::{
+    config_key, BreakerPolicy, BreakerState, CircuitBreaker, ConfigKey, ExecutedStep,
+    ExecutionError, ExecutionFaultLog, ExecutionFaultPlan, RetryPolicy, StepExecutor,
+};
 pub use measurement::{MeasurementDb, Sample, SampleKey};
 pub use ntmodel::{MemoryBinnedNt, NtModel};
 pub use pipeline::{AdjustmentPolicy, Estimator, ModelBank, PipelineError};

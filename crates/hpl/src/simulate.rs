@@ -233,6 +233,39 @@ pub(crate) fn run_rank_sim(
     ph
 }
 
+/// Execution-side perturbation of one simulated run: stragglers and
+/// degraded links, applied to the fabric *before* the ranks start so
+/// every contention and overlap effect flows through the discrete-event
+/// kernel rather than being a post-hoc scale on measured outputs.
+///
+/// The default is a no-op: [`simulate_hpl`] with the default
+/// perturbation is bit-identical to the unperturbed entry point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionPerturbation {
+    /// Per-kind CPU slowdown factors `(kind, slowdown)`: every CPU
+    /// hosting a rank of `kind` serves `slowdown`× slower (a straggling
+    /// PE class). Factors must be finite and positive; `1.0` is a no-op.
+    pub cpu_slowdown: Vec<(KindId, f64)>,
+    /// Cluster-wide NIC slowdown (a degraded switch). `1.0` is a no-op.
+    pub net_slowdown: f64,
+}
+
+impl Default for ExecutionPerturbation {
+    fn default() -> Self {
+        ExecutionPerturbation {
+            cpu_slowdown: Vec::new(),
+            net_slowdown: 1.0,
+        }
+    }
+}
+
+impl ExecutionPerturbation {
+    /// Whether this perturbation leaves the fabric untouched.
+    pub fn is_clean(&self) -> bool {
+        self.net_slowdown == 1.0 && self.cpu_slowdown.iter().all(|&(_, s)| s == 1.0)
+    }
+}
+
 /// Simulates one HPL run of `params` under `config` on `spec`.
 ///
 /// # Panics
@@ -244,12 +277,37 @@ pub fn simulate_hpl(
     config: &Configuration,
     params: &HplParams,
 ) -> SimulatedRun {
+    simulate_hpl_perturbed(spec, config, params, &ExecutionPerturbation::default())
+}
+
+/// [`simulate_hpl`] with an execution-side fault: the perturbation
+/// derates fabric resources before any rank runs, so slowdowns
+/// propagate through processor sharing, broadcast waits, and NIC
+/// contention exactly as a real straggler or flaky switch would.
+///
+/// # Panics
+/// Panics as [`simulate_hpl`] does, or if a slowdown factor is not
+/// finite and positive.
+pub fn simulate_hpl_perturbed(
+    spec: &ClusterSpec,
+    config: &Configuration,
+    params: &HplParams,
+    perturb: &ExecutionPerturbation,
+) -> SimulatedRun {
     let placement = Placement::new(spec, config).expect("invalid configuration");
     let p = placement.len();
     debug_assert!(BlockCyclic::new(params.n, params.nb, p).num_blocks() > 0);
 
     let mut sim = Simulation::new();
     let fabric = SimFabric::build(&mut sim, spec, &placement);
+    for &(kind, slowdown) in &perturb.cpu_slowdown {
+        if slowdown != 1.0 {
+            fabric.derate_kind_cpus(&mut sim, &placement, kind, slowdown);
+        }
+    }
+    if perturb.net_slowdown != 1.0 {
+        fabric.derate_nics(&mut sim, perturb.net_slowdown);
+    }
     let results: Arc<Mutex<Vec<Option<PhaseTimes>>>> = Arc::new(Mutex::new(vec![None; p]));
 
     for slot in &placement.slots {
@@ -304,6 +362,55 @@ mod tests {
 
     fn spec() -> ClusterSpec {
         paper_cluster(CommLibProfile::mpich122())
+    }
+
+    #[test]
+    fn clean_perturbation_is_bit_identical_to_unperturbed() {
+        let s = spec();
+        let cfg = Configuration::p1m1_p2m2(1, 1, 2, 1);
+        let params = HplParams::order(800);
+        let base = simulate_hpl(&s, &cfg, &params);
+        let clean = ExecutionPerturbation {
+            cpu_slowdown: vec![(KindId(0), 1.0)],
+            net_slowdown: 1.0,
+        };
+        assert!(clean.is_clean());
+        let run = simulate_hpl_perturbed(&s, &cfg, &params, &clean);
+        assert_eq!(base.wall_seconds.to_bits(), run.wall_seconds.to_bits());
+        for (a, b) in base.phases.iter().zip(&run.phases) {
+            assert_eq!(a.total().to_bits(), b.total().to_bits());
+        }
+    }
+
+    #[test]
+    fn straggling_kind_and_degraded_net_slow_the_run() {
+        let s = spec();
+        let cfg = Configuration::p1m1_p2m2(1, 1, 2, 1);
+        let params = HplParams::order(800);
+        let base = simulate_hpl(&s, &cfg, &params);
+        let straggle = ExecutionPerturbation {
+            cpu_slowdown: vec![(KindId(1), 3.0)],
+            net_slowdown: 1.0,
+        };
+        assert!(!straggle.is_clean());
+        let slow = simulate_hpl_perturbed(&s, &cfg, &params, &straggle);
+        assert!(
+            slow.wall_seconds > base.wall_seconds * 1.05,
+            "straggler must elongate the run: {} vs {}",
+            slow.wall_seconds,
+            base.wall_seconds
+        );
+        let degraded = ExecutionPerturbation {
+            cpu_slowdown: Vec::new(),
+            net_slowdown: 10.0,
+        };
+        let net = simulate_hpl_perturbed(&s, &cfg, &params, &degraded);
+        assert!(
+            net.wall_seconds > base.wall_seconds,
+            "degraded network must elongate the run: {} vs {}",
+            net.wall_seconds,
+            base.wall_seconds
+        );
     }
 
     #[test]

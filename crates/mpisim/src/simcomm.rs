@@ -92,6 +92,48 @@ impl SimFabric {
         }
     }
 
+    /// Derates the CPU resources of every rank placed on a PE of
+    /// `kind`: each affected processor-sharing CPU serves `slowdown`×
+    /// slower for the rest of the run. This is the execution-side
+    /// straggler model — the slowdown propagates through contention and
+    /// communication overlap inside the discrete-event kernel instead
+    /// of being a post-hoc scale on measured phase times. CPUs shared
+    /// by several ranks are derated once.
+    ///
+    /// # Panics
+    /// Panics if `slowdown` is not a finite positive factor.
+    pub fn derate_kind_cpus(
+        &self,
+        sim: &mut Simulation,
+        placement: &Placement,
+        kind: etm_cluster::KindId,
+        slowdown: f64,
+    ) {
+        let mut done: Vec<ResourceId> = Vec::new();
+        for (rank, slot) in placement.slots.iter().enumerate() {
+            if slot.kind != kind {
+                continue;
+            }
+            let res = self.shared.cpu_of_rank[rank];
+            if !done.contains(&res) {
+                sim.derate_resource(res, slowdown);
+                done.push(res);
+            }
+        }
+    }
+
+    /// Derates every used NIC resource by `slowdown` — the transient
+    /// cluster-wide network degradation model (a flaky switch, a
+    /// saturated uplink).
+    ///
+    /// # Panics
+    /// Panics if `slowdown` is not a finite positive factor.
+    pub fn derate_nics(&self, sim: &mut Simulation, slowdown: f64) {
+        for res in self.shared.nic_of_node.iter().flatten() {
+            sim.derate_resource(*res, slowdown);
+        }
+    }
+
     /// The seed for `rank`, to be moved into that rank's spawned process.
     pub fn seed(&self, rank: usize) -> SimCommSeed {
         assert!(rank < self.shared.size, "rank out of range");

@@ -1,9 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro <experiment>` where experiment is one of
-//! `table1 plans fig1 fig2 fig3 table3 table6 fig6_7 table4 fig8_11
-//! table7 fig12_15 table9 timings ablations models baselines stream ab
-//! chaos shards serve pareto all`.
+//! Usage: `repro <experiment>` where experiment is one of the names in
+//! [`USAGE`] (the `usage_matches_dispatch_table` test keeps that list
+//! in sync with the dispatch table, and the unknown-subcommand error
+//! prints it in full).
 //!
 //! `shards` honors `ETM_STREAM_PACE=<scale>`: when set, the source is
 //! wall-clock paced at `sim_time / scale` (1.0 = real campaign time);
@@ -24,99 +24,55 @@ use etm_repro::experiments::{
 use etm_repro::table::TextTable;
 use etm_repro::write_csv;
 
+/// One dispatch-table entry: the accepted names (aliases share a
+/// runner — a figure and its table regenerate together) and what runs.
+type Experiment = (&'static [&'static str], fn());
+
+/// The dispatch table, in `all`'s execution order.
+const EXPERIMENTS: &[Experiment] = &[
+    (&["table1"], table1),
+    (&["plans"], plans),
+    (&["fig1"], fig1),
+    (&["fig2"], fig2),
+    (&["fig3"], fig3),
+    (&["table3"], table3),
+    (&["table6"], table6),
+    // The three campaign evaluations (correlations + best-config tables).
+    (&["fig6_7", "table4"], basic_campaign),
+    (&["fig8_11", "table7"], nl_campaign),
+    (&["fig12_15", "table9"], ns_campaign),
+    (&["timings"], timings),
+    (&["ablations"], ablations),
+    (&["models"], models),
+    (&["baselines"], baselines),
+    (&["stream"], stream),
+    (&["ab"], ab),
+    (&["chaos"], chaos),
+    (&["shards"], shards),
+    (&["serve"], serve),
+    (&["pareto"], pareto),
+    (&["loop"], loop_replay),
+];
+
+/// Space-separated usage list; `usage_matches_dispatch_table` pins it
+/// to [`EXPERIMENTS`] so it cannot drift.
+const USAGE: &str = "table1 plans fig1 fig2 fig3 table3 table6 fig6_7 table4 \
+     fig8_11 table7 fig12_15 table9 timings ablations models baselines \
+     stream ab chaos shards serve pareto loop all";
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let all = which == "all";
-    if all || which == "table1" {
-        table1();
+    let mut matched = all;
+    for (aliases, run) in EXPERIMENTS {
+        if all || aliases.contains(&which.as_str()) {
+            run();
+            matched = true;
+        }
     }
-    if all || which == "plans" {
-        plans();
-    }
-    if all || which == "fig1" {
-        fig1();
-    }
-    if all || which == "fig2" {
-        fig2();
-    }
-    if all || which == "fig3" {
-        fig3();
-    }
-    if all || which == "table3" {
-        table3();
-    }
-    if all || which == "table6" {
-        table6();
-    }
-    // The three campaign evaluations (correlations + best-config tables).
-    if all || ["fig6_7", "table4"].contains(&which.as_str()) {
-        basic_campaign();
-    }
-    if all || ["fig8_11", "table7"].contains(&which.as_str()) {
-        nl_campaign();
-    }
-    if all || ["fig12_15", "table9"].contains(&which.as_str()) {
-        ns_campaign();
-    }
-    if all || which == "timings" {
-        timings();
-    }
-    if all || which == "ablations" {
-        ablations();
-    }
-    if all || which == "models" {
-        models();
-    }
-    if all || which == "baselines" {
-        baselines();
-    }
-    if all || which == "stream" {
-        stream();
-    }
-    if all || which == "ab" {
-        ab();
-    }
-    if all || which == "chaos" {
-        chaos();
-    }
-    if all || which == "shards" {
-        shards();
-    }
-    if all || which == "serve" {
-        serve();
-    }
-    if all || which == "pareto" {
-        pareto();
-    }
-    if !all
-        && ![
-            "table1",
-            "plans",
-            "fig1",
-            "fig2",
-            "fig3",
-            "table3",
-            "table6",
-            "fig6_7",
-            "table4",
-            "fig8_11",
-            "table7",
-            "fig12_15",
-            "table9",
-            "timings",
-            "ablations",
-            "models",
-            "baselines",
-            "stream",
-            "ab",
-            "chaos",
-            "shards",
-            "serve",
-            "pareto",
-        ]
-        .contains(&which.as_str())
-    {
+    if !matched {
         eprintln!("unknown experiment: {which}");
+        eprintln!("available: {USAGE}");
         std::process::exit(2);
     }
 }
@@ -870,4 +826,91 @@ fn baselines() {
         "n,equal_s,best_multiproc_s,best_m1,weighted_s",
         &csv,
     );
+}
+
+fn loop_replay() {
+    use etm_repro::loopback::{loop_suite, LOOP_CSV_HEADER};
+    println!("\n== Closed loop: predict -> execute -> learn under execution faults ==");
+    let suite = loop_suite(&MeasurementPlan::basic());
+    let mut t = TextTable::new(vec![
+        "scenario",
+        "tau",
+        "penalty",
+        "exec",
+        "fail",
+        "held",
+        "fallback",
+        "switch",
+        "trip",
+        "regret [s]",
+        "oracle [s]",
+        "ok",
+    ]);
+    let mut csv = Vec::new();
+    for r in &suite.rows {
+        t.row(vec![
+            r.scenario.clone(),
+            format!("{:.2}", r.tau),
+            format!("{:.2}", r.penalty),
+            r.executed.to_string(),
+            r.failures.to_string(),
+            r.held_out.to_string(),
+            r.fallbacks.to_string(),
+            r.switches.to_string(),
+            r.tripped.to_string(),
+            format!("{:.1}", r.regret_seconds),
+            format!("{:.1}", r.oracle_seconds),
+            if r.ok { "yes" } else { "FAIL" }.to_string(),
+        ]);
+        csv.push(r.csv());
+    }
+    print!("{}", t.render());
+    let failed = suite.rows.iter().filter(|r| !r.ok).count();
+    println!(
+        "{} rows ({} scenarios + {} sweep points), {} invariant failures",
+        suite.rows.len(),
+        suite.rows.iter().filter(|r| r.scenario != "sweep").count(),
+        suite.rows.iter().filter(|r| r.scenario == "sweep").count(),
+        failed
+    );
+    write_csv("loop_regret", LOOP_CSV_HEADER, &csv);
+    if failed > 0 {
+        eprintln!("closed-loop invariant violated in {failed} row(s)");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod usage_tests {
+    use super::{EXPERIMENTS, USAGE};
+
+    /// Every name the dispatch table accepts, plus `all`.
+    fn known_experiments() -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = EXPERIMENTS
+            .iter()
+            .flat_map(|(aliases, _)| aliases.iter().copied())
+            .collect();
+        names.push("all");
+        names
+    }
+
+    #[test]
+    fn usage_matches_dispatch_table() {
+        let usage: Vec<&str> = USAGE.split_whitespace().collect();
+        assert_eq!(
+            usage,
+            known_experiments(),
+            "USAGE and the EXPERIMENTS dispatch table have drifted"
+        );
+    }
+
+    #[test]
+    fn experiment_names_are_unique() {
+        let mut names = known_experiments();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate experiment name");
+        assert_eq!(before, EXPERIMENTS.len() + 4, "three aliased runners + all");
+    }
 }

@@ -202,7 +202,8 @@ pub fn run_chaos_scenario(
     let (faulted, log) = fault.apply(&replay(&trials, &cfg));
     let expected = faulted.len() as u64;
 
-    let mut optimizer = OnlineOptimizer::new(evaluation_space(), n, 0.05);
+    let mut optimizer =
+        OnlineOptimizer::new(evaluation_space(), n, 0.05).expect("valid optimizer inputs");
     let mut untrusted_recommendations = 0usize;
     let mut incarnation = 0usize;
     let opts = ConsumeOptions {

@@ -13,6 +13,10 @@
 //! predictions/sec scalar vs batched vs memoized multi-reader.
 //! [`pareto`] audits the anytime pruned optimizer against the
 //! exhaustive §4 sweep and emits the time×energy Pareto front.
+//! [`loopback`] closes the predict → execute → learn loop: it executes
+//! each recommendation on the discrete-event substrate under seeded
+//! execution-side fault plans and scores regret, breaker exactness,
+//! and the fault-free bit-identity baseline.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +24,7 @@
 pub mod chaos;
 pub mod correlate;
 pub mod experiments;
+pub mod loopback;
 pub mod pareto;
 pub mod serve;
 pub mod shards;

@@ -164,7 +164,8 @@ pub fn shards_experiment(
             .expect("sharded seed fits");
             // Poll the merged slot like an online controller would: the
             // generation dedup keeps repeated polls out of the log.
-            let mut optimizer = OnlineOptimizer::new(evaluation_space(), 6400, 0.02);
+            let mut optimizer = OnlineOptimizer::new(evaluation_space(), 6400, 0.02)
+                .expect("valid optimizer inputs");
             optimizer.observe_fresh(&pool.snapshot());
             optimizer.observe_fresh(&pool.snapshot()); // same generation: no-op
             let source = spawn(trials.clone(), cfg, pace);

@@ -152,7 +152,8 @@ pub fn stream_experiment(
     let offline =
         best_config(&offline_engine.snapshot(), &evaluation_space(), n).expect("offline optimum");
 
-    let mut optimizer = OnlineOptimizer::new(evaluation_space(), n, hysteresis);
+    let mut optimizer =
+        OnlineOptimizer::new(evaluation_space(), n, hysteresis).expect("valid optimizer inputs");
     let (engine, report) =
         stream_through(&|| Box::new(PolyLsqBackend::paper()), trials, cfg, |snap| {
             optimizer.observe(snap);

@@ -64,8 +64,11 @@ fn batched_optimizer_matches_scalar_log_through_chaos() {
     };
     let trace = chaos_snapshot_trace(&plan, &fault, cfg);
     assert!(trace.len() > 1, "the scenario must publish snapshots");
-    let mut batched = OnlineOptimizer::new(evaluation_space(), 3200, 0.05);
-    let mut reference = OnlineOptimizer::new(evaluation_space(), 3200, 0.05).with_reference_eval();
+    let mut batched =
+        OnlineOptimizer::new(evaluation_space(), 3200, 0.05).expect("valid optimizer inputs");
+    let mut reference = OnlineOptimizer::new(evaluation_space(), 3200, 0.05)
+        .expect("valid optimizer inputs")
+        .with_reference_eval();
     for snap in &trace {
         let a = batched.observe(snap).cloned();
         let b = reference.observe(snap).cloned();

@@ -28,20 +28,27 @@
 //! selection served from it ([`best_config`]). The [`online`] module
 //! re-runs that selection against every snapshot a streaming engine
 //! publishes, with hysteresis ([`OnlineOptimizer`]) so the standing
-//! recommendation only moves on material improvement.
+//! recommendation only moves on material improvement. The
+//! [`closed_loop`] module closes that loop end to end: each
+//! recommendation is executed (fault-injected via
+//! `etm_core::loopback`), gated through a per-configuration circuit
+//! breaker, and its measurement streamed back into the engine
+//! ([`run_closed_loop`]).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anytime;
+pub mod closed_loop;
 pub mod engine;
 pub mod online;
 
 pub use anytime::{
     anytime_search, pareto_front_of, AnytimeOptions, AnytimeReport, Incumbent, ParetoPoint,
 };
+pub use closed_loop::{run_closed_loop, LoopReport, LoopStep};
 pub use engine::{best_config, health_aware_objective, snapshot_objective};
-pub use online::{OnlineDecision, OnlineOptimizer};
+pub use online::{OnlineDecision, OnlineOptimizer, OptimizerError};
 
 use etm_cluster::{ClusterSpec, Configuration, KindId, KindUse};
 

@@ -67,6 +67,37 @@ pub struct OnlineDecision {
     pub front: Vec<ParetoPoint>,
 }
 
+/// Why an [`OnlineOptimizer`] could not be constructed — the
+/// [`etm_core::stream::PaceError`] treatment applied to the optimizer's
+/// inputs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OptimizerError {
+    /// Hysteresis τ was NaN or ±∞.
+    NonFiniteHysteresis(f64),
+    /// Hysteresis τ was negative.
+    NegativeHysteresis(f64),
+    /// Problem size `n` was zero — nothing to estimate.
+    ZeroProblemSize,
+}
+
+impl std::fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizerError::NonFiniteHysteresis(h) => {
+                write!(f, "hysteresis must be finite, got {h}")
+            }
+            OptimizerError::NegativeHysteresis(h) => {
+                write!(f, "hysteresis must be non-negative, got {h}")
+            }
+            OptimizerError::ZeroProblemSize => {
+                write!(f, "problem size n must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {}
+
 /// Re-runs the §4 exhaustive selection per snapshot, switching its
 /// standing recommendation only past a relative-improvement threshold.
 pub struct OnlineOptimizer {
@@ -96,14 +127,20 @@ impl OnlineOptimizer {
     /// recommendation switches — 0.0 switches on any improvement, 0.05
     /// requires 5%.
     ///
-    /// # Panics
-    /// Panics if `hysteresis` is negative or not finite.
-    pub fn new(space: ConfigSpace, n: usize, hysteresis: f64) -> Self {
-        assert!(
-            hysteresis.is_finite() && hysteresis >= 0.0,
-            "hysteresis must be a finite non-negative fraction"
-        );
-        OnlineOptimizer {
+    /// # Errors
+    /// [`OptimizerError`] when `hysteresis` is negative or not finite,
+    /// or `n` is zero.
+    pub fn new(space: ConfigSpace, n: usize, hysteresis: f64) -> Result<Self, OptimizerError> {
+        if !hysteresis.is_finite() {
+            return Err(OptimizerError::NonFiniteHysteresis(hysteresis));
+        }
+        if hysteresis < 0.0 {
+            return Err(OptimizerError::NegativeHysteresis(hysteresis));
+        }
+        if n == 0 {
+            return Err(OptimizerError::ZeroProblemSize);
+        }
+        Ok(OnlineOptimizer {
             space,
             n,
             hysteresis,
@@ -114,7 +151,7 @@ impl OnlineOptimizer {
             surface: None,
             reference_eval: false,
             energy: None,
-        }
+        })
     }
 
     /// Attaches an energy model: every decision then carries the time ×
@@ -385,7 +422,7 @@ mod tests {
     fn first_observation_adopts_the_offline_optimum() {
         let e = engine();
         let snapshot = e.snapshot();
-        let mut opt = OnlineOptimizer::new(space(), 1600, 0.05);
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.05).expect("valid optimizer inputs");
         let d = opt.observe(&snapshot).expect("estimable").clone();
         assert!(d.switched, "nothing held yet: must adopt");
         assert_eq!(d.generation, 0);
@@ -400,7 +437,7 @@ mod tests {
     #[test]
     fn zero_hysteresis_tracks_the_offline_optimum_exactly() {
         let e = engine();
-        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0);
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0).expect("valid optimizer inputs");
         opt.observe(&e.snapshot()).expect("estimable");
         // Drift the fast kind's Ta down over several generations; with
         // zero hysteresis the recommendation always equals the offline
@@ -430,7 +467,7 @@ mod tests {
     #[test]
     fn huge_hysteresis_never_switches_after_adoption() {
         let e = engine();
-        let mut opt = OnlineOptimizer::new(space(), 1600, 0.99);
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.99).expect("valid optimizer inputs");
         let first = opt.observe(&e.snapshot()).expect("estimable").clone();
         for round in 1..=5 {
             let drift = 1.0 - 0.1 * round as f64;
@@ -460,7 +497,7 @@ mod tests {
     #[test]
     fn observe_fresh_dedups_by_generation() {
         let e = engine();
-        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0);
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0).expect("valid optimizer inputs");
         let snap = e.snapshot();
         assert!(opt.observe_fresh(&snap).is_some(), "first poll observes");
         for _ in 0..5 {
@@ -502,7 +539,7 @@ mod tests {
         let b = second.snapshot();
         assert!(!Arc::ptr_eq(&a, &b), "distinct slots");
         assert_eq!(a.generation(), b.generation());
-        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0);
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0).expect("valid optimizer inputs");
         assert!(opt.observe_fresh(&a).is_some(), "first slot observes");
         assert!(
             opt.observe_fresh(&b).is_none(),
@@ -519,8 +556,10 @@ mod tests {
         let e = engine();
         let snap = e.snapshot();
         let em = EnergyModel::from_spec(&paper_cluster(CommLibProfile::mpich122()));
-        let mut plain = OnlineOptimizer::new(space(), 1600, 0.02);
-        let mut priced = OnlineOptimizer::new(space(), 1600, 0.02).with_energy(em.clone());
+        let mut plain = OnlineOptimizer::new(space(), 1600, 0.02).expect("valid optimizer inputs");
+        let mut priced = OnlineOptimizer::new(space(), 1600, 0.02)
+            .expect("valid optimizer inputs")
+            .with_energy(em.clone());
         let d0 = plain.observe(&snap).expect("estimable").clone();
         let d1 = priced.observe(&snap).expect("estimable").clone();
         // Same decision either way; the model only enriches the entry.
@@ -606,7 +645,7 @@ mod tests {
         );
         // The optimizer skips such candidates; everything it logs is
         // backed by trusted (or at worst fallback) models.
-        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0);
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0).expect("valid optimizer inputs");
         let d = opt
             .observe(&snap)
             .expect("healthy candidates remain")
@@ -653,8 +692,11 @@ mod tests {
             None,
         )
         .expect("synth db fits");
-        let mut batched = OnlineOptimizer::new(space(), 1600, 0.02).with_fallback_penalty(1.25);
+        let mut batched = OnlineOptimizer::new(space(), 1600, 0.02)
+            .expect("valid optimizer inputs")
+            .with_fallback_penalty(1.25);
         let mut reference = OnlineOptimizer::new(space(), 1600, 0.02)
+            .expect("valid optimizer inputs")
             .with_fallback_penalty(1.25)
             .with_reference_eval();
         let mut snaps = vec![e.snapshot()];
@@ -712,7 +754,9 @@ mod tests {
         let health = snap.health();
         // The optimizer's pick equals a manual exhaustive search under
         // the same health-aware objective.
-        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0).with_fallback_penalty(1.25);
+        let mut opt = OnlineOptimizer::new(space(), 1600, 0.0)
+            .expect("valid optimizer inputs")
+            .with_fallback_penalty(1.25);
         let d = opt.observe(&snap).expect("estimable").clone();
         let objective = health_aware_objective(&snap, 1600, 1.25);
         let manual = exhaustive(&space().enumerate(), &objective).expect("estimable");
@@ -726,11 +770,105 @@ mod tests {
         );
         // A prohibitive penalty steers the recommendation to a fully
         // healthy configuration — and the decision is not degraded.
-        let mut strict = OnlineOptimizer::new(space(), 1600, 0.0).with_fallback_penalty(1e6);
+        let mut strict = OnlineOptimizer::new(space(), 1600, 0.0)
+            .expect("valid optimizer inputs")
+            .with_fallback_penalty(1e6);
         let d2 = strict.observe(&snap).expect("estimable").clone();
         assert!(!d2.degraded, "healthy alternatives exist");
         for g in groups_of(&d2.recommended) {
             assert!(!health.is_fallback(g), "penalty 1e6 must avoid {g:?}");
         }
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors() {
+        assert!(matches!(
+            OnlineOptimizer::new(space(), 1600, f64::NAN),
+            Err(OptimizerError::NonFiniteHysteresis(h)) if h.is_nan()
+        ));
+        assert_eq!(
+            OnlineOptimizer::new(space(), 1600, f64::INFINITY).err(),
+            Some(OptimizerError::NonFiniteHysteresis(f64::INFINITY))
+        );
+        assert_eq!(
+            OnlineOptimizer::new(space(), 1600, -0.01).err(),
+            Some(OptimizerError::NegativeHysteresis(-0.01))
+        );
+        assert_eq!(
+            OnlineOptimizer::new(space(), 0, 0.05).err(),
+            Some(OptimizerError::ZeroProblemSize)
+        );
+        // The errors render actionable messages.
+        assert!(OptimizerError::NegativeHysteresis(-1.0)
+            .to_string()
+            .contains("non-negative"));
+        assert!(OptimizerError::ZeroProblemSize
+            .to_string()
+            .contains("positive"));
+        // Valid inputs still construct.
+        assert!(OnlineOptimizer::new(space(), 1600, 0.0).is_ok());
+    }
+
+    /// Satellite coverage: `with_fallback_penalty` × `with_energy` on a
+    /// *degraded* snapshot. The penalty must apply identically to the
+    /// Pareto-front points and to the scalar objective, and the
+    /// memoized path must stay bit-identical to
+    /// [`OnlineOptimizer::with_reference_eval`].
+    #[test]
+    fn penalty_and_energy_compose_on_a_degraded_snapshot() {
+        let e = Engine::new(
+            Box::new(PolyLsqBackend::paper()),
+            synth_db_two_measured(),
+            None,
+        )
+        .expect("synth db fits");
+        let snap = quarantine_group(&e, 1, 1);
+        assert!(snap.health().is_fallback((1, 1)), "degraded snapshot");
+        let em = EnergyModel::from_spec(&paper_cluster(CommLibProfile::mpich122()));
+        let penalty = 1.4;
+        let mut batched = OnlineOptimizer::new(space(), 1600, 0.02)
+            .expect("valid optimizer inputs")
+            .with_fallback_penalty(penalty)
+            .with_energy(em.clone());
+        let mut reference = OnlineOptimizer::new(space(), 1600, 0.02)
+            .expect("valid optimizer inputs")
+            .with_fallback_penalty(penalty)
+            .with_energy(em)
+            .with_reference_eval();
+        let a = batched.observe(&snap).expect("estimable").clone();
+        let b = reference.observe(&snap).expect("estimable").clone();
+        // Scalar decision: bit-identical across paths.
+        assert_eq!(a.recommended, b.recommended);
+        assert_eq!(a.recommended_time.to_bits(), b.recommended_time.to_bits());
+        assert_eq!(a.degraded, b.degraded);
+        // Front: identical point sets, and every point's time carries
+        // exactly the scalar objective's penalty semantics.
+        assert!(!a.front.is_empty());
+        assert_eq!(a.front.len(), b.front.len());
+        let objective = health_aware_objective(&snap, 1600, penalty);
+        for (pa, pb) in a.front.iter().zip(&b.front) {
+            assert_eq!(pa.config, pb.config);
+            assert_eq!(pa.time.to_bits(), pb.time.to_bits());
+            assert_eq!(pa.energy.to_bits(), pb.energy.to_bits());
+            let t = objective(&pa.config).expect("front points are estimable");
+            assert_eq!(
+                pa.time.to_bits(),
+                t.to_bits(),
+                "front time of {:?} must equal the penalized scalar objective",
+                pa.config
+            );
+            let plain = snap.estimate(&pa.config, 1600).expect("estimable");
+            let on_fallback = groups_of(&pa.config)
+                .into_iter()
+                .any(|g| snap.health().is_fallback(g));
+            if on_fallback {
+                assert_eq!(pa.time.to_bits(), (plain * penalty).to_bits());
+            } else {
+                assert_eq!(pa.time.to_bits(), plain.to_bits());
+            }
+        }
+        // The front's time-argmin is the recommendation on both paths.
+        assert_eq!(a.front[0].config, a.recommended);
+        assert_eq!(a.front[0].time.to_bits(), a.recommended_time.to_bits());
     }
 }

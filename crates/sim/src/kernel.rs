@@ -266,6 +266,27 @@ impl Simulation {
         id
     }
 
+    /// Derates a registered resource: divides its service speed by
+    /// `slowdown` (> 1 slows it down, e.g. a straggling CPU or a
+    /// degraded link; fractional values model recovery). This is the
+    /// fault-injection hook for execution-side chaos: the derated
+    /// resource serves every subsequent job slower *through the normal
+    /// processor-sharing discipline*, so contention, overlap, and
+    /// completion ordering all reflect the fault — unlike post-hoc
+    /// scaling of measured outputs. Jobs already in service keep the
+    /// work served so far; any completion scheduled under the old rate
+    /// is invalidated and recomputed.
+    ///
+    /// # Panics
+    /// Panics if `slowdown` is not a finite positive factor.
+    pub fn derate_resource(&mut self, id: ResourceId, slowdown: f64) {
+        let now = self.now();
+        let res = &mut self.resources[id.0];
+        res.advance_to(now);
+        res.derate(slowdown);
+        self.reschedule_resource(id);
+    }
+
     /// Registers a mailbox for message passing between processes.
     pub fn add_mailbox(&mut self) -> MailboxId {
         let id = MailboxId(self.mailboxes.len());

@@ -66,6 +66,27 @@ impl SharedResource {
         &self.name
     }
 
+    /// Divides the service speed by `slowdown` — the fault-injection
+    /// hook behind [`crate::Simulation::derate_resource`]. The caller
+    /// must have advanced the resource to the current virtual time
+    /// first, so in-flight jobs keep the work they were already served;
+    /// bumping the generation invalidates any completion event
+    /// scheduled under the old rate.
+    pub(crate) fn derate(&mut self, slowdown: f64) {
+        assert!(
+            slowdown.is_finite() && slowdown > 0.0,
+            "slowdown must be a finite positive factor, got {slowdown} on {}",
+            self.name
+        );
+        self.speed /= slowdown;
+        assert!(
+            self.speed > 0.0,
+            "derated speed must stay positive on {}",
+            self.name
+        );
+        self.generation += 1;
+    }
+
     /// Current per-job service rate.
     fn rate(&self) -> f64 {
         debug_assert!(!self.jobs.is_empty());
@@ -236,6 +257,39 @@ mod tests {
         r.advance_to(SimTime::new(1.0));
         r.take_completed(false);
         assert!(r.generation > g1);
+    }
+
+    #[test]
+    fn derate_slows_subsequent_service_without_losing_progress() {
+        let mut r = SharedResource::new("cpu", 1.0);
+        r.advance_to(SimTime::ZERO);
+        r.add_job(pid(0), 2.0);
+        // One unit served by t=1, then the CPU is derated 2x: the
+        // remaining unit takes 2 more seconds.
+        r.advance_to(SimTime::new(1.0));
+        r.derate(2.0);
+        let t = r.next_completion().unwrap();
+        assert!((t.secs() - 3.0).abs() < 1e-12, "got {t:?}");
+    }
+
+    #[test]
+    fn derate_composes_multiplicatively_and_bumps_generation() {
+        let mut r = SharedResource::new("cpu", 4.0);
+        let g0 = r.generation;
+        r.derate(2.0);
+        r.derate(2.0);
+        assert!(r.generation > g0);
+        r.advance_to(SimTime::ZERO);
+        r.add_job(pid(0), 1.0);
+        let t = r.next_completion().unwrap();
+        assert!((t.secs() - 1.0).abs() < 1e-12, "4.0 speed derated to 1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive")]
+    fn non_positive_derate_rejected() {
+        let mut r = SharedResource::new("cpu", 1.0);
+        r.derate(0.0);
     }
 
     #[test]

@@ -283,3 +283,41 @@ fn stats_track_utilization_and_events() {
     assert_eq!(name, "cpu");
     assert!((util - 0.75).abs() < 1e-9);
 }
+
+#[test]
+fn derated_resource_serves_slower_end_to_end() {
+    // Identical work on a clean and a 2x-derated CPU: the derated run
+    // takes exactly twice the virtual time.
+    let wall_of = |slowdown: Option<f64>| {
+        let mut sim = Simulation::new();
+        let cpu = sim.add_shared_resource("cpu", 1.0);
+        if let Some(s) = slowdown {
+            sim.derate_resource(cpu, s);
+        }
+        sim.spawn("p", move |ctx| ctx.compute(cpu, 3.0));
+        sim.run().unwrap()
+    };
+    let clean = wall_of(None);
+    let derated = wall_of(Some(2.0));
+    assert!((clean - 3.0).abs() < 1e-12);
+    assert!((derated - 6.0).abs() < 1e-12);
+}
+
+#[test]
+fn derate_is_deterministic_under_contention() {
+    // Two co-scheduled jobs on a derated CPU: processor sharing still
+    // applies, on top of the slowdown, bit-identically across runs.
+    let run_once = || {
+        let mut sim = Simulation::new();
+        let cpu = sim.add_shared_resource("cpu", 1.0);
+        sim.derate_resource(cpu, 1.5);
+        for i in 0..2 {
+            sim.spawn(format!("p{i}"), move |ctx| ctx.compute(cpu, 1.0));
+        }
+        sim.run().unwrap()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.to_bits(), b.to_bits());
+    assert!((a - 3.0).abs() < 1e-9, "2 jobs x 1.0 work at speed 1/1.5");
+}

@@ -106,20 +106,22 @@ bench_smoke() {
   # workspace — a corpus that legitimately grows a few percent every
   # PR, compounding with that jitter — and the `optimizer` suite's
   # pruned searches finish in single-digit microseconds where a few
-  # nanoseconds of scheduler noise is a whole percentage point, so all
-  # four get a wider per-suite gate; the repeated `--threshold` flags
+  # nanoseconds of scheduler noise is a whole percentage point, and
+  # the `loopback` round-trip runs a whole discrete-event simulation
+  # per iteration, so all five get a wider per-suite gate; the
+  # repeated `--threshold` flags
   # are inert for every other suite (and bench-diff hard-errors if a
   # suite key is ever repeated). Finally re-render the
   # median-per-commit trend table (informational, never gates).
   local out_dir="$PWD/target/etm-bench"
   mkdir -p "$out_dir"
   local suite
-  for suite in substrates streaming shards analyze serving optimizer; do
+  for suite in substrates streaming shards analyze serving optimizer loopback; do
     ETM_BENCH_OUT="$out_dir" ETM_BENCH_SAMPLES=5 \
       cargo bench -q -p etm-bench --bench "$suite"
     cargo xtask bench-diff --latest "$out_dir/BENCH_$suite.json" \
       --threshold shards=40 --threshold serving=40 --threshold analyze=40 \
-      --threshold optimizer=40
+      --threshold optimizer=40 --threshold loopback=40
   done
   cargo xtask bench-trend
 }
@@ -168,6 +170,7 @@ fi
 stage "clippy"     cargo clippy --workspace --all-targets -q -- -D warnings
 stage "audit"      cargo xtask check audit
 stage "chaos"      cargo run -q --release -p etm-repro --bin repro -- chaos
+stage "loop"       cargo run -q --release -p etm-repro --bin repro -- loop
 stage "bench"      bench_smoke
 stage "proptest-legacy" proptest_legacy
 
